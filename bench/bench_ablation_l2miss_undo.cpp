@@ -1,0 +1,47 @@
+// Ablation (§4.4): "We also considered undoing circuits when an L2 miss
+// occurs... However, simulation results show better performance if we keep
+// them built." Compare both policies.
+#include "bench_util.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+int main() {
+  banner("Ablation — undo circuits on L2 miss (Complete_NoAck)",
+         "§4.4: keeping circuits built through the memory round-trip "
+         "performs better than undoing them");
+
+  for (int cores : {16, 64}) {
+    Table t({"policy", "IPC", "replies on circuit", "undone", "speedup"});
+    for (bool undo : {false, true}) {
+      double ipc = 0, used = 0, undone = 0, speedup = 0;
+      int n = 0;
+      for (const auto& app : bench_apps()) {
+        SystemConfig base = make_system_config(cores, "Baseline", app,
+                                               base_seed());
+        base.warmup_cycles = warmup();
+        base.measure_cycles = measure();
+        SystemConfig cfg = make_system_config(cores, "Complete_NoAck", app,
+                                              base_seed());
+        cfg.noc.circuit.undo_on_l2_miss = undo;
+        cfg.warmup_cycles = warmup();
+        cfg.measure_cycles = measure();
+        std::fprintf(stderr, "  [run] cores=%d undo=%d %s\n", cores, undo,
+                     app.c_str());
+        RunResult rb = run_config(base, "Baseline");
+        RunResult r = run_config(cfg, undo ? "undo" : "keep");
+        ReplyBreakdown b = reply_breakdown(r);
+        ipc += r.ipc;
+        used += b.used;
+        undone += b.undone;
+        speedup += r.ipc / rb.ipc;
+        ++n;
+      }
+      t.add_row({undo ? "undo on L2 miss" : "keep built (paper)",
+                 Table::num(ipc / n, 4), Table::pct(used / n),
+                 Table::pct(undone / n), Table::num(speedup / n, 3)});
+    }
+    t.print("L2-miss policy — " + std::to_string(cores) + " cores");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 10: per-application speedup of timed reactive circuits with slack
+// and delay of 1 cycle/hop (SlackDelay1_NoAck) on the 64-core chip.
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+int main() {
+  banner("Figure 10 — per-application speedup, SlackDelay1_NoAck @ 64 cores",
+         "Fig. 10: half the applications gain over 4.5%; a few exceed 10%; "
+         "at most two small slowdowns (<2%)");
+  RunCache cache;
+  cache.prefetch({64}, {"Baseline", "SlackDelay1_NoAck"}, bench_apps());
+
+  struct Row {
+    std::string app;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  for (const auto& app : bench_apps()) {
+    const RunResult& base = cache.get(64, "Baseline", app);
+    const RunResult& var = cache.get(64, "SlackDelay1_NoAck", app);
+    rows.push_back({app, var.ipc / base.ipc});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.speedup > b.speedup; });
+
+  Table t({"application", "speedup", "bar"});
+  double sum = 0;
+  int gain45 = 0, slow = 0;
+  for (const Row& r : rows) {
+    sum += r.speedup;
+    if (r.speedup >= 1.045) ++gain45;
+    if (r.speedup < 1.0) ++slow;
+    int stars = std::max(0, static_cast<int>((r.speedup - 1.0) * 200));
+    t.add_row({r.app, Table::num(r.speedup, 3),
+               std::string(std::min(stars, 40), '*')});
+  }
+  t.print("Figure 10");
+  std::printf("\nmean speedup: %.3f;  apps gaining >4.5%%: %d/%zu;  "
+              "apps slower than baseline: %d\n",
+              sum / rows.size(), gain45, rows.size(), slow);
+  return 0;
+}

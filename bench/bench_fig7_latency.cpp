@@ -1,0 +1,63 @@
+// Figure 7: message latency (network + queueing) for requests, replies
+// eligible for circuits (Circuit_Rep) and replies that cannot have one
+// (NoCircuit_Rep), for the most relevant configurations, 16 and 64 cores.
+#include "bench_util.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+namespace {
+
+struct ClassLat {
+  double net = 0, queue = 0;
+};
+
+ClassLat avg(RunCache& cache, int cores, const std::string& preset,
+             const char* net_key, const char* q_key) {
+  double n = 0, q = 0;
+  int cnt = 0;
+  for (const auto& app : bench_apps()) {
+    const RunResult& r = cache.get(cores, preset, app);
+    const Accumulator* a = r.net.find_acc(net_key);
+    const Accumulator* b = r.net.find_acc(q_key);
+    if (!a || !b || a->count() == 0) continue;
+    n += a->mean();
+    q += b->mean();
+    ++cnt;
+  }
+  if (cnt) {
+    n /= cnt;
+    q /= cnt;
+  }
+  return {n, q};
+}
+
+void run_size(int cores, RunCache& cache) {
+  Table t({"configuration", "req net", "req queue", "CircRep net",
+           "CircRep queue", "NoCircRep net", "NoCircRep queue"});
+  for (const auto& preset : preset_names_small()) {
+    ClassLat rq = avg(cache, cores, preset, "lat_net_req", "lat_q_req");
+    ClassLat cr =
+        avg(cache, cores, preset, "lat_net_rep_circ", "lat_q_rep_circ");
+    ClassLat nr =
+        avg(cache, cores, preset, "lat_net_rep_nocirc", "lat_q_rep_nocirc");
+    t.add_row({preset, Table::num(rq.net, 1), Table::num(rq.queue, 1),
+               Table::num(cr.net, 1), Table::num(cr.queue, 1),
+               Table::num(nr.net, 1), Table::num(nr.queue, 1)});
+  }
+  t.print("Figure 7 — " + std::to_string(cores) + " cores (cycles)");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 7 — message latency by class and configuration",
+         "Fig. 7: circuits cut eligible-reply network latency sharply; "
+         "eliminating ACKs drops non-eligible reply latency; Postponed pays "
+         "queueing latency for its circuits");
+  RunCache cache;
+  cache.prefetch({16, 64}, preset_names_small(), bench_apps());
+  run_size(16, cache);
+  run_size(64, cache);
+  return 0;
+}

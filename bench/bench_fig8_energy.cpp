@@ -1,0 +1,59 @@
+// Figure 8: network energy of each Reactive Circuits version normalized to
+// the baseline (per unit of work; static + dynamic, routers + links), with
+// the standard error across applications.
+#include "bench_util.hpp"
+
+#include "power/energy_model.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+namespace {
+
+void run_size(int cores, RunCache& cache) {
+  Table t({"configuration", "normalized energy", "stderr", "paper (64c)"});
+  for (const auto& preset : preset_names_small()) {
+    if (preset == "Ideal") continue;  // excluded in the paper (Fig. 8)
+    std::vector<double> ratios;
+    for (const auto& app : bench_apps()) {
+      const RunResult& base = cache.get(cores, "Baseline", app);
+      const RunResult& var = cache.get(cores, preset, app);
+      if (base.energy_per_instr > 0)
+        ratios.push_back(var.energy_per_instr / base.energy_per_instr);
+    }
+    MeanErr me = mean_err(ratios);
+    std::string paper = "-";
+    if (preset == "Baseline") paper = "1.00";
+    if (preset == "Complete_NoAck") paper = cores == 64 ? "0.792" : "0.848";
+    t.add_row({preset, Table::num(me.mean, 3), Table::num(me.stderr_, 3),
+               paper});
+  }
+  t.print("Figure 8 — " + std::to_string(cores) + " cores");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 8 — normalized network energy",
+         "Fig. 8: Fragmented raises energy (extra VC); complete circuits "
+         "save energy; Complete_NoAck saves 15.2% (16c) / 20.8% (64c)");
+  RunCache cache;
+  cache.prefetch({16, 64}, preset_names_small(), bench_apps());
+  run_size(16, cache);
+  run_size(64, cache);
+
+  // Energy composition for one configuration, for context.
+  const RunResult& r = cache.get(64, "Complete_NoAck", bench_apps().front());
+  EnergyBreakdown e = EnergyModel::network_energy(r.noc, r.net, r.cycles);
+  Table t({"component", "share"});
+  t.add_row({"buffers (dynamic)", Table::pct(e.buffer / e.total())});
+  t.add_row({"crossbar (dynamic)", Table::pct(e.crossbar / e.total())});
+  t.add_row({"allocators (dynamic)", Table::pct(e.alloc / e.total())});
+  t.add_row({"links (dynamic)", Table::pct(e.link / e.total())});
+  t.add_row({"circuit logic (dynamic)", Table::pct(e.circuit / e.total())});
+  t.add_row({"router static", Table::pct(e.router_static / e.total())});
+  t.add_row({"link static", Table::pct(e.link_static / e.total())});
+  t.print("energy composition, Complete_NoAck @ 64 cores, " +
+          bench_apps().front());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: speedup of each Reactive Circuits version over the baseline,
+// averaged across applications, with the standard error, 16 and 64 cores.
+#include "bench_util.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+namespace {
+
+void run_size(int cores, RunCache& cache) {
+  Table t({"configuration", "speedup", "stderr", "paper"});
+  for (const auto& preset : preset_names_small()) {
+    if (preset == "Baseline") continue;
+    std::vector<double> speedups;
+    for (const auto& app : bench_apps()) {
+      const RunResult& base = cache.get(cores, "Baseline", app);
+      const RunResult& var = cache.get(cores, preset, app);
+      speedups.push_back(var.ipc / base.ipc);
+    }
+    MeanErr me = mean_err(speedups);
+    std::string paper = "-";
+    if (preset == "Complete_NoAck") paper = cores == 64 ? "1.048" : "1.038";
+    if (preset == "SlackDelay1_NoAck") paper = cores == 64 ? "1.060" : "1.044";
+    t.add_row({preset, Table::num(me.mean, 3), Table::num(me.stderr_, 3),
+               paper});
+  }
+  t.print("Figure 9 — " + std::to_string(cores) + " cores");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 9 — system speedup over the baseline NoC",
+         "Fig. 9: small but consistent speedups (3.8-4.8% complete, "
+         "4.4-6.0% slack+delay); NoAck versions beat their counterparts; "
+         "Postponed does not pay off; Ideal bounds everything");
+  RunCache cache;
+  cache.prefetch({16, 64}, preset_names_small(), bench_apps());
+  run_size(16, cache);
+  run_size(64, cache);
+  return 0;
+}

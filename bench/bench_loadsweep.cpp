@@ -1,0 +1,48 @@
+// Load sweep (§5.5): "Under very adverse conditions, with heavy traffic
+// loads, conflicts would be frequent and prevent complete circuits from
+// being built... timed circuits reduce the time circuits keep virtual
+// channels occupied, thus rising the threshold over which the network would
+// be too congested to build circuits and reduce latency."
+//
+// Synthetic uniform request-reply traffic on the raw 8x8 NoC, sweeping the
+// injection rate and comparing circuit usage and reply latency.
+#include "bench_util.hpp"
+
+#include "sim/synthetic.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+int main() {
+  banner("Load sweep — circuit viability under congestion (synthetic, 64 nodes)",
+         "§5.5: untimed complete circuits stop being buildable as load "
+         "grows; timed circuits keep working to a higher threshold");
+
+  const int kService = 7;
+  const Cycle kWarm = 3'000, kMeas = 12'000;
+  const char* presets[] = {"Baseline", "Complete_NoAck", "SlackDelay1_NoAck"};
+
+  Table t({"inj rate (req/node/100cyc)", "config", "circuit use",
+           "reply latency", "reply queueing"});
+  for (double rate : {0.002, 0.005, 0.01, 0.02, 0.04, 0.08}) {
+    for (const char* preset : presets) {
+      NocConfig cfg = make_system_config(64, preset, "fft").noc;
+      std::fprintf(stderr, "  [run] rate=%.3f %s\n", rate, preset);
+      SyntheticTraffic traffic(cfg, rate, kService, base_seed());
+      SyntheticResult r = traffic.run(kWarm, kMeas);
+      t.add_row({Table::num(r.offered_load, 1), preset,
+                 Table::pct(r.circuit_use), Table::num(r.reply_latency, 1),
+                 Table::num(r.reply_queueing, 1)});
+    }
+  }
+  t.print("injection-rate sweep");
+
+  std::printf(
+      "\nExpected shape: at light load both circuit schemes ride most\n"
+      "replies and cut latency vs. the baseline. As load grows, the\n"
+      "untimed scheme's circuit use collapses first (reservations hold\n"
+      "ports/VCs between setup and use), while the timed scheme only\n"
+      "occupies short slots and keeps building circuits to higher rates —\n"
+      "the paper's scalability argument for timed reservations.\n");
+  return 0;
+}

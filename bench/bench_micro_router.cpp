@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): raw simulation-kernel throughput of
+// the main building blocks — router ticks under load, circuit-table
+// operations, reservation policy checks, and whole-system cycles/second.
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuit_manager.hpp"
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+namespace {
+
+void BM_IdleNetworkTick(benchmark::State& state) {
+  NocConfig cfg;
+  cfg.mesh_w = cfg.mesh_h = static_cast<int>(state.range(0));
+  Network net(cfg);
+  Cycle now = 0;
+  for (auto _ : state) net.tick(now++);
+  state.SetItemsProcessed(state.iterations() * cfg.num_nodes());
+}
+BENCHMARK(BM_IdleNetworkTick)->Arg(4)->Arg(8);
+
+void BM_LoadedNetworkTick(benchmark::State& state) {
+  NocConfig cfg;
+  cfg.mesh_w = cfg.mesh_h = static_cast<int>(state.range(0));
+  Network net(cfg);
+  net.set_deliver([](NodeId, const MsgPtr&) {});
+  Cycle now = 0;
+  std::uint64_t id = 0;
+  Rng rng(7);
+  for (auto _ : state) {
+    if (now % 4 == 0) {  // sustain moderate random traffic
+      auto m = std::make_shared<Message>();
+      m->id = ++id;
+      m->type = MsgType::GetS;
+      m->src = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+      m->dest = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+      m->addr = 64 * id;
+      m->size_flits = 1;
+      if (m->src != m->dest) net.send(m, now);
+    }
+    net.tick(now++);
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_nodes());
+}
+BENCHMARK(BM_LoadedNetworkTick)->Arg(4)->Arg(8);
+
+void BM_CircuitReserveRelease(benchmark::State& state) {
+  CircuitConfig cc;
+  cc.mode = CircuitMode::Complete;
+  cc.circuits_per_input = 5;
+  StatSet stats;
+  CircuitManager m(cc, &stats);
+  Cycle now = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ReserveRequest r;
+    r.src = 3;
+    r.dest = 7;
+    r.addr = 64 * (i % 5);
+    r.in_port = 1;
+    r.out_port = 2;
+    r.owner_req = ++i;
+    auto res = m.try_reserve(now, r, false);
+    benchmark::DoNotOptimize(res);
+    if (res.ok) {
+      m.match(1, 7, r.addr, i, true, now);
+      m.release(1, 7, r.addr, i, now);
+    }
+    ++now;
+  }
+}
+BENCHMARK(BM_CircuitReserveRelease);
+
+void BM_TimedConflictCheck(benchmark::State& state) {
+  CircuitConfig cc;
+  cc.mode = CircuitMode::Complete;
+  cc.circuits_per_input = 5;
+  cc.timed = TimedMode::SlackDelay;
+  cc.slack_per_hop = 2;
+  StatSet stats;
+  CircuitManager m(cc, &stats);
+  // Pre-populate slots so every check scans realistic occupancy.
+  for (int k = 0; k < 4; ++k) {
+    ReserveRequest r;
+    r.src = 3;
+    r.dest = 7;
+    r.addr = 64 * k;
+    r.in_port = 1;
+    r.out_port = 2;
+    r.owner_req = 100 + k;
+    r.slot_start = 1000 + 40 * k;
+    r.slot_end = 1020 + 40 * k;
+    m.try_reserve(0, r, true);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ReserveRequest r;
+    r.src = 5;
+    r.dest = 9;
+    r.addr = 0x9000;
+    r.in_port = 0;
+    r.out_port = 2;
+    r.owner_req = ++i;
+    r.slot_start = 1000 + (i % 200);
+    r.slot_end = r.slot_start + 30;
+    r.max_extra_delay = 6;
+    auto res = m.try_reserve(0, r, true);
+    benchmark::DoNotOptimize(res);
+    if (res.ok) m.undo(0, UndoRecord{9, 0x9000, i}, 0);
+  }
+}
+BENCHMARK(BM_TimedConflictCheck);
+
+void BM_FullSystemCycle(benchmark::State& state) {
+  SystemConfig cfg = make_system_config(static_cast<int>(state.range(0)),
+                                        "SlackDelay1_NoAck", "fft");
+  System sys(cfg);
+  sys.prewarm();
+  sys.run_cycles(2'000);  // settle
+  for (auto _ : state) sys.run_cycles(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSystemCycle)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rc
+
+BENCHMARK_MAIN();

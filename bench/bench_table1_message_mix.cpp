@@ -1,0 +1,51 @@
+// Table 1: percentage of messages that traverse the network, split into
+// requests and reply types (average over applications, 64-core chip).
+#include "bench_util.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+int main() {
+  banner("Table 1 — message mix traversing the network (64 cores, baseline)",
+         "Table 1: requests 47.0% / replies 53.0%; L2_Replies 22.6%, "
+         "L1_DATA_ACK 23.0%, L2_WB_ACK 4.7%, L1_INV_ACK 1.1%, MEMORY 0.9%, "
+         "L1_TO_L1 0.7%");
+
+  RunCache cache;
+  cache.prefetch({64}, {"Baseline"}, bench_apps());
+  StatSet agg;
+  for (const auto& app : bench_apps())
+    agg.merge(cache.get(64, "Baseline", app).net);
+
+  auto n = [&](const char* k) {
+    return static_cast<double>(agg.counter_value(k));
+  };
+  const double requests = n("msg_GetS") + n("msg_GetX") + n("msg_WbData") +
+                          n("msg_Inv") + n("msg_FwdGetS") + n("msg_FwdGetX") +
+                          n("msg_MemRead") + n("msg_MemWb");
+  const double l2rep = n("msg_L2Reply");
+  const double ack = n("msg_L1DataAck");
+  const double wback = n("msg_L2WbAck");
+  const double invack = n("msg_L1InvAck");
+  const double memory = n("msg_MemData") + n("msg_MemAck");
+  const double l1tol1 = n("msg_L1ToL1");
+  const double replies = l2rep + ack + wback + invack + memory + l1tol1;
+  const double total = requests + replies;
+
+  Table t({"class", "message type", "measured", "paper"});
+  auto pct = [&](double x) { return Table::pct(x / total); };
+  t.add_row({"requests", "(all request types)", pct(requests), "47.0%"});
+  t.add_row({"replies", "L2_Replies (data L2->L1)", pct(l2rep), "22.6%"});
+  t.add_row({"", "L1_DATA_ACK", pct(ack), "23.0%"});
+  t.add_row({"", "L2_WB_ACK", pct(wback), "4.7%"});
+  t.add_row({"", "L1_INV_ACK", pct(invack), "1.1%"});
+  t.add_row({"", "MEMORY (data + ack)", pct(memory), "0.9%"});
+  t.add_row({"", "L1_TO_L1", pct(l1tol1), "0.7%"});
+  t.add_row({"replies", "(total)", pct(replies), "53.0%"});
+  t.print("Table 1");
+
+  const double eligible = l2rep + wback + memory;
+  std::printf("\ncircuit-eligible replies: %s of replies (paper: 53.2%%)\n",
+              Table::pct(eligible / replies).c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 6: router area savings of each circuit-building version relative to
+// the baseline router (analytical model; no simulation needed).
+#include "bench_util.hpp"
+
+#include "power/area_model.hpp"
+
+using namespace rc;
+using namespace rc::bench;
+
+int main() {
+  banner("Table 6 — router area savings vs. baseline",
+         "Table 6: Fragmented -19.28%/-18.96%, Complete +6.21%/+5.77%, "
+         "Complete Timed +3.38%/+1.09% (16/64 cores)");
+
+  struct Row {
+    const char* name;
+    const char* preset;
+    const char* paper16;
+    const char* paper64;
+  };
+  const Row rows[] = {
+      {"Fragmented", "Fragmented", "-19.28%", "-18.96%"},
+      {"Complete", "Complete", "6.21%", "5.77%"},
+      {"Complete Timed", "SlackDelay1_NoAck", "3.38%", "1.09%"},
+  };
+
+  Table t({"version", "16 cores", "paper", "64 cores", "paper"});
+  for (const Row& r : rows) {
+    double s16 = AreaModel::savings_vs_baseline(
+        make_system_config(16, r.preset, "fft").noc);
+    double s64 = AreaModel::savings_vs_baseline(
+        make_system_config(64, r.preset, "fft").noc);
+    t.add_row({r.name, Table::pct(s16, 2), r.paper16, Table::pct(s64, 2),
+               r.paper64});
+  }
+  t.print("Table 6 (positive = smaller router)");
+
+  // Supporting breakdown for the 16-core baseline router.
+  RouterArea a = AreaModel::router(make_system_config(16, "Baseline", "fft").noc);
+  Table b({"component", "share"});
+  b.add_row({"input buffers", Table::pct(a.buffers / a.total())});
+  b.add_row({"crossbar", Table::pct(a.crossbar / a.total())});
+  b.add_row({"VC allocator", Table::pct(a.va_alloc / a.total())});
+  b.add_row({"switch allocator", Table::pct(a.sa_alloc / a.total())});
+  b.add_row({"output/misc", Table::pct(a.output_misc / a.total())});
+  b.print("baseline router area breakdown (model)");
+  return 0;
+}

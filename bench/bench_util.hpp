@@ -1,0 +1,112 @@
+// Shared machinery for the per-table/per-figure reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. Runs are
+// scaled for a laptop: by default a representative subset of the paper's
+// applications and ~35k measured cycles per configuration. Environment
+// overrides:
+//   RC_FULL=1             run all 22 application models
+//   RC_WARMUP_CYCLES=N    warm-up window  (default 10'000)
+//   RC_MEASURE_CYCLES=N   measurement window (default 25'000)
+//   RC_SEED=N             base seed (default 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+
+namespace rc::bench {
+
+inline Cycle warmup() { return env_warmup_cycles(10'000); }
+inline Cycle measure() { return env_measure_cycles(25'000); }
+
+inline std::uint64_t base_seed() {
+  if (const char* v = std::getenv("RC_SEED")) {
+    long long x = std::atoll(v);
+    if (x > 0) return static_cast<std::uint64_t>(x);
+  }
+  return 1;
+}
+
+/// Memoizing runner: figure benches reuse baseline runs across variants and
+/// can prefetch a whole matrix on all cores (RC_JOBS overrides the pool).
+class RunCache {
+ public:
+  const RunResult& get(int cores, const std::string& preset,
+                       const std::string& app) {
+    auto key = std::make_tuple(cores, preset, app);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::fprintf(stderr, "  [run] %d cores, %-18s %s\n", cores,
+                 preset.c_str(), app.c_str());
+    RunResult r =
+        run_one(cores, preset, app, base_seed(), warmup(), measure());
+    return cache_.emplace(key, std::move(r)).first->second;
+  }
+
+  /// Run every (cores x preset x app) combination in parallel, then serve
+  /// the results from the cache.
+  void prefetch(const std::vector<int>& cores_list,
+                const std::vector<std::string>& presets,
+                const std::vector<std::string>& apps) {
+    std::vector<SystemConfig> cfgs;
+    std::vector<std::string> labels;
+    std::vector<std::tuple<int, std::string, std::string>> keys;
+    for (int cores : cores_list) {
+      for (const auto& p : presets) {
+        for (const auto& a : apps) {
+          auto key = std::make_tuple(cores, p, a);
+          if (cache_.count(key)) continue;
+          SystemConfig cfg = make_system_config(cores, p, a, base_seed());
+          cfg.warmup_cycles = warmup();
+          cfg.measure_cycles = measure();
+          cfgs.push_back(cfg);
+          labels.push_back(p);
+          keys.push_back(key);
+        }
+      }
+    }
+    if (cfgs.empty()) return;
+    std::fprintf(stderr, "  [prefetch] %zu runs in parallel...\n",
+                 cfgs.size());
+    std::vector<RunResult> rs = run_many(cfgs, labels);
+    for (std::size_t i = 0; i < rs.size(); ++i)
+      cache_.emplace(keys[i], std::move(rs[i]));
+  }
+
+ private:
+  std::map<std::tuple<int, std::string, std::string>, RunResult> cache_;
+};
+
+/// Mean and standard error of per-app values.
+struct MeanErr {
+  double mean = 0;
+  double stderr_ = 0;
+};
+
+inline MeanErr mean_err(const std::vector<double>& v) {
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  return {acc.mean(), acc.stderr_mean()};
+}
+
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("apps=%zu  warmup=%llu  measure=%llu cycles  (RC_FULL=1 for the "
+              "full application list)\n",
+              bench_apps().size(),
+              static_cast<unsigned long long>(warmup()),
+              static_cast<unsigned long long>(measure()));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rc::bench

@@ -1,0 +1,109 @@
+// NoC playground: drive the network fabric directly (no caches, no cores)
+// and watch a reactive circuit being reserved, used, and torn down.
+//
+// Demonstrates the raw public API: Network, Message, circuit tables.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Playground {
+  explicit Playground(const NocConfig& cfg) : net(cfg) {
+    net.set_deliver([this](NodeId n, const MsgPtr& m) {
+      std::printf("  @%4llu  node %2d received %-10s addr=%llx%s\n",
+                  static_cast<unsigned long long>(clock), n,
+                  to_string(m->type),
+                  static_cast<unsigned long long>(m->addr),
+                  m->on_circuit ? "  [rode its circuit]" : "");
+      arrived++;
+    });
+  }
+  MsgPtr make(MsgType t, NodeId src, NodeId dest, Addr addr, int flits) {
+    auto m = std::make_shared<Message>();
+    m->id = ++next_id;
+    m->type = t;
+    m->src = src;
+    m->dest = dest;
+    m->addr = addr;
+    m->size_flits = flits;
+    return m;
+  }
+  void run_until(int count, int max = 500) {
+    while (arrived < count && max-- > 0) net.tick(clock++);
+  }
+  Network net;
+  Cycle clock = 0;
+  std::uint64_t next_id = 0;
+  int arrived = 0;
+};
+
+void show_tables(Playground& p, NodeId from, NodeId to) {
+  const auto& topo = p.net.topo();
+  NodeId cur = from;
+  while (true) {
+    int live = 0;
+    Router& r = p.net.router(cur);
+    for (int port = 0; port < kNumDirs; ++port)
+      for (const auto& e : r.circuits().table(port).entries())
+        if (e.valid) ++live;
+    std::printf("  router %2d: %d live circuit entr%s\n", cur, live,
+                live == 1 ? "y" : "ies");
+    if (cur == to) break;
+    cur = topo.neighbour(
+        cur, route_dor(topo.coord_of(cur), topo.coord_of(to), false));
+  }
+}
+
+}  // namespace
+
+int main() {
+  NocConfig cfg = make_system_config(16, "Complete", "fft").noc;
+  Playground p(cfg);
+
+  std::printf("1) A request from node 0 to node 3 reserves the reply circuit"
+              " as it travels (5 cycles/hop):\n");
+  auto req = p.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  p.net.send(req, p.clock);
+  p.run_until(1);
+  std::printf("   request latency: %llu cycles; circuit fully built: %s\n",
+              static_cast<unsigned long long>(req->delivered - req->injected),
+              req->circuit_ok ? "yes" : "no");
+  show_tables(p, 0, 3);
+
+  std::printf("\n2) The data reply rides the circuit at 2 cycles/hop,"
+              " bypassing routing and arbitration:\n");
+  auto rep = p.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  p.net.send(rep, p.clock);
+  p.run_until(2);
+  std::printf("   reply network latency: %llu cycles (5-flit data message)\n",
+              static_cast<unsigned long long>(rep->delivered - rep->injected));
+
+  std::printf("\n3) Its tail flit cleared the reservations behind it:\n");
+  show_tables(p, 0, 3);
+
+  std::printf("\n4) An identical reply without a circuit takes the full"
+              " 4-stage pipeline at every router:\n");
+  auto rep2 = p.make(MsgType::L2Reply, 3, 0, 0x2000, 5);
+  p.net.send(rep2, p.clock);
+  p.run_until(3);
+  std::printf("   packet-switched latency: %llu cycles\n",
+              static_cast<unsigned long long>(rep2->delivered -
+                                              rep2->injected));
+
+  std::printf("\n5) The forward-to-owner coherence case tears a circuit down"
+              " through the credit wires (§4.4):\n");
+  auto req2 = p.make(MsgType::GetS, 0, 3, 0x3000, 1);
+  p.net.send(req2, p.clock);
+  p.run_until(4);
+  p.net.ni(3).undo_circuit(0, 0x3000, p.clock, false);
+  for (int i = 0; i < 30; ++i) p.net.tick(p.clock++);
+  std::printf("   after the undo credits crawled home:\n");
+  show_tables(p, 0, 3);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Pipeline view: single-step the NoC and print, cycle by cycle, where a
+// request and its circuit-riding reply are — making the paper's "five
+// cycles per hop vs two cycles per hop" visible flit by flit.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+
+using namespace rc;
+
+namespace {
+
+const char* vc_state_name(VCState s) {
+  switch (s) {
+    case VCState::Idle: return "-";
+    case VCState::WaitVA: return "VA";
+    case VCState::Active: return "SA";
+  }
+  return "?";
+}
+
+// Print one line per router on the row-0 path 0->3: the state of the input
+// VC holding our packet plus the circuit entry count.
+void snapshot(Network& net, Cycle now, const char* tag) {
+  std::printf("@%3llu %-8s", static_cast<unsigned long long>(now), tag);
+  for (NodeId n = 0; n <= 3; ++n) {
+    Router& r = net.router(n);
+    // Find any occupied input VC.
+    const char* st = "-";
+    std::size_t buffered = 0;
+    for (int d = 0; d < kNumDirs; ++d) {
+      for (int vn = 0; vn < 2; ++vn) {
+        for (int vc = 0; vc < 2; ++vc) {
+          const InputVC& ivc =
+              r.input_vc(static_cast<Dir>(d), static_cast<VNet>(vn), vc);
+          if (ivc.state != VCState::Idle || !ivc.buf.empty()) {
+            st = vc_state_name(ivc.state);
+            buffered += ivc.buf.size();
+          }
+        }
+      }
+    }
+    int circuits = 0;
+    for (int p = 0; p < kNumDirs; ++p)
+      for (const auto& e : r.circuits().table(p).entries())
+        if (e.valid) ++circuits;
+    std::printf(" | r%d:%-2s buf=%zu circ=%d", n, st, buffered, circuits);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  NocConfig cfg = make_system_config(16, "Complete", "fft").noc;
+  Network net(cfg);
+  int delivered = 0;
+  net.set_deliver([&](NodeId n, const MsgPtr& m) {
+    std::printf("            >>> node %d received %s\n", n,
+                to_string(m->type));
+    ++delivered;
+  });
+
+  Cycle clock = 0;
+  auto make = [&](MsgType t, NodeId s, NodeId d, Addr a, int f) {
+    auto m = std::make_shared<Message>();
+    static std::uint64_t id = 0;
+    m->id = ++id;
+    m->type = t;
+    m->src = s;
+    m->dest = d;
+    m->addr = a;
+    m->size_flits = f;
+    return m;
+  };
+
+  std::printf("Phase 1: GetS request 0 -> 3 walks the 4-stage pipeline of\n"
+              "every router (watch VA/SA appear and circuit entries grow):\n\n");
+  auto req = make(MsgType::GetS, 0, 3, 0x1000, 1);
+  net.send(req, clock);
+  while (delivered < 1 && clock < 60) {
+    net.tick(clock);
+    snapshot(net, clock, "request");
+    ++clock;
+  }
+
+  std::printf("\nPhase 2: the 5-flit data reply rides the circuit — no VA,\n"
+              "no SA, one cycle per router; entries vanish behind its tail:\n\n");
+  auto rep = make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  net.send(rep, clock);
+  while (delivered < 2 && clock < 120) {
+    net.tick(clock);
+    snapshot(net, clock, "reply");
+    ++clock;
+  }
+
+  std::printf("\nTotal: request %llu cycles, circuit reply %llu cycles "
+              "(same path, 5 flits vs 1).\n",
+              static_cast<unsigned long long>(req->delivered - req->injected),
+              static_cast<unsigned long long>(rep->delivered -
+                                              rep->injected));
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "circuits/circuit_table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+// RC_TRACE_CIRCUIT="<dest>:<hex addr>" traces one circuit identity's entry
+// lifecycle to stderr (debug aid).
+struct TraceId {
+  rc::NodeId dest = -1;
+  rc::Addr addr = 0;
+  TraceId() {
+    if (const char* v = std::getenv("RC_TRACE_CIRCUIT")) {
+      unsigned long long a = 0;
+      int d = -1;
+      if (std::sscanf(v, "%d:%llx", &d, &a) == 2) {
+        dest = d;
+        addr = a;
+      }
+    }
+  }
+};
+const TraceId g_trace;
+bool traced(rc::NodeId d, rc::Addr a) {
+  return g_trace.dest == d && g_trace.addr == a;
+}
+}  // namespace
+
+namespace rc {
+
+int CircuitTable::live_count(Cycle now) const {
+  int n = 0;
+  for (const auto& e : slots_)
+    if (e.live(now)) ++n;
+  return n;
+}
+
+CircuitEntry* CircuitTable::find(NodeId dest, Addr addr, std::uint64_t msg_id,
+                                 bool bind_new, Cycle now) {
+  if (traced(dest, addr)) {
+    std::fprintf(stderr, "CIRC find tbl=%p msg=%llu bind=%d @%llu:",
+                 static_cast<void*>(this),
+                 static_cast<unsigned long long>(msg_id), int(bind_new),
+                 static_cast<unsigned long long>(now));
+    for (auto& e : slots_)
+      if (e.valid && e.dest == dest && e.addr == addr)
+        std::fprintf(stderr, " [own=%llu bnd=%llu slot=%llu..%llu]",
+                     static_cast<unsigned long long>(e.owner_req),
+                     static_cast<unsigned long long>(e.bound_msg),
+                     static_cast<unsigned long long>(e.slot_start),
+                     static_cast<unsigned long long>(e.slot_end));
+    std::fprintf(stderr, "\n");
+  }
+  // Among unbound same-identity entries (two circuit instances can coexist,
+  // e.g. a write-back and a re-fetch of the same line), a head flit must
+  // bind the instance whose reserved slot is actually active — replies from
+  // one source are serialized, so the earliest active slot is the right one.
+  CircuitEntry* unbound = nullptr;
+  for (auto& e : slots_) {
+    if (!e.live(now) || e.dest != dest || e.addr != addr) continue;
+    if (e.bound_msg == msg_id) return &e;
+    if (e.bound_msg != 0) continue;
+    if (!unbound) {
+      unbound = &e;
+      continue;
+    }
+    const bool e_active = e.slot_start <= now;
+    const bool u_active = unbound->slot_start <= now;
+    if (e_active != u_active ? e_active
+                             : e.slot_start < unbound->slot_start)
+      unbound = &e;
+  }
+  if (unbound && bind_new) {
+    unbound->bound_msg = msg_id;
+    return unbound;
+  }
+  return nullptr;
+}
+
+const CircuitEntry* CircuitTable::conflicting_output(Port out_port, Cycle s,
+                                                     Cycle e, Cycle now) const {
+  for (const auto& ent : slots_)
+    if (ent.live(now) && ent.out_port == out_port && ent.overlaps(s, e))
+      return &ent;
+  return nullptr;
+}
+
+const CircuitEntry* CircuitTable::conflicting_slot(Cycle s, Cycle e,
+                                                   Cycle now) const {
+  for (const auto& ent : slots_)
+    if (ent.live(now) && ent.overlaps(s, e)) return &ent;
+  return nullptr;
+}
+
+bool CircuitTable::has_other_source(NodeId src, Cycle now) const {
+  for (const auto& e : slots_)
+    if (e.live(now) && e.src != src) return true;
+  return false;
+}
+
+bool CircuitTable::insert(const CircuitEntry& e, Cycle now) {
+  if (traced(e.dest, e.addr))
+    std::fprintf(stderr, "CIRC insert tbl=%p own=%llu out=%d slot=%llu..%llu @%llu\n",
+                 static_cast<void*>(this),
+                 static_cast<unsigned long long>(e.owner_req), int(e.out_port),
+                 static_cast<unsigned long long>(e.slot_start),
+                 static_cast<unsigned long long>(e.slot_end),
+                 static_cast<unsigned long long>(now));
+  // Reuse an invalid or expired slot first.
+  for (auto& s : slots_) {
+    if (!s.valid || s.expired(now)) {
+      s = e;
+      s.valid = true;
+      return true;
+    }
+  }
+  if (unbounded() || static_cast<int>(slots_.size()) < capacity_) {
+    slots_.push_back(e);
+    slots_.back().valid = true;
+    return true;
+  }
+  return false;
+}
+
+std::optional<CircuitEntry> CircuitTable::release(NodeId dest, Addr addr,
+                                                  std::uint64_t msg_id,
+                                                  Cycle now) {
+  if (traced(dest, addr))
+    std::fprintf(stderr, "CIRC release tbl=%p msg=%llu @%llu\n",
+                 static_cast<void*>(this),
+                 static_cast<unsigned long long>(msg_id),
+                 static_cast<unsigned long long>(now));
+  CircuitEntry* victim = nullptr;
+  for (auto& e : slots_) {
+    if (!e.live(now) || e.dest != dest || e.addr != addr) continue;
+    if (msg_id != 0 ? e.bound_msg == msg_id : e.bound_msg == 0) {
+      victim = &e;
+      break;
+    }
+    if (!victim) victim = &e;
+  }
+  if (!victim) return std::nullopt;
+  CircuitEntry out = *victim;
+  victim->valid = false;
+  return out;
+}
+
+std::optional<CircuitEntry> CircuitTable::release_instance(
+    NodeId dest, Addr addr, std::uint64_t owner_req, Cycle now) {
+  if (traced(dest, addr))
+    std::fprintf(stderr, "CIRC undo tbl=%p own=%llu @%llu\n",
+                 static_cast<void*>(this),
+                 static_cast<unsigned long long>(owner_req),
+                 static_cast<unsigned long long>(now));
+  for (auto& e : slots_) {
+    if (!e.live(now) || e.dest != dest || e.addr != addr) continue;
+    if (owner_req != 0 && e.owner_req != owner_req) continue;
+    if (e.bound_msg != 0) continue;  // a rider owns it now; its tail frees it
+    CircuitEntry out = e;
+    e.valid = false;
+    return out;
+  }
+  return std::nullopt;
+}
+
+void CircuitTable::clear() { slots_.clear(); }
+
+}  // namespace rc

@@ -1,0 +1,102 @@
+// Per-input-port circuit reservation storage (the B/destID/block@/outport
+// [+ slot counters] records of the paper's Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+/// One reserved circuit at one router input port.
+///
+/// Identity is (dest, addr): the requestor that will consume the reply and
+/// the cache line concerned. `src` is the node that will inject the reply
+/// (needed for the same-source rule of §4.2). Untimed reservations hold
+/// [0, kNeverCycle]; timed ones hold the optimistically computed slot, after
+/// which the entry self-expires (the paper's decrementing counters).
+struct CircuitEntry {
+  bool valid = false;          // the B bit
+  NodeId src = kInvalidNode;   // circuit source (replier)
+  NodeId dest = kInvalidNode;  // circuit destination (requestor)
+  Addr addr = 0;
+  Port out_port = 0;
+  int vc = 0;                  // Fragmented: the claimed output circuit VC
+  std::uint64_t owner_req = 0; // id of the request that built this circuit
+  /// Message currently riding this entry (0 = none). A head flit binds the
+  /// entry so interleaved flits of two same-identity circuits can never mix.
+  std::uint64_t bound_msg = 0;
+  Cycle slot_start = 0;
+  Cycle slot_end = kNeverCycle;
+
+  bool timed() const { return slot_end != kNeverCycle; }
+  /// A bound entry never expires: a reply is streaming through it and holds
+  /// the resources until its tail clears the B bit, exactly like hardware
+  /// would (the decrementing slot counters stop mattering once the transfer
+  /// is in progress).
+  bool expired(Cycle now) const {
+    return valid && timed() && slot_end < now && bound_msg == 0;
+  }
+  bool live(Cycle now) const { return valid && !expired(now); }
+  bool overlaps(Cycle s, Cycle e) const {
+    return !(e < slot_start || slot_end < s);
+  }
+};
+
+/// Fixed-capacity table of circuit entries for one input port.
+/// capacity < 0 means unbounded (the Ideal configuration, §4.8).
+class CircuitTable {
+ public:
+  explicit CircuitTable(int capacity = 0) : capacity_(capacity) {}
+
+  int capacity() const { return capacity_; }
+  bool unbounded() const { return capacity_ < 0; }
+
+  /// Number of live entries (expired ones do not count, §4.7).
+  int live_count(Cycle now) const;
+
+  /// Find the live entry for (dest, addr), or nullptr. An entry bound to
+  /// `msg_id` is preferred; otherwise an unbound entry matches only when
+  /// `bind_new` (head flit) is set, and gets bound to `msg_id`.
+  CircuitEntry* find(NodeId dest, Addr addr, std::uint64_t msg_id,
+                     bool bind_new, Cycle now);
+
+  /// Any live entry whose slot overlaps [s, e] and leaves via `out_port`.
+  const CircuitEntry* conflicting_output(Port out_port, Cycle s, Cycle e,
+                                         Cycle now) const;
+
+  /// Any live entry whose slot overlaps [s, e] (same-input link conflict for
+  /// timed circuits).
+  const CircuitEntry* conflicting_slot(Cycle s, Cycle e, Cycle now) const;
+
+  /// Any live entry whose source differs from `src` (same-source rule).
+  bool has_other_source(NodeId src, Cycle now) const;
+
+  /// Insert; returns false when the table is full of live entries.
+  /// Expired slots are reclaimed. Never fails when unbounded.
+  bool insert(const CircuitEntry& e, Cycle now);
+
+  /// Invalidate a live entry for (dest, addr); returns the freed entry.
+  /// msg_id != 0 (tail release): the entry bound to that message wins.
+  /// msg_id == 0 (undo): an unbound entry wins, so a tear-down can never
+  /// steal the entry a reply is currently riding.
+  std::optional<CircuitEntry> release(NodeId dest, Addr addr,
+                                      std::uint64_t msg_id, Cycle now);
+
+  /// Undo by instance: invalidate the entry built by request `owner_req`,
+  /// unless a reply is currently riding it (that rider's tail will free it).
+  std::optional<CircuitEntry> release_instance(NodeId dest, Addr addr,
+                                               std::uint64_t owner_req,
+                                               Cycle now);
+
+  const std::vector<CircuitEntry>& entries() const { return slots_; }
+  void clear();
+
+ private:
+  int capacity_;
+  std::vector<CircuitEntry> slots_;
+};
+
+}  // namespace rc

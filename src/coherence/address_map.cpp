@@ -1,0 +1,44 @@
+#include "coherence/address_map.hpp"
+
+#include "cpu/workload.hpp"
+
+namespace rc {
+
+std::vector<NodeId> AddressMap::partition_nodes(int p) const {
+  std::vector<NodeId> v;
+  if (!partitioned()) {
+    for (NodeId n = 0; n < topo_->num_nodes(); ++n) v.push_back(n);
+    return v;
+  }
+  const int ppr = partitions_per_row();
+  const int px = (p % ppr) * pside_;
+  const int py = (p / ppr) * pside_;
+  for (int y = py; y < py + pside_; ++y)
+    for (int x = px; x < px + pside_; ++x)
+      v.push_back(topo_->node_at({x, y}));
+  return v;
+}
+
+int AddressMap::partition_of_addr(Addr addr) const {
+  if (!partitioned()) return 0;
+  if (addr >= kMigratoryBase)
+    return static_cast<int>((addr - kMigratoryBase) / kPartitionSharedSpan) %
+           num_partitions();
+  if (addr >= kSharedBase)
+    return static_cast<int>((addr - kSharedBase) / kPartitionSharedSpan) %
+           num_partitions();
+  if (addr >= kPrivateBase) {
+    auto core = static_cast<NodeId>((addr - kPrivateBase) / kPrivateStride);
+    if (core < topo_->num_nodes()) return partition_of(core);
+  }
+  return 0;
+}
+
+NodeId AddressMap::home_l2(Addr addr) const {
+  if (!partitioned())
+    return static_cast<NodeId>((addr / kLineBytes) % topo_->num_nodes());
+  auto nodes = partition_nodes(partition_of_addr(addr));
+  return nodes[(addr / kLineBytes) % nodes.size()];
+}
+
+}  // namespace rc

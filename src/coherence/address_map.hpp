@@ -1,0 +1,62 @@
+// Address interleaving: which L2 bank (and memory controller) owns a line.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/topology.hpp"
+
+namespace rc {
+
+/// The shared L2 is distributed one bank per tile (Table 2); lines are
+/// interleaved across all banks at cache-line granularity.
+///
+/// With partitioning enabled (§5.5: the paper argues future many-core
+/// chips will be used as isolated partitions, Tilera-Hardwall style, with
+/// Reactive Circuits operating independently inside each), the chip is
+/// split into `side x side` tiles and every address is homed at a bank
+/// INSIDE its community's partition, so no coherence traffic crosses a
+/// partition boundary. Memory controllers stay global (memory is
+/// off-chip).
+class AddressMap {
+ public:
+  explicit AddressMap(const Topology* topo, int partition_side = 0)
+      : topo_(topo), pside_(partition_side) {}
+
+  bool partitioned() const { return pside_ > 0; }
+  int partition_side() const { return pside_; }
+  int partitions_per_row() const { return topo_->width() / pside_; }
+  int num_partitions() const {
+    return partitioned()
+               ? partitions_per_row() * (topo_->height() / pside_)
+               : 1;
+  }
+
+  int partition_of(NodeId n) const {
+    if (!partitioned()) return 0;
+    Coord c = topo_->coord_of(n);
+    return (c.y / pside_) * partitions_per_row() + c.x / pside_;
+  }
+
+  /// Nodes of partition `p`, row-major.
+  std::vector<NodeId> partition_nodes(int p) const;
+
+  /// Which partition an address belongs to (derived from the workload
+  /// layout: private regions belong to their owning core's partition,
+  /// shared/migratory slices are laid out per partition).
+  int partition_of_addr(Addr addr) const;
+
+  NodeId home_l2(Addr addr) const;
+
+  NodeId mem_ctrl(Addr addr) const { return topo_->mem_ctrl_for(addr); }
+
+ private:
+  const Topology* topo_;
+  int pside_;
+};
+
+/// Byte span of one partition's shared (and migratory) slice when
+/// partitioning is on; WorkloadGen offsets its regions by these.
+inline constexpr Addr kPartitionSharedSpan = 0x0100'0000ull;  // 256K lines
+
+}  // namespace rc

@@ -1,0 +1,101 @@
+// Generic set-associative array with age-based (pseudo-)LRU replacement,
+// shared by the L1 caches and the L2 banks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+/// `Meta` is the per-line coherence payload (POD with a default state).
+template <typename Meta>
+class CacheArray {
+ public:
+  struct Line {
+    bool valid = false;
+    Addr tag = 0;  ///< full line address (simpler than split tag/index)
+    Cycle last_used = 0;
+    Meta meta{};
+  };
+
+  /// `index_stride` strips interleaving bits below the set index: a private
+  /// L1 sees every line (stride 1), while a distributed L2 bank only sees
+  /// every num_banks-th line, so indexing with stride = num_banks uses all
+  /// of the bank's sets instead of the 1/num_banks aliased subset.
+  CacheArray(int sets, int ways, int index_stride = 1)
+      : sets_(sets), ways_(ways), stride_(index_stride),
+        lines_(static_cast<std::size_t>(sets) * ways) {}
+
+  int sets() const { return sets_; }
+  int ways() const { return ways_; }
+
+  int set_of(Addr addr) const {
+    Addr h = addr / kLineBytes / static_cast<Addr>(stride_);
+    // XOR-fold the tag bits into the index (standard set-index hashing) so
+    // power-of-two-aligned regions do not alias into the same few sets.
+    int lg = 0;
+    while ((1 << (lg + 1)) <= sets_) ++lg;
+    h ^= (h >> lg) ^ (h >> (2 * lg));
+    return static_cast<int>(h % static_cast<Addr>(sets_));
+  }
+
+  /// Find the line holding `addr`, or nullptr.
+  Line* find(Addr addr) {
+    Addr la = line_addr(addr);
+    int s = set_of(la);
+    for (int w = 0; w < ways_; ++w) {
+      Line& l = lines_[static_cast<std::size_t>(s) * ways_ + w];
+      if (l.valid && l.tag == la) return &l;
+    }
+    return nullptr;
+  }
+
+  /// Touch for replacement ordering.
+  void touch(Line& l, Cycle now) { l.last_used = now; }
+
+  /// A free way in addr's set, or nullptr when the set is full.
+  Line* free_way(Addr addr) {
+    int s = set_of(line_addr(addr));
+    for (int w = 0; w < ways_; ++w) {
+      Line& l = lines_[static_cast<std::size_t>(s) * ways_ + w];
+      if (!l.valid) return &l;
+    }
+    return nullptr;
+  }
+
+  /// Least-recently-used valid line in addr's set for which `evictable`
+  /// holds; nullptr when none qualifies.
+  template <typename Pred>
+  Line* victim(Addr addr, Pred evictable) {
+    int s = set_of(line_addr(addr));
+    Line* best = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+      Line& l = lines_[static_cast<std::size_t>(s) * ways_ + w];
+      if (!l.valid || !evictable(l)) continue;
+      if (!best || l.last_used < best->last_used) best = &l;
+    }
+    return best;
+  }
+
+  /// Install `addr` in a free way (caller must have made room).
+  Line* install(Addr addr, Cycle now) {
+    Line* l = free_way(addr);
+    RC_ASSERT(l != nullptr, "install without a free way");
+    l->valid = true;
+    l->tag = line_addr(addr);
+    l->last_used = now;
+    l->meta = Meta{};
+    return l;
+  }
+
+  std::vector<Line>& lines() { return lines_; }
+
+ private:
+  int sets_, ways_;
+  int stride_ = 1;
+  std::vector<Line> lines_;
+};
+
+}  // namespace rc

@@ -1,0 +1,159 @@
+#include "coherence/l1_cache.hpp"
+
+#include "noc/network.hpp"
+
+namespace rc {
+
+L1Cache::L1Cache(NodeId node, const CacheConfig& cfg, Network* net,
+                 const AddressMap* amap, StatSet* stats)
+    : node_(node), cfg_(cfg), net_(net), amap_(amap), stats_(stats),
+      array_(cfg.l1_sets, cfg.l1_ways) {}
+
+MsgPtr L1Cache::make(MsgType t, NodeId dest, Addr addr, int flits) const {
+  auto m = std::make_shared<Message>();
+  // ids are unique within one System (and stable across runs): tagged by
+  // controller class and node so parallel Systems never share state.
+  m->id = (1ull << 60) | (static_cast<std::uint64_t>(node_) << 40) |
+          ++next_msg_id_;
+  m->type = t;
+  m->src = node_;
+  m->dest = dest;
+  m->addr = line_addr(addr);
+  m->size_flits = flits;
+  return m;
+}
+
+void L1Cache::send_later(MsgPtr msg, Cycle when) {
+  outbox_.emplace(when, std::move(msg));
+}
+
+bool L1Cache::access(Addr addr, bool is_write, Cycle now) {
+  if (mshr_.active || hit_done_ != kNeverCycle) return false;
+  addr = line_addr(addr);
+  auto* line = array_.find(addr);
+  if (line) array_.touch(*line, now);
+  if (line && (!is_write || line->meta.st == L1State::E ||
+               line->meta.st == L1State::M)) {
+    if (is_write) line->meta.st = L1State::M;  // silent E->M upgrade
+    ++stats_->counter(is_write ? "l1_write_hit" : "l1_read_hit");
+    hit_done_ = now + cfg_.l1_hit_latency;
+    return true;
+  }
+  // Miss (or S-state write upgrade).
+  ++stats_->counter(is_write ? "l1_write_miss" : "l1_read_miss");
+  mshr_ = Mshr{true, addr, is_write, now};
+  auto req = make(is_write ? MsgType::GetX : MsgType::GetS,
+                  amap_->home_l2(addr), addr, 1);
+  send_later(std::move(req), now + cfg_.l1_hit_latency);  // tag lookup first
+  return true;
+}
+
+void L1Cache::evict_for(Addr addr, Cycle now) {
+  if (array_.free_way(addr)) return;
+  auto* v = array_.victim(addr, [](const auto&) { return true; });
+  RC_ASSERT(v != nullptr, "L1 set has no evictable line");
+  if (v->meta.st == L1State::M || v->meta.st == L1State::E) {
+    // Table 3, L1 replacement: data to home L2, acknowledged with L2WbAck.
+    auto wb = make(MsgType::WbData, amap_->home_l2(v->tag), v->tag, 5);
+    send_later(std::move(wb), now);
+    ++stats_->counter("l1_writebacks");
+  } else {
+    ++stats_->counter("l1_silent_evicts");
+  }
+  v->valid = false;
+}
+
+void L1Cache::fill(Addr addr, bool exclusive, Cycle now) {
+  RC_ASSERT(mshr_.active && mshr_.addr == addr, "fill without matching MSHR");
+  auto* line = array_.find(addr);
+  if (!line) {
+    evict_for(addr, now);
+    line = array_.install(addr, now);
+  }
+  array_.touch(*line, now);
+  line->meta.st = mshr_.is_write ? L1State::M
+                 : exclusive     ? L1State::E
+                                 : L1State::S;
+  mshr_.active = false;
+  if (complete_) complete_(now);
+}
+
+void L1Cache::handle(const MsgPtr& msg, Cycle now) {
+  switch (msg->type) {
+    case MsgType::L2Reply: {
+      fill(msg->addr, msg->exclusive, now);
+      if (!msg->ack_elided) {
+        auto ack = make(MsgType::L1DataAck, msg->src, msg->addr, 1);
+        send_later(std::move(ack), now);
+      }
+      break;
+    }
+    case MsgType::L1ToL1: {
+      fill(msg->addr, /*exclusive=*/mshr_.is_write, now);
+      auto ack = make(MsgType::L1DataAck, amap_->home_l2(msg->addr),
+                      msg->addr, 1);
+      send_later(std::move(ack), now);
+      break;
+    }
+    case MsgType::Inv: {
+      if (auto* line = array_.find(msg->addr)) {
+        if (msg->downgrade)
+          line->meta.st = L1State::S;  // recall-for-read keeps the copy
+        else
+          line->valid = false;
+      }
+      auto ack = make(MsgType::L1InvAck, msg->src, msg->addr, 1);
+      send_later(std::move(ack), now + cfg_.l1_hit_latency);
+      break;
+    }
+    case MsgType::FwdGetS: {
+      // Supply the data directly to the requestor and downgrade. A line
+      // already written back races here benignly: the WB buffer still holds
+      // the data, so we respond regardless.
+      if (auto* line = array_.find(msg->addr)) line->meta.st = L1State::S;
+      auto d = make(MsgType::L1ToL1, msg->fwd_requestor, msg->addr, 5);
+      d->undone_marker = msg->undone_marker;
+      send_later(std::move(d), now + cfg_.l1_hit_latency);
+      break;
+    }
+    case MsgType::FwdGetX: {
+      if (auto* line = array_.find(msg->addr)) line->valid = false;
+      auto d = make(MsgType::L1ToL1, msg->fwd_requestor, msg->addr, 5);
+      d->undone_marker = msg->undone_marker;
+      send_later(std::move(d), now + cfg_.l1_hit_latency);
+      break;
+    }
+    case MsgType::L2WbAck:
+      ++stats_->counter("l1_wb_acked");
+      break;
+    default:
+      fatal(std::string("L1 received unexpected message ") +
+            to_string(msg->type));
+  }
+}
+
+void L1Cache::tick(Cycle now) {
+  if (hit_done_ != kNeverCycle && hit_done_ <= now) {
+    hit_done_ = kNeverCycle;
+    if (complete_) complete_(now);
+  }
+  while (!outbox_.empty() && outbox_.begin()->first <= now) {
+    net_->send(outbox_.begin()->second, now);
+    outbox_.erase(outbox_.begin());
+  }
+}
+
+L1State L1Cache::state_of(Addr addr) {
+  auto* line = array_.find(addr);
+  return line ? line->meta.st : L1State::I;
+}
+
+void L1Cache::prewarm_line(Addr addr, L1State st) {
+  addr = line_addr(addr);
+  if (array_.find(addr)) return;
+  if (!array_.free_way(addr)) return;  // don't evict during warm-up
+  auto* line = array_.install(addr, 0);
+  line->meta.st = st;
+}
+
+}  // namespace rc

@@ -1,0 +1,353 @@
+#include "coherence/l2_bank.hpp"
+
+#include <string>
+
+#include "noc/network.hpp"
+
+namespace rc {
+
+namespace {
+std::uint64_t bit(NodeId n) { return 1ull << static_cast<unsigned>(n); }
+}  // namespace
+
+L2Bank::L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
+               Network* net, const AddressMap* amap, StatSet* stats)
+    : node_(node), cfg_(cfg), circ_(circ), net_(net), amap_(amap),
+      stats_(stats),
+      array_(cfg.l2_sets, cfg.l2_ways, net->topo().num_nodes()) {}
+
+MsgPtr L2Bank::make(MsgType t, NodeId dest, Addr addr, int flits) const {
+  auto m = std::make_shared<Message>();
+  m->id = (2ull << 60) | (static_cast<std::uint64_t>(node_) << 40) |
+          ++next_msg_id_;
+  m->type = t;
+  m->src = node_;
+  m->dest = dest;
+  m->addr = line_addr(addr);
+  m->size_flits = flits;
+  return m;
+}
+
+void L2Bank::send_later(MsgPtr msg, Cycle when) {
+  outbox_.emplace(when, std::move(msg));
+}
+
+bool L2Bank::try_undo_circuit(const MsgPtr& req, Cycle now, bool expect_reply) {
+  if (!circ_.uses_circuits() || !req->build_circuit || req->src == node_)
+    return false;
+  return net_->ni(node_).undo_circuit(req->src, req->addr, now, expect_reply);
+}
+
+void L2Bank::handle(const MsgPtr& msg, Cycle now) {
+  const Addr addr = msg->addr;
+  switch (msg->type) {
+    case MsgType::GetS:
+    case MsgType::GetX: {
+      auto it = txns_.find(addr);
+      if (it != txns_.end()) {
+        it->second.waiting.push_back(msg);
+        ++stats_->counter("l2_req_blocked");
+      } else {
+        process_cpu_req(msg, now);
+      }
+      break;
+    }
+    case MsgType::WbData: {
+      if (auto* line = array_.find(addr)) {
+        if (line->meta.owner == msg->src) line->meta.owner = kInvalidNode;
+        line->meta.sharers &= ~bit(msg->src);
+        line->meta.dirty = true;
+      }
+      // Acknowledge regardless; a WB racing our own eviction-invalidate is
+      // benign (the data is on its way to memory either way).
+      send_later(make(MsgType::L2WbAck, msg->src, addr, 1),
+                 now + cfg_.l2_hit_latency);
+      ++stats_->counter("l2_wb_received");
+      break;
+    }
+    case MsgType::L1DataAck: {
+      auto it = txns_.find(addr);
+      RC_ASSERT(it != txns_.end() && it->second.st == TxnState::WaitDataAck,
+                "stray L1DataAck");
+      complete_txn(addr, now);
+      break;
+    }
+    case MsgType::L1InvAck: {
+      auto it = txns_.find(addr);
+      RC_ASSERT(it != txns_.end(), "stray L1InvAck");
+      Txn& t = it->second;
+      RC_ASSERT(t.st == TxnState::WaitInvAcks || t.st == TxnState::EvictInv,
+                "L1InvAck in wrong state");
+      if (--t.acks_needed > 0) break;
+      if (t.st == TxnState::WaitInvAcks) {
+        auto* line = array_.find(addr);
+        RC_ASSERT(line != nullptr, "invalidating a missing line");
+        if (t.pending->type == MsgType::GetS) {
+          // L2-intermediary recall for a read: the old owner kept an S
+          // copy; the requestor joins it as a sharer.
+          line->meta.sharers |= bit(t.pending->src);
+          line->meta.owner = kInvalidNode;
+          t.st = TxnState::WaitDataAck;
+          send_data_reply(t.pending, /*exclusive=*/false, now);
+        } else {
+          // All sharers gone: grant the writer exclusive data.
+          line->meta.sharers = 0;
+          line->meta.owner = t.pending->src;
+          t.st = TxnState::WaitDataAck;
+          send_data_reply(t.pending, /*exclusive=*/true, now);
+        }
+      } else {
+        // Victim clean-up finished: resume the miss that needed the frame.
+        Addr parent = t.parent;
+        auto* line = array_.find(addr);
+        RC_ASSERT(line != nullptr, "evicting a missing line");
+        if (line->meta.dirty)
+          send_later(make(MsgType::MemWb, amap_->mem_ctrl(addr), addr, 5), now);
+        line->valid = false;
+        ++stats_->counter("l2_evictions");
+        auto waiting = std::move(t.waiting);
+        txns_.erase(it);
+        auto pit = txns_.find(parent);
+        RC_ASSERT(pit != txns_.end() && pit->second.st == TxnState::WaitEvict,
+                  "orphan victim transaction");
+        MsgPtr req = pit->second.pending;
+        proceed_miss(parent, req, now);
+        for (auto& w : waiting) handle(w, now);
+      }
+      break;
+    }
+    case MsgType::MemData: {
+      auto* line = array_.find(addr);
+      RC_ASSERT(line != nullptr && line->meta.fetching, "MemData for non-fetching line");
+      line->meta.fetching = false;
+      line->meta.dirty = false;
+      auto it = txns_.find(addr);
+      RC_ASSERT(it != txns_.end() && it->second.st == TxnState::WaitMem,
+                "MemData without transaction");
+      MsgPtr req = it->second.pending;
+      auto waiting = std::move(it->second.waiting);
+      txns_.erase(it);
+      process_cpu_req(req, now);
+      for (auto& w : waiting) handle(w, now);
+      break;
+    }
+    case MsgType::MemAck:
+      ++stats_->counter("l2_wb_to_mem_acked");
+      break;
+    default:
+      fatal(std::string("L2 received unexpected message ") +
+            to_string(msg->type));
+  }
+}
+
+void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
+  RC_ASSERT(txns_.find(msg->addr) == txns_.end(), "line already blocked");
+  auto* line = array_.find(msg->addr);
+  if (!line || line->meta.fetching) {
+    start_miss(msg, now);
+    return;
+  }
+  ++stats_->counter("l2_hits");
+  array_.touch(*line, now);
+  const NodeId req = msg->src;
+  LineMeta& m = line->meta;
+  if (m.owner == req) m.owner = kInvalidNode;  // stale dir: WB in flight
+
+  if (msg->type == MsgType::GetS) {
+    if (m.owner != kInvalidNode && !cfg_.direct_l1_transfers) {
+      // Simpler protocol variant (§3): recall (downgrade) the owner's copy
+      // and supply the data from the home bank — the requestor's circuit
+      // stays built, and the owner keeps the line in S.
+      auto rec = make(MsgType::Inv, m.owner, msg->addr, 1);
+      rec->downgrade = true;
+      send_later(std::move(rec), now + cfg_.l2_hit_latency);
+      m.sharers = bit(m.owner);
+      m.owner = kInvalidNode;
+      m.dirty = true;
+      txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, 1, 0, {}};
+      ++stats_->counter("l2_recalls");
+    } else if (m.owner != kInvalidNode) {
+      // §4.4 case 1: the owner supplies the data directly; the circuit that
+      // the request built toward us will never be used — undo it.
+      bool undone = try_undo_circuit(msg, now, /*expect_reply=*/false);
+      auto fwd = make(MsgType::FwdGetS, m.owner, msg->addr, 1);
+      fwd->fwd_requestor = req;
+      fwd->undone_marker = undone;
+      send_later(std::move(fwd), now + cfg_.l2_hit_latency);
+      m.sharers |= bit(m.owner) | bit(req);
+      m.owner = kInvalidNode;
+      txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+      ++stats_->counter("l2_fwd_gets");
+    } else {
+      bool exclusive = m.sharers == 0;
+      m.sharers |= bit(req);
+      if (exclusive) {
+        m.sharers = 0;
+        m.owner = req;  // MESI E grant is tracked as an owner
+      }
+      txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+      send_data_reply(msg, exclusive, now);
+    }
+    return;
+  }
+
+  // GetX
+  if (m.owner != kInvalidNode && !cfg_.direct_l1_transfers) {
+    int ninv = send_invalidations(*line, req, now);
+    m.owner = kInvalidNode;
+    m.sharers = 0;
+    m.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, ninv, 0, {}};
+    ++stats_->counter("l2_recalls");
+    return;
+  }
+  if (m.owner != kInvalidNode) {
+    bool undone = try_undo_circuit(msg, now, /*expect_reply=*/false);
+    auto fwd = make(MsgType::FwdGetX, m.owner, msg->addr, 1);
+    fwd->fwd_requestor = req;
+    fwd->undone_marker = undone;
+    send_later(std::move(fwd), now + cfg_.l2_hit_latency);
+    m.owner = req;
+    m.sharers = 0;
+    m.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+    ++stats_->counter("l2_fwd_getx");
+    return;
+  }
+  std::uint64_t others = m.sharers & ~bit(req);
+  if (others != 0) {
+    int n = send_invalidations(*line, req, now);
+    m.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, n, 0, {}};
+    ++stats_->counter("l2_invalidation_rounds");
+  } else {
+    m.sharers = 0;
+    m.owner = req;
+    m.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+    send_data_reply(msg, /*exclusive=*/true, now);
+  }
+}
+
+int L2Bank::send_invalidations(const Line& line, NodeId except, Cycle now) {
+  int n = 0;
+  for (NodeId s = 0; s < 64; ++s) {
+    if (!(line.meta.sharers & bit(s)) || s == except) continue;
+    send_later(make(MsgType::Inv, s, line.tag, 1), now + cfg_.l2_hit_latency);
+    ++n;
+  }
+  if (line.meta.owner != kInvalidNode && line.meta.owner != except) {
+    send_later(make(MsgType::Inv, line.meta.owner, line.tag, 1),
+               now + cfg_.l2_hit_latency);
+    ++n;
+  }
+  stats_->counter("l2_invs_sent") += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+void L2Bank::send_data_reply(const MsgPtr& req, bool exclusive, Cycle now) {
+  auto rep = make(MsgType::L2Reply, req->src, req->addr, 5);
+  rep->exclusive = exclusive;
+  send_later(std::move(rep), now + cfg_.l2_hit_latency);
+}
+
+void L2Bank::start_miss(const MsgPtr& msg, Cycle now) {
+  ++stats_->counter("l2_misses");
+  if (circ_.undo_on_l2_miss)
+    try_undo_circuit(msg, now, /*expect_reply=*/true);
+  auto* line = array_.find(msg->addr);
+  if (line && line->meta.fetching) {
+    // Shouldn't happen: fetching lines are blocked by their transaction.
+    fatal("request reached a fetching line without transaction gating");
+  }
+  if (array_.free_way(msg->addr)) {
+    proceed_miss(msg->addr, msg, now);
+    return;
+  }
+  auto* victim = array_.victim(msg->addr, [&](const Line& l) {
+    return !l.meta.fetching && txns_.find(l.tag) == txns_.end();
+  });
+  if (!victim) {
+    retry_.push_back(msg);  // every way busy: retry next cycle
+    ++stats_->counter("l2_victim_stall");
+    return;
+  }
+  if (victim->meta.owner != kInvalidNode || victim->meta.sharers != 0) {
+    // Inclusive L2: recall/invalidate the L1 copies first (write-or-
+    // replacement invalidation of Table 3).
+    int n = send_invalidations(*victim, kInvalidNode, now);
+    txns_[victim->tag] = Txn{TxnState::EvictInv, nullptr, n, msg->addr, {}};
+    txns_[msg->addr] = Txn{TxnState::WaitEvict, msg, 0, 0, {}};
+    return;
+  }
+  if (victim->meta.dirty)
+    send_later(make(MsgType::MemWb, amap_->mem_ctrl(victim->tag),
+                    victim->tag, 5),
+               now + cfg_.l2_hit_latency);
+  victim->valid = false;
+  ++stats_->counter("l2_evictions");
+  proceed_miss(msg->addr, msg, now);
+}
+
+void L2Bank::proceed_miss(Addr addr, const MsgPtr& msg, Cycle now) {
+  auto it = txns_.find(addr);
+  std::deque<MsgPtr> waiting;
+  if (it != txns_.end()) {
+    waiting = std::move(it->second.waiting);
+    txns_.erase(it);
+  }
+  auto* line = array_.install(addr, now);
+  line->meta.fetching = true;
+  Txn t;
+  t.st = TxnState::WaitMem;
+  t.pending = msg;
+  t.waiting = std::move(waiting);
+  txns_[addr] = std::move(t);
+  send_later(make(MsgType::MemRead, amap_->mem_ctrl(addr), addr, 1),
+             now + cfg_.l2_hit_latency);
+}
+
+void L2Bank::complete_txn(Addr addr, Cycle now) {
+  auto it = txns_.find(addr);
+  RC_ASSERT(it != txns_.end(), "completing a missing transaction");
+  auto waiting = std::move(it->second.waiting);
+  txns_.erase(it);
+  for (auto& w : waiting) handle(w, now);
+}
+
+void L2Bank::on_reply_injected(const MsgPtr& msg, bool on_circuit, Cycle now) {
+  if (!circ_.no_ack || msg->type != MsgType::L2Reply || !on_circuit) return;
+  auto it = txns_.find(msg->addr);
+  if (it == txns_.end() || it->second.st != TxnState::WaitDataAck) return;
+  // §4.6: data on a complete circuit cannot be overtaken — acknowledge now.
+  msg->ack_elided = true;
+  ++stats_->counter("replies_eliminated");
+  complete_txn(msg->addr, now);
+}
+
+void L2Bank::tick(Cycle now) {
+  if (!retry_.empty()) {
+    auto pending = std::move(retry_);
+    retry_.clear();
+    for (auto& m : pending) handle(m, now);
+  }
+  while (!outbox_.empty() && outbox_.begin()->first <= now) {
+    net_->send(outbox_.begin()->second, now);
+    outbox_.erase(outbox_.begin());
+  }
+}
+
+NodeId L2Bank::owner_of(Addr addr) {
+  auto* line = array_.find(addr);
+  return line ? line->meta.owner : kInvalidNode;
+}
+
+void L2Bank::prewarm_line(Addr addr, NodeId owner) {
+  addr = line_addr(addr);
+  if (array_.find(addr)) return;
+  if (!array_.free_way(addr)) return;
+  auto* line = array_.install(addr, 0);
+  line->meta.owner = owner;
+}
+
+}  // namespace rc

@@ -1,0 +1,97 @@
+// Shared-L2 bank with integrated directory (MESI home side).
+//
+// One bank per tile (1MB, 16-way, 7-cycle hit, inclusive, Table 2). Lines
+// are blocked while a transaction is outstanding — including while waiting
+// for the L1_DATA_ACK — which is exactly the serialization the §4.6 ACK
+// elision removes: a data reply that departs on a complete circuit
+// acknowledges implicitly and unblocks the line at injection time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "coherence/address_map.hpp"
+#include "coherence/cache_array.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace rc {
+
+class Network;
+
+class L2Bank {
+ public:
+  L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
+         Network* net, const AddressMap* amap, StatSet* stats);
+
+  void handle(const MsgPtr& msg, Cycle now);
+  void tick(Cycle now);
+
+  /// §4.6 hook from the NI: a reply's head flit was injected. When it is an
+  /// L2Reply departing on a complete circuit and NoAck is enabled, the ACK
+  /// is elided and the directory line unblocks immediately.
+  void on_reply_injected(const MsgPtr& msg, bool on_circuit, Cycle now);
+
+  /// Outstanding transactions (for drain checks).
+  std::size_t busy_lines() const { return txns_.size(); }
+
+  /// Test access.
+  bool has_line(Addr addr) { return array_.find(addr) != nullptr; }
+  NodeId owner_of(Addr addr);
+
+  /// Functional warm-up: install a line (optionally with an L1 owner)
+  /// without any traffic.
+  void prewarm_line(Addr addr, NodeId owner);
+
+ private:
+  struct LineMeta {
+    bool dirty = false;
+    bool fetching = false;  ///< MemRead outstanding, data not yet here
+    NodeId owner = kInvalidNode;
+    std::uint64_t sharers = 0;
+  };
+  enum class TxnState : std::uint8_t {
+    WaitDataAck,  ///< reply sent, line blocked until L1DataAck (or elision)
+    WaitInvAcks,  ///< invalidations outstanding for a GetX
+    WaitEvict,    ///< miss stalled behind its victim's invalidations
+    WaitMem,      ///< MemRead outstanding
+    EvictInv,     ///< this (victim) line is collecting invalidation acks
+  };
+  struct Txn {
+    TxnState st{};
+    MsgPtr pending;       ///< request being serviced
+    int acks_needed = 0;
+    Addr parent = 0;      ///< EvictInv: miss address waiting on us
+    std::deque<MsgPtr> waiting;  ///< requests queued behind the blocked line
+  };
+  using Line = CacheArray<LineMeta>::Line;
+
+  void process_cpu_req(const MsgPtr& msg, Cycle now);
+  void start_miss(const MsgPtr& msg, Cycle now);
+  void proceed_miss(Addr addr, const MsgPtr& msg, Cycle now);
+  void send_data_reply(const MsgPtr& req, bool exclusive, Cycle now);
+  void complete_txn(Addr addr, Cycle now);
+  int send_invalidations(const Line& line, NodeId except, Cycle now);
+  void send_later(MsgPtr msg, Cycle when);
+  MsgPtr make(MsgType t, NodeId dest, Addr addr, int flits) const;
+  bool try_undo_circuit(const MsgPtr& req, Cycle now, bool expect_reply);
+
+  NodeId node_;
+  CacheConfig cfg_;
+  CircuitConfig circ_;
+  Network* net_;
+  const AddressMap* amap_;
+  StatSet* stats_;
+
+  CacheArray<LineMeta> array_;
+  mutable std::uint64_t next_msg_id_ = 0;
+  std::map<Addr, Txn> txns_;
+  std::deque<MsgPtr> retry_;  ///< misses stalled with no evictable victim
+  std::multimap<Cycle, MsgPtr> outbox_;
+};
+
+}  // namespace rc

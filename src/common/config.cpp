@@ -1,0 +1,77 @@
+#include "common/config.hpp"
+
+namespace rc {
+
+const char* to_string(CircuitMode m) {
+  switch (m) {
+    case CircuitMode::None: return "None";
+    case CircuitMode::Fragmented: return "Fragmented";
+    case CircuitMode::Complete: return "Complete";
+    case CircuitMode::Ideal: return "Ideal";
+  }
+  return "?";
+}
+
+const char* to_string(TimedMode m) {
+  switch (m) {
+    case TimedMode::None: return "None";
+    case TimedMode::Exact: return "Exact";
+    case TimedMode::Slack: return "Slack";
+    case TimedMode::SlackDelay: return "SlackDelay";
+    case TimedMode::Postponed: return "Postponed";
+  }
+  return "?";
+}
+
+std::string SystemConfig::validate() const {
+  if (noc.mesh_w < 2 || noc.mesh_h < 2)
+    return "mesh must be at least 2x2";
+  if (noc.num_nodes() > 64)
+    return "directory sharer bitmask supports at most 64 nodes";
+  if (noc.vcs_request_vn < 1 || noc.vcs_reply_vn < 1)
+    return "each virtual network needs at least one VC";
+  if (noc.buffer_depth_flits < 1) return "buffers must hold at least 1 flit";
+  if (noc.router_stages < 4)
+    return "the modelled pipeline is BW/RC, VA, SA, ST: at least 4 stages "
+           "(deeper pipelines add cycles between VA and SA)";
+
+  const CircuitConfig& c = noc.circuit;
+  if (c.uses_circuits()) {
+    if (c.mode != CircuitMode::Ideal && c.circuits_per_input < 1)
+      return "circuit modes need at least one table entry per input port";
+    const int needed = c.num_circuit_vcs() + 1;  // + one non-circuit VC
+    if (noc.vcs_reply_vn < needed)
+      return "the reply VN needs a non-circuit VC beside the circuit VC(s)";
+  } else {
+    if (c.no_ack) return "NoAck requires circuits (§4.6 needs the ordering "
+                         "guarantee of a complete circuit)";
+    if (c.reuse) return "scrounging requires complete circuits (§4.5)";
+    if (c.is_timed()) return "timed reservation requires circuits (§4.7)";
+  }
+  if (c.no_ack && c.mode == CircuitMode::Fragmented)
+    return "NoAck is unsound with fragmented circuits: a partially-reserved "
+           "reply can block, so ordering is not guaranteed (§4.6)";
+  if (c.reuse && c.mode != CircuitMode::Complete)
+    return "scrounging is only defined for complete circuits (§4.5)";
+  if (c.reuse && c.is_timed())
+    return "scrounging untimed circuits only: a scrounger cannot fit "
+           "another message's time slot";
+  if (c.is_timed() && c.mode != CircuitMode::Complete)
+    return "timed reservation applies to complete circuits (§4.7)";
+  if (c.timed == TimedMode::Slack || c.timed == TimedMode::SlackDelay ||
+      c.timed == TimedMode::Postponed) {
+    if (c.slack_per_hop < 1)
+      return "slack/delay/postponed variants need slack_per_hop >= 1";
+  }
+
+  if (partition_side > 0) {
+    if (noc.mesh_w % partition_side != 0 || noc.mesh_h % partition_side != 0)
+      return "partition side must divide both mesh dimensions";
+  }
+  if (cache.l1_sets < 1 || cache.l1_ways < 1 || cache.l2_sets < 1 ||
+      cache.l2_ways < 1)
+    return "cache geometry must be positive";
+  return "";
+}
+
+}  // namespace rc

@@ -1,0 +1,58 @@
+// Latency pipes: the only way components exchange data across cycles.
+//
+// Every producer pushes with an explicit ready cycle strictly greater than
+// the current one; every consumer pops only items whose ready cycle has
+// arrived. This makes the cycle-driven kernel insensitive to the order in
+// which components tick within a cycle.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+/// FIFO channel with per-item ready times (monotonically non-decreasing,
+/// which holds because each producer pushes with a fixed latency).
+template <typename T>
+class Pipe {
+ public:
+  explicit Pipe(Cycle latency = 1) : latency_(latency) {}
+
+  Cycle latency() const { return latency_; }
+
+  void push(T item, Cycle now) {
+    RC_ASSERT(q_.empty() || q_.back().ready <= now + latency_,
+              "pipe ready times must be monotonic");
+    q_.push_back(Entry{now + latency_, std::move(item)});
+  }
+
+  /// Pop the front item if it is ready at `now`.
+  std::optional<T> pop_ready(Cycle now) {
+    if (q_.empty() || q_.front().ready > now) return std::nullopt;
+    T item = std::move(q_.front().item);
+    q_.pop_front();
+    return item;
+  }
+
+  /// Peek without consuming.
+  const T* front_ready(Cycle now) const {
+    if (q_.empty() || q_.front().ready > now) return nullptr;
+    return &q_.front().item;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+ private:
+  struct Entry {
+    Cycle ready;
+    T item;
+  };
+  Cycle latency_;
+  std::deque<Entry> q_;
+};
+
+}  // namespace rc

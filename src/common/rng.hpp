@@ -1,0 +1,48 @@
+// Deterministic PRNG. The whole simulator must be reproducible from a seed:
+// no std::random_device, no wall clock, anywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace rc {
+
+/// xorshift64* — small, fast, and good enough for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Split off an independent stream (for per-core generators).
+  Rng fork(std::uint64_t salt) {
+    return Rng(state_ ^ (salt * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rc

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace rc {
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  double m = mean();
+  double v = (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+  return v > 0 ? v : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::stderr_mean() const {
+  return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  if (o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  sum2_ += o.sum2_;
+}
+
+void Histogram::add(double v) {
+  int b = 0;
+  if (v >= 1.0) {
+    double x = v;
+    while (x >= 2.0 && b < kBuckets - 2) {
+      x /= 2.0;
+      ++b;
+    }
+    ++b;  // [1,2) is bucket 1
+  }
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++b_[b];
+  ++n_;
+}
+
+double Histogram::percentile(double fraction) const {
+  if (n_ == 0) return 0.0;
+  const double target = fraction * static_cast<double>(n_);
+  double seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += static_cast<double>(b_[i]);
+    if (seen >= target) {
+      // Upper edge of bucket i: 0 -> 1, k -> 2^k.
+      return i == 0 ? 1.0 : std::ldexp(1.0, i);
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& x : b_) x = 0;
+  n_ = 0;
+}
+
+void Histogram::merge(const Histogram& o) {
+  for (int i = 0; i < kBuckets; ++i) b_[i] += o.b_[i];
+  n_ += o.n_;
+}
+
+std::uint64_t StatSet::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Accumulator* StatSet::find_acc(const std::string& name) const {
+  auto it = accs_.find(name);
+  return it == accs_.end() ? nullptr : &it->second;
+}
+
+const Histogram* StatSet::find_hist(const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void StatSet::reset() {
+  for (auto& [k, v] : counters_) v = 0;
+  for (auto& [k, a] : accs_) a.reset();
+  for (auto& [k, h] : hists_) h.reset();
+}
+
+void StatSet::merge(const StatSet& o) {
+  for (const auto& [k, v] : o.counters_) counters_[k] += v;
+  for (const auto& [k, a] : o.accs_) accs_[k].merge(a);
+  for (const auto& [k, h] : o.hists_) hists_[k].merge(h);
+}
+
+}  // namespace rc

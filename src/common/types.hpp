@@ -1,0 +1,96 @@
+// Fundamental types shared by every module of the Reactive Circuits CMP model.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace rc {
+
+/// Global simulation time, in core/NoC clock cycles (both run at 2 GHz).
+using Cycle = std::uint64_t;
+
+/// Physical (cache-line-granular) address.
+using Addr = std::uint64_t;
+
+/// Flat tile / node identifier, 0 .. num_nodes-1, row-major in the mesh.
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/// Cache line size used across the whole hierarchy (Table 2 of the paper).
+inline constexpr unsigned kLineBytes = 64;
+
+inline constexpr Addr line_addr(Addr a) { return a & ~Addr{kLineBytes - 1}; }
+
+/// 2-D mesh coordinate.
+struct Coord {
+  int x = 0;  ///< column, grows east
+  int y = 0;  ///< row, grows south
+
+  friend auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Router port direction. `kLocal` is the NI-facing port.
+enum class Dir : std::uint8_t { North = 0, East, South, West, Local };
+
+inline constexpr int kNumDirs = 5;
+
+/// Port index type: 0..4 mapping to Dir.
+using Port = std::uint8_t;
+
+inline constexpr Port port_of(Dir d) { return static_cast<Port>(d); }
+inline constexpr Dir dir_of(Port p) { return static_cast<Dir>(p); }
+
+/// Direction of the neighbour that sits on the other end of a link leaving
+/// through `d` (e.g. data leaving my East port enters the neighbour's West).
+inline constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+    case Dir::Local: return Dir::Local;
+  }
+  return Dir::Local;
+}
+
+inline const char* to_string(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+    case Dir::Local: return "L";
+  }
+  return "?";
+}
+
+/// Virtual networks. The coherence protocol uses two: requests and replies
+/// (Table 4). Different message classes on different VNs avoid protocol
+/// deadlock, and allow XY routing on VN0 with YX routing on VN1.
+enum class VNet : std::uint8_t { Request = 0, Reply = 1 };
+
+inline constexpr int kNumVNets = 2;
+
+inline const char* to_string(VNet v) {
+  return v == VNet::Request ? "REQ" : "REP";
+}
+
+/// Abort simulation with a message; used for invariant violations that
+/// indicate a modelling bug rather than a recoverable condition.
+[[noreturn]] inline void fatal(const std::string& msg) {
+  std::fprintf(stderr, "rc fatal: %s\n", msg.c_str());
+  std::abort();
+}
+
+#define RC_ASSERT(cond, msg)                                    \
+  do {                                                          \
+    if (!(cond)) ::rc::fatal(std::string("assertion failed: ") + \
+                             #cond + " — " + (msg));            \
+  } while (0)
+
+}  // namespace rc

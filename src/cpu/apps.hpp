@@ -1,0 +1,34 @@
+// Named application models: the paper's PARSEC and SPLASH-2 parallel
+// workloads plus the SPEC CPU2006 multiprogrammed mix (§5.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/workload.hpp"
+
+namespace rc {
+
+/// All application names in the paper's evaluation order (21 parallel
+/// applications + "mix").
+const std::vector<std::string>& app_names();
+
+/// A representative subset used by the fast default bench runs.
+const std::vector<std::string>& app_names_small();
+
+/// Profile for a named application; fatal on unknown names.
+AppProfile app_profile(const std::string& name);
+
+/// The 16 SPEC CPU2006 models used to build the multiprogrammed mix
+/// (§5.1: "16 applications with a large working set", bound one per core;
+/// on the 64-core chip each appears four times).
+const std::vector<std::string>& spec_app_names();
+AppProfile spec_profile(const std::string& name);
+
+/// Per-core profile assignment for a workload name: homogeneous for the
+/// parallel apps; for "mix", a seed-shuffled assignment of the 16 SPEC
+/// models (each exactly num_cores/16 times).
+std::vector<AppProfile> core_profiles(const std::string& workload,
+                                      int num_cores, std::uint64_t seed);
+
+}  // namespace rc

@@ -1,0 +1,38 @@
+#include "cpu/core.hpp"
+
+namespace rc {
+
+Core::Core(int id, std::unique_ptr<WorkloadGen> gen, L1Cache* l1,
+           StatSet* stats)
+    : id_(id), gen_(std::move(gen)), l1_(l1), stats_(stats) {
+  stall_cycles_ = &stats_->counter("core_stall_cycles");
+  mem_ops_ = &stats_->counter("core_mem_ops");
+  l1_->set_complete([this](Cycle now) { on_complete(now); });
+  next_op_ = gen_->next();
+  gap_left_ = next_op_.gap;
+}
+
+void Core::on_complete(Cycle) {
+  ++retired_;  // the memory instruction itself
+  waiting_ = false;
+  next_op_ = gen_->next();
+  gap_left_ = next_op_.gap;
+}
+
+void Core::tick(Cycle now) {
+  if (waiting_) {
+    ++*stall_cycles_;
+    return;
+  }
+  if (gap_left_ > 0) {
+    --gap_left_;
+    ++retired_;
+    return;
+  }
+  if (l1_->access(next_op_.addr, next_op_.is_write, now)) {
+    waiting_ = true;
+    ++*mem_ops_;
+  }
+}
+
+}  // namespace rc

@@ -1,0 +1,41 @@
+// In-order, single-threaded, IPC-1 core (Table 2) with blocking memory
+// accesses (sequential consistency): the core stalls on every L1 access
+// until the hierarchy completes it.
+#pragma once
+
+#include <memory>
+
+#include "coherence/l1_cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "cpu/workload.hpp"
+
+namespace rc {
+
+class Core {
+ public:
+  Core(int id, std::unique_ptr<WorkloadGen> gen, L1Cache* l1, StatSet* stats);
+
+  void tick(Cycle now);
+
+  std::uint64_t retired() const { return retired_; }
+  void reset_retired() { retired_ = 0; }
+  bool waiting() const { return waiting_; }
+
+ private:
+  void on_complete(Cycle now);
+
+  int id_;
+  std::unique_ptr<WorkloadGen> gen_;
+  L1Cache* l1_;
+  StatSet* stats_;
+  std::uint64_t* stall_cycles_ = nullptr;
+  std::uint64_t* mem_ops_ = nullptr;
+
+  MemOp next_op_;
+  int gap_left_ = 0;
+  bool waiting_ = false;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace rc

@@ -1,0 +1,65 @@
+#include "cpu/workload.hpp"
+
+#include <algorithm>
+
+namespace rc {
+
+WorkloadGen::WorkloadGen(const AppProfile& prof, int core_id, int num_cores,
+                         Rng rng)
+    : prof_(prof), core_id_(core_id), num_cores_(num_cores), rng_(rng),
+      shared_base_(kSharedBase), migratory_base_(kMigratoryBase) {}
+
+Addr WorkloadGen::pick(std::uint32_t lines, Addr base) {
+  if (lines == 0) lines = 1;
+  std::uint32_t hot =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     lines * prof_.hot_fraction));
+  std::uint32_t idx = rng_.chance(prof_.p_hot)
+                          ? static_cast<std::uint32_t>(rng_.next_below(hot))
+                          : static_cast<std::uint32_t>(rng_.next_below(lines));
+  return base + static_cast<Addr>(idx) * kLineBytes;
+}
+
+MemOp WorkloadGen::next() {
+  MemOp op;
+  // Geometric gap with mean (1 - m) / m non-memory instructions per access.
+  const double m = std::clamp(prof_.mem_ratio, 0.01, 1.0);
+  op.gap = 0;
+  while (op.gap < 200 && !rng_.chance(m)) ++op.gap;
+
+  if (prof_.p_migratory > 0 && rng_.chance(prof_.p_migratory) &&
+      prof_.migratory_lines > 0) {
+    // Migratory sharing: each core in turn reads then writes the same line.
+    Addr a = migratory_base_ +
+             rng_.next_below(prof_.migratory_lines) * kLineBytes;
+    op.addr = a;
+    op.is_write = (migratory_step_++ % 2) == 1;
+    return op;
+  }
+  if (rng_.chance(prof_.p_shared) && prof_.shared_lines > 0) {
+    op.is_write = rng_.chance(prof_.p_write_shared);
+    const int sharers = group_cores_ > 0 ? group_cores_ : num_cores_;
+    const int member = group_cores_ > 0 ? member_idx_ : core_id_;
+    if (op.is_write && sharers >= 4) {
+      // Written shared data is neighbour-shared (a work queue, a tile
+      // boundary), not chip-wide: writes target the slice of the shared
+      // region owned by this core's group of four, so an invalidation hits
+      // a handful of sharers rather than every core on the chip.
+      std::uint32_t groups = static_cast<std::uint32_t>(sharers / 4);
+      std::uint32_t slice =
+          std::max<std::uint32_t>(1, prof_.shared_lines / groups);
+      std::uint32_t group = static_cast<std::uint32_t>(member / 4);
+      op.addr = pick(slice, shared_base_ + static_cast<Addr>(group) * slice *
+                                               kLineBytes);
+    } else {
+      op.addr = pick(prof_.shared_lines, shared_base_);
+    }
+    return op;
+  }
+  op.addr = pick(prof_.private_lines,
+                 kPrivateBase + static_cast<Addr>(core_id_) * kPrivateStride);
+  op.is_write = rng_.chance(prof_.p_write_private);
+  return op;
+}
+
+}  // namespace rc

@@ -1,0 +1,86 @@
+// Synthetic workload generation.
+//
+// Substitutes the paper's Simics/GEMS full-system runs of PARSEC, SPLASH-2
+// and SPEC CPU2006 (see DESIGN.md §2): each core draws a memory-reference
+// stream from a parameterized model that reproduces the traffic features the
+// NoC actually sees — memory intensity, working-set-driven miss rates,
+// shared read/write mixes (invalidations, owner forwarding), and
+// producer-consumer/migratory patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace rc {
+
+/// One memory operation plus the number of non-memory instructions the
+/// in-order core retires before issuing it.
+struct MemOp {
+  Addr addr = 0;
+  bool is_write = false;
+  int gap = 0;
+};
+
+/// Tunable description of one application's memory behaviour.
+struct AppProfile {
+  std::string name;
+  double mem_ratio = 0.3;        ///< fraction of instructions touching memory
+  std::uint32_t private_lines = 4096;   ///< per-core private working set
+  std::uint32_t shared_lines = 1024;    ///< global shared region
+  double p_shared = 0.1;         ///< probability an access is shared
+  double p_write_private = 0.3;
+  double p_write_shared = 0.1;
+  double p_hot = 0.8;            ///< probability of touching the hot subset
+  double hot_fraction = 0.125;   ///< hot subset size as fraction of the set
+  std::uint32_t migratory_lines = 0;    ///< read-modify-write ping-pong lines
+  double p_migratory = 0.0;
+};
+
+/// Deterministic per-core generator. Forked per core from the system seed;
+/// identical seeds give identical streams across NoC configurations, which
+/// is what makes speedup comparisons fair.
+class WorkloadGen {
+ public:
+  WorkloadGen(const AppProfile& prof, int core_id, int num_cores, Rng rng);
+
+  /// Offset the shared and migratory regions (partitioned operation: each
+  /// partition owns a disjoint slice) and bound the sharing group:
+  /// `group_cores` cores share this slice and we are member `member_idx`.
+  void set_region_bases(Addr shared_base, Addr migratory_base,
+                        int group_cores, int member_idx) {
+    shared_base_ = shared_base;
+    migratory_base_ = migratory_base;
+    group_cores_ = group_cores;
+    member_idx_ = member_idx;
+  }
+
+  MemOp next();
+
+  const AppProfile& profile() const { return prof_; }
+
+ private:
+  Addr pick(std::uint32_t lines, Addr base);
+
+  AppProfile prof_;
+  int core_id_;
+  int num_cores_;
+  Rng rng_;
+  int migratory_step_ = 0;
+  Addr shared_base_;      // defaults to kSharedBase
+  Addr migratory_base_;   // defaults to kMigratoryBase
+  int group_cores_ = 0;   ///< cores sharing our shared slice (0 = all)
+  int member_idx_ = 0;    ///< our index within that sharing group
+};
+
+/// Address-space layout (line-aligned; the low bits interleave lines across
+/// the distributed L2 banks and memory controllers).
+inline constexpr Addr kPrivateBase = 0x1'0000'0000ull;
+inline constexpr Addr kSharedBase = 0x8'0000'0000ull;
+inline constexpr Addr kMigratoryBase = 0xC'0000'0000ull;
+inline constexpr Addr kPrivateStride = 0x0'1000'0000ull;  ///< per-core region
+
+}  // namespace rc

@@ -1,0 +1,45 @@
+#include "memory/memory_controller.hpp"
+
+#include <string>
+
+#include "noc/network.hpp"
+
+namespace rc {
+
+MemoryController::MemoryController(NodeId node, const CacheConfig& cfg,
+                                   Network* net, StatSet* stats)
+    : node_(node), cfg_(cfg), net_(net), stats_(stats) {}
+
+void MemoryController::handle(const MsgPtr& msg, Cycle now) {
+  auto reply = std::make_shared<Message>();
+  reply->id = (3ull << 60) | (static_cast<std::uint64_t>(node_) << 40) |
+              ++next_msg_id_;
+  reply->src = node_;
+  reply->dest = msg->src;
+  reply->addr = msg->addr;
+  switch (msg->type) {
+    case MsgType::MemRead:
+      reply->type = MsgType::MemData;
+      reply->size_flits = 5;
+      ++stats_->counter("mem_reads");
+      break;
+    case MsgType::MemWb:
+      reply->type = MsgType::MemAck;
+      reply->size_flits = 1;
+      ++stats_->counter("mem_writebacks");
+      break;
+    default:
+      fatal(std::string("MC received unexpected message ") +
+            to_string(msg->type));
+  }
+  outbox_.emplace(now + cfg_.memory_latency, std::move(reply));
+}
+
+void MemoryController::tick(Cycle now) {
+  while (!outbox_.empty() && outbox_.begin()->first <= now) {
+    net_->send(outbox_.begin()->second, now);
+    outbox_.erase(outbox_.begin());
+  }
+}
+
+}  // namespace rc

@@ -1,0 +1,35 @@
+// Memory controller model: fixed-latency service of L2 fill reads and
+// write-backs (Table 2: four controllers on the chip edges, 160 cycles).
+#pragma once
+
+#include <map>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace rc {
+
+class Network;
+
+class MemoryController {
+ public:
+  MemoryController(NodeId node, const CacheConfig& cfg, Network* net,
+                   StatSet* stats);
+
+  void handle(const MsgPtr& msg, Cycle now);
+  void tick(Cycle now);
+
+  std::size_t in_flight() const { return outbox_.size(); }
+
+ private:
+  NodeId node_;
+  CacheConfig cfg_;
+  Network* net_;
+  StatSet* stats_;
+  std::uint64_t next_msg_id_ = 0;
+  std::multimap<Cycle, MsgPtr> outbox_;
+};
+
+}  // namespace rc

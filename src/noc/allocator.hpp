@@ -1,0 +1,44 @@
+// Round-robin arbitration, used by both phases of the VC and switch
+// allocators (Table 4: "round-robin 2-phase VC/switch allocators").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int n = 0) : n_(n), ptr_(0) {}
+
+  void resize(int n) {
+    n_ = n;
+    if (ptr_ >= n_) ptr_ = 0;
+  }
+
+  /// Grant one of the requesting indices (bit i of `requests`), starting the
+  /// scan at the rotating priority pointer; returns -1 when nothing
+  /// requests. The pointer moves past the winner so grants rotate fairly.
+  /// Supports up to 64 requesters.
+  int grant(std::uint64_t requests) {
+    if (requests == 0) return -1;
+    for (int i = 0; i < n_; ++i) {
+      int idx = ptr_ + i;
+      if (idx >= n_) idx -= n_;
+      if (requests & (std::uint64_t{1} << idx)) {
+        ptr_ = idx + 1 == n_ ? 0 : idx + 1;
+        return idx;
+      }
+    }
+    return -1;
+  }
+
+  int size() const { return n_; }
+
+ private:
+  int n_;
+  int ptr_;
+};
+
+}  // namespace rc

@@ -1,0 +1,93 @@
+#include "noc/message.hpp"
+
+namespace rc {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::GetS: return "GetS";
+    case MsgType::GetX: return "GetX";
+    case MsgType::WbData: return "WbData";
+    case MsgType::Inv: return "Inv";
+    case MsgType::FwdGetS: return "FwdGetS";
+    case MsgType::FwdGetX: return "FwdGetX";
+    case MsgType::MemRead: return "MemRead";
+    case MsgType::MemWb: return "MemWb";
+    case MsgType::L2Reply: return "L2Reply";
+    case MsgType::L1DataAck: return "L1DataAck";
+    case MsgType::L2WbAck: return "L2WbAck";
+    case MsgType::L1InvAck: return "L1InvAck";
+    case MsgType::MemData: return "MemData";
+    case MsgType::MemAck: return "MemAck";
+    case MsgType::L1ToL1: return "L1ToL1";
+  }
+  return "?";
+}
+
+VNet vnet_of(MsgType t) {
+  switch (t) {
+    case MsgType::GetS:
+    case MsgType::GetX:
+    case MsgType::WbData:
+    case MsgType::Inv:
+    case MsgType::FwdGetS:
+    case MsgType::FwdGetX:
+    case MsgType::MemRead:
+    case MsgType::MemWb:
+      return VNet::Request;
+    default:
+      return VNet::Reply;
+  }
+}
+
+bool request_builds_circuit(MsgType t) {
+  switch (t) {
+    case MsgType::GetS:
+    case MsgType::GetX:
+    case MsgType::WbData:
+    case MsgType::MemRead:
+    case MsgType::MemWb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reply_circuit_eligible(MsgType t) {
+  switch (t) {
+    case MsgType::L2Reply:
+    case MsgType::L2WbAck:
+    case MsgType::MemData:
+    case MsgType::MemAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_data(MsgType t) {
+  switch (t) {
+    case MsgType::WbData:
+    case MsgType::MemWb:
+    case MsgType::L2Reply:
+    case MsgType::MemData:
+    case MsgType::L1ToL1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(CircuitOutcome o) {
+  switch (o) {
+    case CircuitOutcome::NotEligible: return "NotEligible";
+    case CircuitOutcome::Used: return "Used";
+    case CircuitOutcome::Partial: return "Partial";
+    case CircuitOutcome::Failed: return "Failed";
+    case CircuitOutcome::Undone: return "Undone";
+    case CircuitOutcome::Scrounged: return "Scrounged";
+    case CircuitOutcome::None: return "None";
+  }
+  return "?";
+}
+
+}  // namespace rc

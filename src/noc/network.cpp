@@ -1,0 +1,124 @@
+#include "noc/network.hpp"
+
+#include <array>
+#include <map>
+
+namespace rc {
+
+Network::Network(const NocConfig& cfg)
+    : cfg_(cfg), topo_(cfg.mesh_w, cfg.mesh_h), lat_(cfg) {
+  const int n = topo_.num_nodes();
+  routers_.reserve(n);
+  nis_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    routers_.push_back(std::make_unique<Router>(i, cfg_, &topo_, &stats_));
+    nis_.push_back(std::make_unique<NetworkInterface>(i, cfg_, &topo_, &stats_));
+    local_pipes_.emplace_back(cfg_.local_latency);
+  }
+
+  // Directed inter-router links: data (ST -> next BW) and credit wires.
+  struct LinkPipes {
+    Pipe<Flit>* data;
+    Pipe<Credit>* credit;
+  };
+  std::map<std::pair<NodeId, NodeId>, LinkPipes> links;
+  const Cycle data_lat = static_cast<Cycle>(lat_.st_to_arrival());
+  for (NodeId a = 0; a < n; ++a) {
+    for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
+      NodeId b = topo_.neighbour(a, d);
+      if (b == kInvalidNode) continue;
+      flit_pipes_.emplace_back(data_lat);
+      credit_pipes_.emplace_back(1);
+      links[{a, b}] = {&flit_pipes_.back(), &credit_pipes_.back()};
+    }
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
+      NodeId b = topo_.neighbour(a, d);
+      if (b == kInvalidNode) continue;
+      Router::PortWiring w;
+      w.out_data = links[{a, b}].data;
+      w.out_credits = links[{a, b}].credit;
+      w.in_data = links[{b, a}].data;
+      w.in_credits = links[{b, a}].credit;
+      routers_[a]->wire(d, w);
+    }
+    // Local port: NI <-> router.
+    flit_pipes_.emplace_back(data_lat);   // inject: NI -> router
+    Pipe<Flit>* inject = &flit_pipes_.back();
+    flit_pipes_.emplace_back(data_lat);   // eject: router -> NI
+    Pipe<Flit>* eject = &flit_pipes_.back();
+    credit_pipes_.emplace_back(1);        // router -> NI (input buffer credits)
+    Pipe<Credit>* inj_credits = &credit_pipes_.back();
+    // NI -> router undo records: 3 cycles, so a tear-down launched in the
+    // same cycle a rider's tail was injected still reaches every router
+    // strictly after the tail (both then advance at 2 cycles/hop).
+    credit_pipes_.emplace_back(3);
+    Pipe<Credit>* undo = &credit_pipes_.back();
+    Router::PortWiring w;
+    w.in_data = inject;
+    w.in_credits = inj_credits;
+    w.out_data = eject;
+    w.out_credits = undo;
+    routers_[a]->wire(Dir::Local, w);
+    nis_[a]->wire(inject, inj_credits, eject, undo);
+  }
+}
+
+void Network::send(const MsgPtr& msg, Cycle now) {
+  RC_ASSERT(msg->src >= 0 && msg->src < topo_.num_nodes(), "bad src");
+  if (send_observer_) send_observer_(msg, now);
+  RC_ASSERT(msg->dest >= 0 && msg->dest < topo_.num_nodes(), "bad dest");
+  if (msg->src == msg->dest) {
+    msg->created = msg->injected = now;
+    ++stats_.counter("msg_local");
+    local_pipes_[msg->src].push(msg, now);
+    return;
+  }
+  nis_[msg->src]->send(msg, now);
+}
+
+void Network::set_deliver(std::function<void(NodeId, const MsgPtr&)> cb) {
+  deliver_ = std::move(cb);
+  for (auto& ni : nis_) {
+    NodeId node = ni->node();
+    ni->set_deliver([this, node](const MsgPtr& m) {
+      if (deliver_) deliver_(node, m);
+    });
+  }
+}
+
+void Network::set_reply_injected(
+    std::function<void(NodeId, const MsgPtr&, bool)> cb) {
+  for (auto& ni : nis_) {
+    NodeId node = ni->node();
+    ni->set_reply_injected([cb, node](const MsgPtr& m, bool circ) {
+      cb(node, m, circ);
+    });
+  }
+}
+
+void Network::tick(Cycle now) {
+  for (std::size_t i = 0; i < local_pipes_.size(); ++i) {
+    while (auto m = local_pipes_[i].pop_ready(now)) {
+      (*m)->delivered = now;
+      if (deliver_) deliver_(static_cast<NodeId>(i), *m);
+    }
+  }
+  for (auto& ni : nis_) ni->tick(now);
+  for (auto& r : routers_) r->tick(now);
+}
+
+bool Network::idle() const {
+  for (const auto& p : flit_pipes_)
+    if (!p.empty()) return false;
+  for (const auto& p : local_pipes_)
+    if (!p.empty()) return false;
+  for (const auto& ni : nis_)
+    if (ni->pending() > 0) return false;
+  for (const auto& r : routers_)
+    if (r->busy()) return false;
+  return true;
+}
+
+}  // namespace rc

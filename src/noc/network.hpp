@@ -1,0 +1,69 @@
+// The network fabric: routers, NIs, links, and the local (same-tile) bypass.
+//
+// Controllers call send(); the fabric delivers every message to the
+// destination node's deliver callback. Messages between controllers of the
+// same tile bypass the network (they never reach the router), matching the
+// paper's accounting, which only counts messages that traverse the NoC.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/pipe.hpp"
+#include "common/stats.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+
+namespace rc {
+
+class Network {
+ public:
+  explicit Network(const NocConfig& cfg);
+
+  /// Inject a message at its source node (or deliver locally).
+  void send(const MsgPtr& msg, Cycle now);
+
+  /// Observe every message handed to the fabric (tracing, liveness checks).
+  void set_send_observer(std::function<void(const MsgPtr&, Cycle)> cb) {
+    send_observer_ = std::move(cb);
+  }
+
+  /// Delivery callback invoked at the destination node, with the node id.
+  void set_deliver(std::function<void(NodeId, const MsgPtr&)> cb);
+  /// §4.6 hook: reply head injected, with circuit usage flag.
+  void set_reply_injected(std::function<void(NodeId, const MsgPtr&, bool)> cb);
+
+  void tick(Cycle now);
+
+  const Topology& topo() const { return topo_; }
+  const NocConfig& config() const { return cfg_; }
+  Router& router(NodeId n) { return *routers_[n]; }
+  NetworkInterface& ni(NodeId n) { return *nis_[n]; }
+  StatSet& stats() { return stats_; }
+  const StatSet& stats() const { return stats_; }
+
+  /// Flits still queued anywhere (for drain checks in tests).
+  bool idle() const;
+
+ private:
+  NocConfig cfg_;
+  Topology topo_;
+  StatSet stats_;
+  LatencyModel lat_;
+
+  // Stable-address pipe storage.
+  std::deque<Pipe<Flit>> flit_pipes_;
+  std::deque<Pipe<Credit>> credit_pipes_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::deque<Pipe<MsgPtr>> local_pipes_;  ///< same-tile bypass, one per node
+
+  std::function<void(NodeId, const MsgPtr&)> deliver_;
+  std::function<void(const MsgPtr&, Cycle)> send_observer_;
+};
+
+}  // namespace rc

@@ -1,0 +1,406 @@
+#include "noc/network_interface.hpp"
+
+#include <string>
+
+#include "noc/router.hpp"
+#include "noc/topology.hpp"
+
+namespace rc {
+
+NetworkInterface::NetworkInterface(NodeId id, const NocConfig& cfg,
+                                   const Topology* topo, StatSet* stats)
+    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), lat_(cfg) {
+  inject_flits_ = &stats_->counter("ni_inject_flit");
+}
+
+void NetworkInterface::wire(Pipe<Flit>* inject, Pipe<Credit>* inject_credits,
+                            Pipe<Flit>* eject, Pipe<Credit>* undo_out) {
+  inject_ = inject;
+  inject_credits_ = inject_credits;
+  eject_ = eject;
+  undo_out_ = undo_out;
+}
+
+void NetworkInterface::send(const MsgPtr& msg, Cycle now) {
+  msg->created = now;
+  VNet vn = vnet_of(msg->type);
+  if (vn == VNet::Request) {
+    msg->path_hops = topo_->hops(id_, msg->dest);
+    msg->build_circuit = cfg_.circuit.uses_circuits() &&
+                         request_builds_circuit(msg->type);
+    msg->reply_size_flits = reply_flits_for_request(msg->type, MessageSizes{});
+  }
+  q_[static_cast<int>(vn)].push_back(msg);
+}
+
+void NetworkInterface::launch_undo(NodeId dest, Addr addr,
+                                   std::uint64_t owner, Cycle now) {
+  ++stats_->counter("circ_origin_undone");
+  if (!undo_out_) return;
+  Credit cr;
+  cr.vnet = VNet::Reply;
+  cr.vc = -1;
+  cr.undo = UndoRecord{dest, addr, owner};
+  undo_out_->push(cr, now);
+}
+
+bool NetworkInterface::undo_circuit(NodeId dest, Addr addr, Cycle now,
+                                    bool expect_reply) {
+  auto it = origins_.find({dest, addr});
+  if (it == origins_.end()) return false;
+  Origin& o = it->second;
+  bool was_built = o.status == OriginStatus::Built && !o.undo_deferred();
+  if (!was_built) return false;
+  if (o.riders > 0) {
+    // A scrounger is still injecting: defer the tear-down until its tail
+    // flit is in the network (it then stays ahead of the undo for good).
+    o.deferred_undo_owners.push_back(o.req_id);
+    o.undo_expect_reply = expect_reply;
+    return true;
+  }
+  launch_undo(dest, addr, o.req_id, now);
+  if (expect_reply) {
+    o.status = OriginStatus::Undone;
+  } else {
+    origins_.erase(it);
+  }
+  return true;
+}
+
+void NetworkInterface::tick(Cycle now) {
+  // 1. Credits from the router's local input buffers.
+  if (inject_credits_) {
+    while (auto c = inject_credits_->pop_ready(now)) {
+      if (c->vc < 0) continue;
+      int& out = outstanding_[out_idx(static_cast<int>(c->vnet), c->vc)];
+      if (out > 0) --out;
+    }
+  }
+  // 2. Ejection.
+  if (eject_) {
+    while (auto f = eject_->pop_ready(now)) {
+      if (f->is_tail()) finish_delivery(f->msg, now);
+    }
+  }
+  // 3. Injection: refill idle streams, then push at most one flit onto the
+  //    local link, alternating between the two VN streams.
+  for (int vn = 0; vn < kNumVNets; ++vn)
+    if (!stream_[vn].active()) try_start_packet(static_cast<VNet>(vn), now);
+  // A circuit reply owns the local link from its head (its departure cycle
+  // is what the timed reservation was computed against) until its tail is
+  // out (its flits must stream back-to-back or they would overrun the slots
+  // reserved downstream, §4.7). Everything else round-robins.
+  Stream& rep = stream_[static_cast<int>(VNet::Reply)];
+  if (rep.active() && rep.on_circuit) {
+    // Complete mode's circuit VC is bufferless and never stalls; Fragmented
+    // circuit VCs are buffered and still obey the credit window.
+    if (cfg_.circuit.bufferless_circuit_vc()) {
+      inject_flit(rep, now);
+    } else {
+      int& out = outstanding_[out_idx(1, rep.vc)];
+      if (out < cfg_.buffer_depth_flits) {
+        ++out;
+        inject_flit(rep, now);
+      }
+    }
+    return;
+  }
+  for (int attempt = 0; attempt < kNumVNets; ++attempt) {
+    Stream& s = stream_[rr_vn_];
+    rr_vn_ = (rr_vn_ + 1) % kNumVNets;
+    if (!s.active()) continue;
+    // Buffered VCs need a free slot downstream; the bufferless circuit VC
+    // of Complete mode never blocks.
+    bool buffered = !(s.on_circuit && cfg_.circuit.bufferless_circuit_vc());
+    if (buffered) {
+      int& out = outstanding_[out_idx(s.msg->is_reply() ? 1 : 0, s.vc)];
+      if (out >= cfg_.buffer_depth_flits) continue;
+      ++out;
+    }
+    inject_flit(s, now);
+    break;
+  }
+}
+
+bool NetworkInterface::try_start_packet(VNet vn, Cycle now) {
+  auto& q = q_[static_cast<int>(vn)];
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    int vc = 0;
+    bool on_circuit = false;
+    if (!prepare_injection(*it, now, &vc, &on_circuit)) continue;
+    Stream& s = stream_[static_cast<int>(vn)];
+    s.msg = *it;
+    s.next_seq = 0;
+    s.vc = vc;
+    s.on_circuit = on_circuit;
+    q.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
+                                         int* vc, bool* on_circuit) {
+  *on_circuit = false;
+  if (!msg->is_reply()) return pick_free_vc(VNet::Request, false, vc);
+
+  // Reply path: consult the circuit origin table.
+  bool wants_circuit = false;
+  if (cfg_.circuit.uses_circuits() && reply_circuit_eligible(msg->type)) {
+    auto it = origins_.find({msg->dest, msg->addr});
+    if (it != origins_.end()) {
+      Origin& o = it->second;
+      switch (o.status) {
+        case OriginStatus::Built:
+          if (o.undo_deferred()) {
+            // Tear-down pending behind a rider: do not use the circuit.
+            msg->outcome = CircuitOutcome::Undone;
+            break;
+          }
+          if (now < o.depart_min) return false;  // hold for the slot (§4.7)
+          if (now > o.depart_max) {
+            // Missed the reserved window: tear the circuit down and fall
+            // back to the packet-switched pipeline.
+            msg->outcome = CircuitOutcome::Undone;
+            undo_circuit(msg->dest, msg->addr, now, /*expect_reply=*/false);
+            break;
+          }
+          wants_circuit = true;
+          msg->circuit_partial = o.partial;
+          break;
+        case OriginStatus::Failed:
+          msg->outcome = CircuitOutcome::Failed;
+          origins_.erase(it);
+          break;
+        case OriginStatus::Undone:
+          msg->outcome = CircuitOutcome::Undone;
+          origins_.erase(it);
+          break;
+      }
+    }
+  }
+
+  if (wants_circuit) {
+    if (!pick_free_vc(VNet::Reply, /*circuit_class=*/true, vc)) return false;
+    *on_circuit = true;
+    msg->on_circuit = true;
+    msg->circuit_dest = msg->dest;
+    msg->circuit_addr = msg->addr;
+    return true;
+  }
+
+  // §4.5: a circuit-less reply may scrounge a complete, untimed circuit
+  // that gets it strictly closer to its destination.
+  if (cfg_.circuit.reuse && cfg_.circuit.mode == CircuitMode::Complete &&
+      !cfg_.circuit.is_timed() && msg->dest != id_) {
+    int best = topo_->hops(id_, msg->dest);
+    const std::pair<NodeId, Addr>* best_key = nullptr;
+    for (const auto& [key, o] : origins_) {
+      if (o.status != OriginStatus::Built || o.partial || o.undo_deferred())
+        continue;
+      int h = topo_->hops(key.first, msg->dest);
+      if (h < best) {
+        best = h;
+        best_key = &key;
+      }
+    }
+    if (best_key && pick_free_vc(VNet::Reply, true, vc)) {
+      ++origins_[*best_key].riders;
+      msg->scrounging = true;
+      msg->final_dest = msg->dest;
+      msg->dest = best_key->first;
+      msg->on_circuit = true;
+      msg->circuit_dest = best_key->first;
+      msg->circuit_addr = best_key->second;
+      msg->outcome = CircuitOutcome::Scrounged;
+      *on_circuit = true;
+      ++stats_->counter("scrounge_rides");
+      return true;
+    }
+  }
+
+  return pick_free_vc(VNet::Reply, false, vc);
+}
+
+bool NetworkInterface::pick_free_vc(VNet vn, bool circuit_class,
+                                    int* vc) const {
+  const int n = cfg_.vcs_in_vn(vn);
+  const int ncirc = vn == VNet::Reply ? cfg_.circuit.num_circuit_vcs() : 0;
+  for (int v = 0; v < n; ++v) {
+    bool is_circ = v < ncirc;
+    if (is_circ != circuit_class) continue;
+    if (circuit_class && cfg_.circuit.bufferless_circuit_vc()) {
+      *vc = v;
+      return true;  // bufferless: always available
+    }
+    if (outstanding_[out_idx(static_cast<int>(vn), v)] == 0) {
+      *vc = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetworkInterface::inject_flit(Stream& s, Cycle now) {
+  const MsgPtr& msg = s.msg;
+  Flit f;
+  f.msg = msg;
+  f.seq = s.next_seq++;
+  f.vnet = msg->is_reply() ? VNet::Reply : VNet::Request;
+  f.vc = s.vc;
+  f.on_circuit = s.on_circuit;
+  if (f.is_head()) {
+    msg->injected = now;
+    stats_->acc(msg->is_reply() ? "q_lat_reply" : "q_lat_req")
+        .add(static_cast<double>(now - msg->created));
+    if (msg->is_reply()) {
+      if (s.on_circuit && !msg->scrounging) {
+        origins_.erase({msg->dest, msg->addr});
+        ++stats_->counter("circ_origin_used");
+      }
+      if (reply_injected_) reply_injected_(msg, s.on_circuit);
+    }
+  }
+  RC_ASSERT(inject_ != nullptr, "NI not wired");
+  inject_->push(f, now);
+  ++*inject_flits_;
+  if (f.is_tail()) {
+    if (msg->scrounging) {
+      auto it = origins_.find({msg->circuit_dest, msg->circuit_addr});
+      if (it != origins_.end() && it->second.riders > 0 &&
+          --it->second.riders == 0 && it->second.undo_deferred()) {
+        Origin& o = it->second;
+        for (std::uint64_t owner : o.deferred_undo_owners)
+          launch_undo(msg->circuit_dest, msg->circuit_addr, owner, now);
+        o.deferred_undo_owners.clear();
+        if (o.undo_expect_reply) {
+          o.status = OriginStatus::Undone;
+        } else {
+          origins_.erase(it);
+        }
+      }
+    }
+    s.msg.reset();
+  }
+}
+
+void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
+  Origin o;
+  o.status = msg->circuit_ok ? OriginStatus::Built : OriginStatus::Failed;
+  o.partial = msg->circuit_partial;
+  if (msg->circuit_ok && cfg_.circuit.is_timed()) {
+    const Cycle tau = msg->injected + lat_.request_total(msg->path_hops) +
+                      estimated_service_cycles(msg->type, cfg_) +
+                      lat_.ni_turnaround();
+    const int B = cfg_.circuit.slack_per_hop * msg->path_hops;
+    switch (cfg_.circuit.timed) {
+      case TimedMode::Exact:
+        o.depart_min = o.depart_max = tau;
+        break;
+      case TimedMode::Slack:
+      case TimedMode::SlackDelay:
+        o.depart_min = tau + msg->used_delay;
+        o.depart_max = tau + B;
+        break;
+      case TimedMode::Postponed:
+        o.depart_min = o.depart_max = tau + B;
+        break;
+      case TimedMode::None:
+        break;
+    }
+  }
+  auto key = std::make_pair(msg->src, msg->addr);
+  auto it = origins_.find(key);
+  if (it != origins_.end() && it->second.status == OriginStatus::Built) {
+    // A circuit for this (requestor, line) identity already exists (e.g. a
+    // write-back and a re-fetch in flight together). The first reply will
+    // consume the existing circuit; tear the duplicate instance down.
+    if (!msg->circuit_ok) return;  // nothing was built for the new request
+    if (it->second.riders > 0) {
+      it->second.deferred_undo_owners.push_back(msg->id);
+    } else {
+      launch_undo(msg->src, msg->addr, msg->id, now);
+    }
+    ++stats_->counter("circ_origin_duplicate");
+    return;
+  }
+  o.req_id = msg->id;
+  origins_[key] = o;
+  if (msg->circuit_ok) {
+    stats_->acc("lat_circuit_setup")
+        .add(static_cast<double>(now - msg->injected));
+  }
+}
+
+void NetworkInterface::finish_delivery(const MsgPtr& msg, Cycle now) {
+  msg->delivered = now;
+  if (msg->scrounging) {
+    // Intermediate hop of a scrounger: re-inject toward the real target.
+    msg->dest = msg->final_dest;
+    msg->final_dest = kInvalidNode;
+    msg->scrounging = false;
+    msg->on_circuit = false;
+    msg->circuit_dest = kInvalidNode;
+    q_[static_cast<int>(VNet::Reply)].push_back(msg);
+    return;
+  }
+  classify_delivered(msg);
+  if (msg->build_circuit && cfg_.circuit.uses_circuits())
+    handle_request_delivered(msg, now);
+  if (deliver_) deliver_(msg);
+}
+
+void NetworkInterface::classify_delivered(const MsgPtr& msg) {
+  ++stats_->counter(std::string("msg_") + to_string(msg->type));
+  const double net_lat = static_cast<double>(msg->delivered - msg->injected);
+  const double q_lat = static_cast<double>(msg->injected - msg->created);
+  if (!msg->is_reply()) {
+    stats_->acc("lat_net_req").add(net_lat);
+    stats_->acc("lat_q_req").add(q_lat);
+    stats_->hist("hist_req").add(net_lat);
+    return;
+  }
+  const bool eligible = reply_circuit_eligible(msg->type);
+  stats_->acc(eligible ? "lat_net_rep_circ" : "lat_net_rep_nocirc")
+      .add(net_lat);
+  stats_->acc(eligible ? "lat_q_rep_circ" : "lat_q_rep_nocirc").add(q_lat);
+  stats_->hist(eligible ? "hist_rep_circ" : "hist_rep_nocirc").add(net_lat);
+
+  // Fig. 6 categories.
+  if (msg->outcome == CircuitOutcome::Scrounged) {
+    ++stats_->counter("reply_scrounged");
+    return;
+  }
+  if (msg->undone_marker) {
+    ++stats_->counter("reply_undone");
+    return;
+  }
+  if (!eligible) {
+    ++stats_->counter("reply_not_eligible");
+    return;
+  }
+  if (!cfg_.circuit.uses_circuits()) {
+    ++stats_->counter("reply_eligible_nocirc");
+    return;
+  }
+  if (msg->on_circuit) {
+    if (msg->circuit_partial)
+      ++stats_->counter("reply_partial");
+    else
+      ++stats_->counter("reply_used");
+    return;
+  }
+  switch (msg->outcome) {
+    case CircuitOutcome::Failed:
+      ++stats_->counter("reply_failed");
+      break;
+    case CircuitOutcome::Undone:
+      ++stats_->counter("reply_undone");
+      break;
+    default:
+      ++stats_->counter("reply_eligible_nocirc");
+      break;
+  }
+}
+
+}  // namespace rc

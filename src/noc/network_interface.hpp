@@ -1,0 +1,141 @@
+// Network interface: packetisation, VC selection, circuit origin tracking.
+//
+// The NI owns the paper's per-node circuit bookkeeping (§4.1: "Information
+// of the circuit is also stored in the network interface where the circuit
+// starts"):
+//  * when a circuit-building request is delivered here, an origin record is
+//    created (or a tombstone, when the reservation failed en route);
+//  * the reply consults that record at injection: ride the circuit within
+//    its departure window, or undo it (§4.4/§4.7) and go packet-switched;
+//  * circuit-less replies may scrounge another message's circuit (§4.5);
+//  * the L2 is told when its data reply departs on a complete circuit so it
+//    can elide the L1_DATA_ACK (§4.6).
+#pragma once
+
+#include <deque>
+#include <vector>
+#include <functional>
+#include <array>
+#include <map>
+#include <utility>
+
+#include "common/config.hpp"
+#include "common/pipe.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/message.hpp"
+#include "noc/routing.hpp"
+
+namespace rc {
+
+class Topology;
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId id, const NocConfig& cfg, const Topology* topo,
+                   StatSet* stats);
+
+  /// Wire the four local pipes: flits we inject, credits coming back for the
+  /// router's local input buffers, flits ejected to us, and the credit wire
+  /// we use to send circuit undo records into the router.
+  void wire(Pipe<Flit>* inject, Pipe<Credit>* inject_credits,
+            Pipe<Flit>* eject, Pipe<Credit>* undo_out);
+
+  void set_deliver(std::function<void(const MsgPtr&)> cb) {
+    deliver_ = std::move(cb);
+  }
+  /// Called when a reply's head flit is injected; `on_circuit` tells the
+  /// local L2 whether the §4.6 ACK elision applies.
+  void set_reply_injected(std::function<void(const MsgPtr&, bool)> cb) {
+    reply_injected_ = std::move(cb);
+  }
+
+  /// Enqueue a message for injection (called by the local controllers).
+  void send(const MsgPtr& msg, Cycle now);
+
+  /// Tear down the circuit reserved for (dest, addr) before use (§4.4):
+  /// clears the origin record and launches the credit-carried undo.
+  /// `expect_reply` keeps a tombstone so the late reply is counted as
+  /// "undone" (the L2-miss knob); the forward-to-owner case passes false
+  /// because no reply will ever leave this node. Returns true when a built
+  /// circuit existed.
+  bool undo_circuit(NodeId dest, Addr addr, Cycle now, bool expect_reply);
+
+  void tick(Cycle now);
+
+  NodeId node() const { return id_; }
+  /// Messages queued or mid-injection at this NI.
+  std::size_t pending() const {
+    return q_[0].size() + q_[1].size() + (stream_[0].active() ? 1 : 0) +
+           (stream_[1].active() ? 1 : 0);
+  }
+  StatSet& stats() { return *stats_; }
+
+ private:
+  enum class OriginStatus : std::uint8_t { Built, Failed, Undone };
+  struct Origin {
+    OriginStatus status = OriginStatus::Built;
+    bool partial = false;  ///< fragmented: not every router reserved
+    Cycle depart_min = 0;
+    Cycle depart_max = kNeverCycle;
+    /// Scroungers selected but whose tail flit is not yet injected. A
+    /// tear-down launched while riders are mid-injection could overtake
+    /// them (it travels just as fast), so it is deferred instead.
+    int riders = 0;
+    std::uint64_t req_id = 0;  ///< id of the request that built this circuit
+    /// Tear-downs waiting for riders to drain (undo records must trail any
+    /// in-flight rider). A same-identity request that re-builds a circuit
+    /// while one is already recorded also queues the duplicate instance
+    /// here.
+    std::vector<std::uint64_t> deferred_undo_owners;
+    bool undo_expect_reply = false;
+    bool undo_deferred() const { return !deferred_undo_owners.empty(); }
+  };
+  struct Stream {  // one packet being injected, per VN
+    MsgPtr msg;
+    int next_seq = 0;
+    int vc = 0;
+    bool on_circuit = false;
+    bool active() const { return msg != nullptr; }
+  };
+
+  void handle_request_delivered(const MsgPtr& msg, Cycle now);
+  void finish_delivery(const MsgPtr& msg, Cycle now);
+  bool try_start_packet(VNet vn, Cycle now);
+  /// Whether (and how) the queued message could start injecting now.
+  /// May mutate origin state (window-miss undo happens here).
+  bool prepare_injection(const MsgPtr& msg, Cycle now, int* vc,
+                         bool* on_circuit);
+  bool pick_free_vc(VNet vn, bool circuit_class, int* vc) const;
+  void inject_flit(Stream& s, Cycle now);
+  void launch_undo(NodeId dest, Addr addr, std::uint64_t owner, Cycle now);
+  void classify_delivered(const MsgPtr& msg);
+
+  NodeId id_;
+  NocConfig cfg_;
+  const Topology* topo_;
+  StatSet* stats_;
+  LatencyModel lat_;
+
+  Pipe<Flit>* inject_ = nullptr;
+  Pipe<Credit>* inject_credits_ = nullptr;
+  Pipe<Flit>* eject_ = nullptr;
+  Pipe<Credit>* undo_out_ = nullptr;
+
+  std::function<void(const MsgPtr&)> deliver_;
+  std::function<void(const MsgPtr&, bool)> reply_injected_;
+
+  std::deque<MsgPtr> q_[kNumVNets];
+  Stream stream_[kNumVNets];
+  int rr_vn_ = 0;  ///< round-robin over VN streams for the 1 flit/cycle link
+
+  /// Outstanding flits per (vn, vc) in the router's local input buffer;
+  /// a VC accepts a new packet only when it has fully drained.
+  std::array<int, kNumVNets * 8> outstanding_{};
+  int out_idx(int vn, int vc) const { return vn * 8 + vc; }
+  std::uint64_t* inject_flits_ = nullptr;
+
+  std::map<std::pair<NodeId, Addr>, Origin> origins_;
+};
+
+}  // namespace rc

@@ -1,0 +1,507 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+#include "noc/topology.hpp"
+
+namespace rc {
+
+int reply_flits_for_request(MsgType req, const MessageSizes& sizes) {
+  switch (req) {
+    case MsgType::GetS:
+    case MsgType::GetX:
+    case MsgType::MemRead:
+      return sizes.data_flits;  // L2Reply / MemData carry a cache line
+    default:
+      return sizes.control_flits;  // L2WbAck / MemAck
+  }
+}
+
+int estimated_service_cycles(MsgType req, const NocConfig& noc) {
+  switch (req) {
+    case MsgType::MemRead:
+    case MsgType::MemWb:
+      return noc.est_service_mem;
+    default:
+      return noc.est_service_cache;
+  }
+}
+
+Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
+               StatSet* stats)
+    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), lat_(cfg),
+      circuits_(cfg.circuit, stats) {
+  RC_ASSERT(topo_ != nullptr, "router needs a topology");
+  coord_ = topo_->coord_of(id_);
+  hot_.buf_write = &stats_->counter("buf_write");
+  hot_.buf_read = &stats_->counter("buf_read");
+  hot_.xbar = &stats_->counter("xbar");
+  hot_.link_flit = &stats_->counter("link_flit");
+  hot_.va_ops = &stats_->counter("va_ops");
+  hot_.sa_ops = &stats_->counter("sa_ops");
+  hot_.circ_check = &stats_->counter("circ_check");
+  hot_.circ_fwd = &stats_->counter("circ_fwd");
+  const int nvcs = total_vcs();
+  for (auto& ip : inputs_) {
+    ip.vcs.assign(nvcs, InputVC{});
+    ip.sa_input_arb.resize(nvcs);
+  }
+  for (auto& op : outputs_) {
+    op.vcs.assign(nvcs, OutputVC{});
+    op.sa_output_arb.resize(kNumDirs);
+    op.va_arb.assign(nvcs, RoundRobinArbiter(kNumDirs * nvcs));
+  }
+}
+
+int Router::num_circuit_vcs() const { return cfg_.circuit.num_circuit_vcs(); }
+
+void Router::wire(Dir d, const PortWiring& w) {
+  Port p = port_of(d);
+  wires_[p] = w;
+  wires_[p].connected = true;
+  // Downstream buffering determines our output credits. The Local port's
+  // sink is the NI, which consumes ejected flits immediately (an infinite
+  // sink), so it gets an effectively unlimited window. Bufferless circuit
+  // VCs carry no credits at all.
+  const int window = d == Dir::Local ? (1 << 28) : cfg_.buffer_depth_flits;
+  for (int vn = 0; vn < kNumVNets; ++vn) {
+    VNet v = static_cast<VNet>(vn);
+    for (int vc = 0; vc < cfg_.vcs_in_vn(v); ++vc) {
+      outputs_[p].vcs[vc_index(v, vc)].credits =
+          vc_has_buffer(v, vc) ? window : 0;
+    }
+  }
+}
+
+void Router::tick(Cycle now) {
+  for (auto& op : outputs_) op.taken_by_circuit = false;
+  if (!undo_latch_.empty()) {
+    for (const auto& [np, rec] : undo_latch_) {
+      if (!wires_[np].in_credits) continue;
+      Credit cr;
+      cr.vnet = VNet::Reply;
+      cr.vc = -1;
+      cr.undo = rec;
+      wires_[np].in_credits->push(cr, now);
+    }
+    undo_latch_.clear();
+  }
+  process_credits(now);
+  process_arrivals(now);
+  stage_st(now);
+  stage_sa(now);
+  stage_va(now);
+}
+
+void Router::process_credits(Cycle now) {
+  for (int p = 0; p < kNumDirs; ++p) {
+    if (!wires_[p].out_credits) continue;
+    while (auto c = wires_[p].out_credits->pop_ready(now)) {
+      if (c->undo) handle_undo(static_cast<Port>(p), *c->undo, now);
+      if (c->vc >= 0)
+        ++outputs_[p].vcs[vc_index(c->vnet, c->vc)].credits;
+    }
+  }
+}
+
+void Router::handle_undo(Port p, const UndoRecord& rec, Cycle now) {
+  auto e = circuits_.undo(p, rec, now);
+  if (e && cfg_.circuit.mode == CircuitMode::Fragmented) {
+    // Release the output circuit VC the reservation had claimed.
+    outputs_[e->out_port].vcs[vc_index(VNet::Reply, e->vc)].busy = false;
+  }
+  // Forward toward the circuit destination along the reply (YX) path; the
+  // undo travels on the credit wires of the link the reply would have used,
+  // held one cycle in a latch (see undo_latch_).
+  Dir next = route_dor(coord_, topo_->coord_of(rec.circuit_dest),
+                       /*yx=*/true);
+  if (next == Dir::Local) return;  // reached the requestor's router
+  undo_latch_.emplace_back(port_of(next), rec);
+}
+
+Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
+                                            Cycle now) {
+  const MsgPtr& msg = flit.msg;
+  CircuitEntry* entry =
+      circuits_.match(in_port, msg->circuit_dest, msg->circuit_addr, msg->id,
+                      flit.is_head(), now);
+  if (!entry) return CircFwd::NoEntry;
+  const Port out = entry->out_port;
+  const bool buffered = !cfg_.circuit.bufferless_circuit_vc();
+  const bool fragmented = cfg_.circuit.mode == CircuitMode::Fragmented;
+  if (outputs_[out].taken_by_circuit) {
+    if (!buffered) ++stats_->counter("circ_skid_block");
+    return CircFwd::Blocked;
+  }
+  const int arrival_vc = flit.vc;
+  const int fwd_vc = fragmented ? entry->vc : flit.vc;
+  if (buffered && out != port_of(Dir::Local)) {
+    auto& ovc = outputs_[out].vcs[vc_index(VNet::Reply, fwd_vc)];
+    if (ovc.credits <= 0) return CircFwd::Blocked;
+    --ovc.credits;
+  }
+  outputs_[out].taken_by_circuit = true;
+  if (flit.is_tail()) {
+    if (!msg->scrounging) {
+      // The owner's tail clears the B bit and, for Fragmented, releases the
+      // claimed output circuit VC.
+      if (fragmented)
+        outputs_[out].vcs[vc_index(VNet::Reply, entry->vc)].busy = false;
+      circuits_.release(in_port, msg->circuit_dest, msg->circuit_addr,
+                        msg->id, now);
+    } else {
+      entry->bound_msg = 0;  // scroungers only borrow the entry (§4.5)
+    }
+  }
+  flit.vc = fwd_vc;
+  send_flit(out, flit, now);
+  ++*hot_.circ_fwd;
+  // The flit never occupied our buffer: hand the slot straight back.
+  if (buffered) send_credit(in_port, VNet::Reply, arrival_vc, now);
+  return CircFwd::Forwarded;
+}
+
+void Router::process_arrivals(Cycle now) {
+  for (int p = 0; p < kNumDirs; ++p) {
+    auto& ip = inputs_[p];
+    // Blocked circuit flits (Fragmented/Ideal) retry with priority, in order.
+    while (!ip.circ_retry.empty()) {
+      Flit f = ip.circ_retry.front();
+      ++*hot_.circ_check;
+      CircFwd r = try_circuit_forward(f, static_cast<Port>(p), now);
+      if (r == CircFwd::Blocked) break;  // keep per-packet flit order
+      ip.circ_retry.pop_front();
+      if (r == CircFwd::NoEntry) {
+        RC_ASSERT(!cfg_.circuit.bufferless_circuit_vc(),
+                  "complete-circuit flit lost its reservation");
+        if (f.is_head()) f.msg->circuit_partial = true;
+        buffer_flit(f, static_cast<Port>(p), now);
+      }
+    }
+    if (!wires_[p].in_data) continue;
+    while (auto f = wires_[p].in_data->pop_ready(now)) {
+      Flit flit = *f;
+      if (flit.on_circuit) {
+        ++*hot_.circ_check;
+        if (!ip.circ_retry.empty()) {
+          ip.circ_retry.push_back(flit);  // stay behind blocked flits
+          continue;
+        }
+        CircFwd r = try_circuit_forward(flit, static_cast<Port>(p), now);
+        if (r == CircFwd::Forwarded) continue;
+        if (r == CircFwd::Blocked) {
+          ip.circ_retry.push_back(flit);  // retry next cycle
+          continue;
+        }
+        // NoEntry: this hop was never (or no longer) reserved.
+        if (cfg_.circuit.bufferless_circuit_vc()) {
+          std::fprintf(stderr,
+                       "router %d in_port %d @%llu: msg=%llu %s seq=%d "
+                       "scrounging=%d circ_dest=%d addr=%llx\n",
+                       id_, p, (unsigned long long)now,
+                       (unsigned long long)flit.msg->id,
+                       to_string(flit.msg->type), flit.seq,
+                       (int)flit.msg->scrounging, flit.msg->circuit_dest,
+                       (unsigned long long)flit.msg->circuit_addr);
+          RC_ASSERT(false, "complete-circuit flit blocked or without entry");
+        }
+        if (flit.is_head()) flit.msg->circuit_partial = true;
+        // Fragmented/Ideal: continue through the normal pipeline.
+      }
+      buffer_flit(flit, static_cast<Port>(p), now);
+    }
+  }
+}
+
+void Router::buffer_flit(const Flit& flit, Port p, Cycle now) {
+  int idx = vc_index(flit.vnet, flit.vc);
+  RC_ASSERT(vc_has_buffer(flit.vnet, flit.vc), "flit buffered in bufferless VC");
+  auto& ivc = inputs_[p].vcs[idx];
+  if (static_cast<int>(ivc.buf.size()) >= cfg_.buffer_depth_flits) {
+    std::fprintf(stderr,
+                 "OVERFLOW r=%d p=%d vc_idx=%d @%llu: msg=%llu %s seq=%d "
+                 "on_circ=%d buf_front=%llu(%s seq%d)\n",
+                 id_, p, idx, static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(flit.msg->id),
+                 to_string(flit.msg->type), flit.seq, (int)flit.on_circuit,
+                 static_cast<unsigned long long>(ivc.buf.front().msg->id),
+                 to_string(ivc.buf.front().msg->type), ivc.buf.front().seq);
+    RC_ASSERT(false, "input buffer overflow");
+  }
+  ivc.buf.push_back(flit);
+  ++*hot_.buf_write;
+  if (ivc.state == VCState::Idle) try_start_packet(p, idx, now);
+}
+
+void Router::try_start_packet(Port p, int vc_idx, Cycle now) {
+  auto& ivc = inputs_[p].vcs[vc_idx];
+  if (ivc.state != VCState::Idle || ivc.buf.empty()) return;
+  const Flit& head = ivc.buf.front();
+  if (!head.is_head()) {
+    std::fprintf(stderr,
+                 "router %d port %d vc_idx %d @%llu: buf front msg=%llu "
+                 "type=%s seq=%d size=%d (buf depth %zu)\n",
+                 id_, p, vc_idx, static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(head.msg->id),
+                 to_string(head.msg->type), head.seq, head.msg->size_flits,
+                 ivc.buf.size());
+    for (const auto& f : ivc.buf)
+      std::fprintf(stderr, "  flit msg=%llu seq=%d vc=%d\n",
+                   static_cast<unsigned long long>(f.msg->id), f.seq, f.vc);
+  }
+  RC_ASSERT(head.is_head(), "packet must start with a head flit");
+  const MsgPtr& msg = head.msg;
+  bool yx = head.vnet == VNet::Reply && cfg_.replies_yx;
+  Dir out = route_dor(coord_, topo_->coord_of(msg->dest), yx);
+  ivc.out_port = port_of(out);
+  ivc.state = VCState::WaitVA;
+  ivc.stage_ready = now + 1;
+  ++n_waitva_;
+}
+
+void Router::stage_st(Cycle now) {
+  for (int o = 0; o < kNumDirs; ++o) {
+    auto& op = outputs_[o];
+    if (!op.st_latch || op.st_ready > now) continue;
+    if (op.taken_by_circuit) continue;  // circuit flits own the port (§4.3)
+    send_flit(static_cast<Port>(o), *op.st_latch, now);
+    op.st_latch.reset();
+  }
+}
+
+void Router::stage_sa(Cycle now) {
+  if (n_active_ == 0) return;
+  // Input-first separable allocation: each input port nominates one VC,
+  // then each output port picks one input.
+  std::array<int, kNumDirs> nominee{};  // vc index or -1
+  nominee.fill(-1);
+  const int nvcs = total_vcs();
+  for (int i = 0; i < kNumDirs; ++i) {
+    std::uint64_t req = 0;
+    for (int v = 0; v < nvcs; ++v) {
+      auto& ivc = inputs_[i].vcs[v];
+      if (ivc.state != VCState::Active || ivc.stage_ready > now ||
+          ivc.buf.empty())
+        continue;
+      auto& op = outputs_[ivc.out_port];
+      if (op.st_latch) continue;  // traversal register still occupied
+      const Flit& f = ivc.buf.front();
+      auto& ovc = op.vcs[vc_index(f.vnet, ivc.out_vc)];
+      if (ovc.credits <= 0) continue;
+      req |= std::uint64_t{1} << v;
+    }
+    nominee[i] = req ? inputs_[i].sa_input_arb.grant(req) : -1;
+  }
+  for (int o = 0; o < kNumDirs; ++o) {
+    std::uint64_t req = 0;
+    for (int i = 0; i < kNumDirs; ++i)
+      if (nominee[i] >= 0 &&
+          inputs_[i].vcs[nominee[i]].out_port == static_cast<Port>(o))
+        req |= std::uint64_t{1} << i;
+    int win = req ? outputs_[o].sa_output_arb.grant(req) : -1;
+    if (win < 0) continue;
+    const int vc_idx = nominee[win];
+    nominee[win] = -1;  // one grant per input per cycle (crossbar port)
+    auto& ivc = inputs_[win].vcs[vc_idx];
+    Flit f = ivc.buf.front();
+    ivc.buf.pop_front();
+    ++*hot_.buf_read;
+    ++*hot_.sa_ops;
+    int within_vn_vc =
+        vc_idx - (f.vnet == VNet::Reply ? cfg_.vcs_request_vn : 0);
+    send_credit(static_cast<Port>(win), f.vnet, within_vn_vc, now);
+    f.vc = ivc.out_vc;
+    auto& op = outputs_[o];
+    auto& ovc = op.vcs[vc_index(f.vnet, ivc.out_vc)];
+    --ovc.credits;
+    op.st_latch = f;
+    op.st_ready = now + 1;
+    if (f.is_tail()) {
+      ovc.busy = false;
+      ivc.state = VCState::Idle;
+      --n_active_;
+      try_start_packet(static_cast<Port>(win), vc_idx, now);
+    } else {
+      ivc.stage_ready = now + 1;
+    }
+  }
+}
+
+void Router::stage_va(Cycle now) {
+  if (n_waitva_ == 0) return;
+  const int nvcs = total_vcs();
+  // Requests from input VCs in WaitVA, pre-grouped per output port into
+  // three allocation classes: request VN, reply-circuit, reply-non-circuit.
+  // Each free output VC then round-robins over the matching mask. An input
+  // VC takes at most one grant per cycle.
+  std::uint64_t mask[kNumDirs][3] = {};
+  bool any = false;
+  for (int i = 0; i < kNumDirs; ++i) {
+    for (int v = 0; v < nvcs; ++v) {
+      auto& ivc = inputs_[i].vcs[v];
+      if (ivc.state != VCState::WaitVA || ivc.stage_ready > now ||
+          ivc.buf.empty())
+        continue;
+      const Flit& head = ivc.buf.front();
+      // Circuit VCs are never VC-allocated: complete mode's is bufferless,
+      // and fragmented claims them at reservation time. A circuit packet
+      // pipelining through an unreserved hop travels in a normal VC and
+      // re-enters its circuit VCs via the per-hop circuit check.
+      int cls = head.vnet == VNet::Request ? 0 : 2;
+      mask[ivc.out_port][cls] |= std::uint64_t{1} << (i * nvcs + v);
+      any = true;
+    }
+  }
+  if (!any) return;
+  std::uint64_t granted = 0;
+  for (int o = 0; o < kNumDirs; ++o) {
+    auto& op = outputs_[o];
+    if (!(mask[o][0] | mask[o][1] | mask[o][2])) continue;
+    for (int ov = 0; ov < nvcs; ++ov) {
+      auto& ovc = op.vcs[ov];
+      if (ovc.busy) continue;
+      VNet ovn = ov < cfg_.vcs_request_vn ? VNet::Request : VNet::Reply;
+      int within = ovn == VNet::Request ? ov : ov - cfg_.vcs_request_vn;
+      // Complete circuits: the bufferless circuit VC is never allocated.
+      if (!vc_has_buffer(ovn, within)) continue;
+      if (ovn == VNet::Reply && is_circuit_vc(ovn, within)) continue;
+      std::uint64_t req = ovn == VNet::Request ? mask[o][0] : mask[o][2];
+      req &= ~granted;
+      if (!req) continue;
+      int win = op.va_arb[ov].grant(req);
+      if (win < 0) continue;
+      granted |= std::uint64_t{1} << win;
+      int i = win / nvcs, v = win % nvcs;
+      auto& ivc = inputs_[i].vcs[v];
+      ivc.state = VCState::Active;
+      --n_waitva_;
+      ++n_active_;
+      ivc.out_vc = within;
+      // Pipelines deeper than the paper's 4 stages spend the extra cycles
+      // between VC allocation and switch allocation.
+      ivc.stage_ready = now + 1 + (cfg_.router_stages - 4);
+      ovc.busy = true;
+      ++*hot_.va_ops;
+      const MsgPtr& msg = ivc.buf.front().msg;
+      if (ivc.buf.front().vnet == VNet::Request && msg->build_circuit &&
+          circuits_.enabled()) {
+        maybe_build_circuit(msg, static_cast<Port>(i), ivc.out_port, now);
+      }
+    }
+  }
+}
+
+void Router::maybe_build_circuit(const MsgPtr& msg, Port req_in, Port req_out,
+                                 Cycle now) {
+  if (!msg->circuit_ok) return;  // a previous router already aborted it
+
+  ReserveRequest r;
+  r.src = msg->dest;   // circuit source: the node that will send the reply
+  r.dest = msg->src;   // circuit destination: the requestor
+  r.addr = msg->addr;
+  r.in_port = req_out;  // reply arrives where the request departs
+  r.out_port = req_in;  // and leaves where the request arrived
+  r.owner_req = msg->id;
+  if (cfg_.circuit.mode == CircuitMode::Fragmented) {
+    for (int k = 0; k < num_circuit_vcs(); ++k) {
+      const auto& ovc = outputs_[r.out_port].vcs[vc_index(VNet::Reply, k)];
+      if (!ovc.busy) r.free_circuit_vcs |= 1u << k;
+    }
+  }
+  bool allow_delay = false;
+  bool precheck_failed = false;
+
+  if (cfg_.circuit.is_timed()) {
+    const int D = topo_->hops(id_, msg->dest);
+    const int traveled = msg->path_hops - D;
+    const Cycle exp_va = lat_.expected_va(msg->injected, traveled);
+    const int lateness =
+        now > exp_va ? static_cast<int>(now - exp_va) : 0;
+    const int B = cfg_.circuit.slack_per_hop * msg->path_hops;
+    const int rf = msg->reply_size_flits;
+    const Cycle tau = msg->injected + lat_.request_total(msg->path_hops) +
+                      estimated_service_cycles(msg->type, cfg_) +
+                      lat_.ni_turnaround();
+    const Cycle pass = tau + lat_.reply_transit(D);
+    switch (cfg_.circuit.timed) {
+      case TimedMode::Exact:
+        if (lateness > 0) precheck_failed = true;
+        r.slot_start = pass;
+        r.slot_end = pass + rf - 1;
+        break;
+      case TimedMode::Slack:
+      case TimedMode::SlackDelay: {
+        int ud = std::max(msg->used_delay, lateness);
+        if (ud > B) {
+          precheck_failed = true;
+        } else {
+          msg->used_delay = ud;
+        }
+        r.slot_start = pass + ud;
+        r.slot_end = pass + rf - 1 + B;
+        if (cfg_.circuit.timed == TimedMode::SlackDelay) {
+          allow_delay = true;
+          r.max_extra_delay = B - ud;
+        }
+        break;
+      }
+      case TimedMode::Postponed:
+        if (lateness > B) precheck_failed = true;
+        r.slot_start = pass + B;
+        r.slot_end = pass + B + rf - 1;
+        break;
+      case TimedMode::None:
+        break;
+    }
+  }
+
+  if (!precheck_failed) {
+    ReserveResult res = circuits_.try_reserve(now, r, allow_delay);
+    if (res.ok) {
+      msg->used_delay += res.extra_delay;
+      if (res.claimed_vc >= 0) {
+        // Fragmented: the reservation pre-allocates the output circuit VC.
+        outputs_[r.out_port].vcs[vc_index(VNet::Reply, res.claimed_vc)].busy =
+            true;
+      }
+      return;
+    }
+  } else {
+    ++stats_->counter("circ_fail_conflict");
+  }
+
+  if (cfg_.circuit.mode == CircuitMode::Fragmented) {
+    msg->circuit_partial = true;  // keep what we have, keep trying (§4.2)
+    return;
+  }
+  RC_ASSERT(cfg_.circuit.mode != CircuitMode::Ideal,
+            "ideal reservation can never fail");
+  msg->circuit_ok = false;
+  ++stats_->counter("circ_build_aborted");
+  // Tear down the part already built, via the upstream credit wires (§4.4).
+  if (req_in != port_of(Dir::Local) && wires_[req_in].in_credits) {
+    Credit cr;
+    cr.vnet = VNet::Reply;
+    cr.vc = -1;
+    cr.undo = UndoRecord{msg->src, msg->addr, msg->id};
+    wires_[req_in].in_credits->push(cr, now);
+  }
+}
+
+void Router::send_flit(Port out, const Flit& flit, Cycle now) {
+  RC_ASSERT(wires_[out].out_data != nullptr, "flit routed to unwired port");
+  wires_[out].out_data->push(flit, now);
+  ++flits_routed_;
+  ++*hot_.xbar;
+  if (out != port_of(Dir::Local)) ++*hot_.link_flit;
+}
+
+void Router::send_credit(Port in_port, VNet vn, int vc, Cycle now) {
+  if (!wires_[in_port].in_credits) return;
+  Credit cr;
+  cr.vnet = vn;
+  cr.vc = vc;
+  wires_[in_port].in_credits->push(cr, now);
+}
+
+}  // namespace rc

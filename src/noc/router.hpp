@@ -1,0 +1,179 @@
+// Wormhole router with the Reactive Circuits extensions.
+//
+// Baseline pipeline (Table 4): buffer-write + route computation, VC
+// allocation, switch allocation, switch traversal; 1-cycle links; credit
+// flow control; round-robin two-phase allocators.
+//
+// Reactive Circuits additions (Figure 3):
+//  * a CircuitManager holding per-input circuit tables,
+//  * a Build-Circuit hook run in parallel with a request's VC allocation,
+//  * Circuit-Check at the input units: a reply flit that matches a live
+//    entry traverses the crossbar the same cycle it arrives (1-cycle hop
+//    through the router, 2 with the link),
+//  * crossbar priority for circuit flits,
+//  * credit-carried circuit tear-down (§4.4).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "circuits/circuit_manager.hpp"
+#include "common/config.hpp"
+#include "common/pipe.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/allocator.hpp"
+#include "noc/routing.hpp"
+#include "noc/virtual_channel.hpp"
+
+namespace rc {
+
+class Topology;
+
+class Router {
+ public:
+  /// Pipes connecting one port to its neighbour (router or NI). The router
+  /// pops from `in_data`/`out_credits` and pushes to `out_data`/`in_credits`.
+  struct PortWiring {
+    Pipe<Flit>* in_data = nullptr;      ///< flits arriving at our input unit
+    Pipe<Credit>* in_credits = nullptr; ///< credits we send back upstream
+    Pipe<Flit>* out_data = nullptr;     ///< flits we send downstream
+    Pipe<Credit>* out_credits = nullptr;///< credits coming back to our output
+    bool connected = false;
+  };
+
+  Router(NodeId id, const NocConfig& cfg, const Topology* topo, StatSet* stats);
+
+  void wire(Dir d, const PortWiring& w);
+
+  void tick(Cycle now);
+
+  NodeId id() const { return id_; }
+  /// Flits this router pushed through its crossbar (packet + circuit),
+  /// for utilization heatmaps.
+  std::uint64_t flits_routed() const { return flits_routed_; }
+
+  /// Any packet resident in this router (buffers, latches, retry queues)?
+  bool busy() const {
+    if (n_waitva_ > 0 || n_active_ > 0) return true;
+    for (const auto& ip : inputs_) {
+      if (!ip.circ_retry.empty()) return true;
+      for (const auto& vc : ip.vcs)
+        if (!vc.buf.empty()) return true;
+    }
+    for (const auto& op : outputs_)
+      if (op.st_latch) return true;
+    return false;
+  }
+  CircuitManager& circuits() { return circuits_; }
+  const CircuitManager& circuits() const { return circuits_; }
+  StatSet& stats() { return *stats_; }
+
+  /// Test access: input VC state at (port, vn, vc-within-vn).
+  const InputVC& input_vc(Dir d, VNet vn, int vc) const {
+    return inputs_[port_of(d)].vcs[vc_index(vn, vc)];
+  }
+  const OutputVC& output_vc(Dir d, VNet vn, int vc) const {
+    return outputs_[port_of(d)].vcs[vc_index(vn, vc)];
+  }
+
+  int total_vcs() const { return cfg_.vcs_request_vn + cfg_.vcs_reply_vn; }
+  int vc_index(VNet vn, int vc) const {
+    return vn == VNet::Request ? vc : cfg_.vcs_request_vn + vc;
+  }
+  /// Number of VCs in the reply VN dedicated to circuits (0 when disabled,
+  /// 2 for Fragmented — one circuit per circuit VC — 1 otherwise).
+  int num_circuit_vcs() const;
+  bool is_circuit_vc(VNet vn, int vc) const {
+    return vn == VNet::Reply && vc < num_circuit_vcs();
+  }
+  /// Complete circuits remove the buffer of the circuit VC (§4.2).
+  bool vc_has_buffer(VNet vn, int vc) const {
+    return !(cfg_.circuit.bufferless_circuit_vc() && is_circuit_vc(vn, vc));
+  }
+
+ private:
+  struct InputPort {
+    std::vector<InputVC> vcs;
+    RoundRobinArbiter sa_input_arb;  ///< picks one VC of this port per cycle
+    std::deque<Flit> circ_retry;     ///< Fragmented/Ideal: blocked circuit flits
+  };
+  struct OutputPort {
+    std::vector<OutputVC> vcs;
+    RoundRobinArbiter sa_output_arb;  ///< picks one input port per cycle
+    std::vector<RoundRobinArbiter> va_arb;  ///< per output VC, picks input VC
+    std::optional<Flit> st_latch;     ///< switch-traversal register
+    Cycle st_ready = 0;
+    bool taken_by_circuit = false;    ///< crossbar priority marker, per cycle
+  };
+
+  void process_credits(Cycle now);
+  void process_arrivals(Cycle now);
+  void stage_st(Cycle now);
+  void stage_sa(Cycle now);
+  void stage_va(Cycle now);
+
+  enum class CircFwd : std::uint8_t { Forwarded, NoEntry, Blocked };
+  /// Circuit-check for an arriving (or retried) circuit flit: forward it on
+  /// its reserved path, report a missing entry (fall back to the buffered
+  /// pipeline), or report a transient block (retry next cycle).
+  CircFwd try_circuit_forward(Flit& flit, Port in_port, Cycle now);
+
+  /// Build-Circuit module (§4.1/§4.7), run in parallel with a request head's
+  /// VC allocation.
+  void maybe_build_circuit(const MsgPtr& msg, Port req_in, Port req_out,
+                           Cycle now);
+
+  /// Apply and forward a credit-carried undo arriving at output side `p`.
+  void handle_undo(Port p, const UndoRecord& rec, Cycle now);
+
+  void buffer_flit(const Flit& flit, Port p, Cycle now);
+  /// When an input VC is idle and a head flit waits at its buffer front,
+  /// route it and enter the VA stage.
+  void try_start_packet(Port p, int vc_idx, Cycle now);
+  void send_flit(Port out, const Flit& flit, Cycle now);
+  void send_credit(Port in_port, VNet vn, int vc, Cycle now);
+
+  NodeId id_;
+  Coord coord_;
+  // Fast-path occupancy counters: lightly loaded routers skip whole stages.
+  int n_waitva_ = 0;
+  int n_active_ = 0;
+  std::uint64_t flits_routed_ = 0;
+  // Cached hot-path statistic counters (StatSet lookups are string-keyed).
+  struct HotCounters {
+    std::uint64_t* buf_write = nullptr;
+    std::uint64_t* buf_read = nullptr;
+    std::uint64_t* xbar = nullptr;
+    std::uint64_t* link_flit = nullptr;
+    std::uint64_t* va_ops = nullptr;
+    std::uint64_t* sa_ops = nullptr;
+    std::uint64_t* circ_check = nullptr;
+    std::uint64_t* circ_fwd = nullptr;
+  } hot_;
+  NocConfig cfg_;
+  const Topology* topo_;
+  StatSet* stats_;
+  LatencyModel lat_;
+  CircuitManager circuits_;
+
+  std::array<InputPort, kNumDirs> inputs_;
+  std::array<OutputPort, kNumDirs> outputs_;
+  std::array<PortWiring, kNumDirs> wires_;
+  /// Undo records to forward next cycle. The one-cycle latch makes a
+  /// tear-down propagate at 2 cycles/hop — strictly slower than the
+  /// 2-cycle/hop replies it might chase, so an undo can never overtake a
+  /// reply (or scrounger) already riding the circuit.
+  std::vector<std::pair<Port, UndoRecord>> undo_latch_;
+};
+
+/// Flit count of the reply a circuit-building request reserves for.
+int reply_flits_for_request(MsgType req, const MessageSizes& sizes);
+
+/// Lower-bound service estimate (cycles between request delivery and reply
+/// hand-off) used by the timed reservation (§4.7); shared with tests.
+int estimated_service_cycles(MsgType req, const NocConfig& noc);
+
+}  // namespace rc

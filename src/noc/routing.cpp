@@ -1,0 +1,17 @@
+#include "noc/routing.hpp"
+
+namespace rc {
+
+Dir route_dor(Coord cur, Coord dest, bool yx) {
+  if (cur == dest) return Dir::Local;
+  auto x_step = [&]() { return dest.x > cur.x ? Dir::East : Dir::West; };
+  auto y_step = [&]() { return dest.y > cur.y ? Dir::South : Dir::North; };
+  if (yx) {
+    if (cur.y != dest.y) return y_step();
+    return x_step();
+  }
+  if (cur.x != dest.x) return x_step();
+  return y_step();
+}
+
+}  // namespace rc

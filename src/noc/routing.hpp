@@ -1,0 +1,78 @@
+// Dimension-order routing and the hop-latency model.
+//
+// Requests route XY; replies route YX (§4.1) so that a reply visits exactly
+// the routers its request traversed, in reverse order. Both functions are
+// also the single source of truth for the timing estimates used by the timed
+// circuit reservation (§4.7): the estimator and the real pipeline share the
+// same constants, so an undisturbed request/reply pair hits its slot exactly.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace rc {
+
+/// Next output port from `cur` toward `dest` under dimension-order routing.
+/// yx == false: X first then Y (requests). yx == true: Y first (replies).
+Dir route_dor(Coord cur, Coord dest, bool yx);
+
+/// Timing constants derived from the NoC config; used both to advance flits
+/// and to predict reply passage times for timed reservations.
+class LatencyModel {
+ public:
+  explicit LatencyModel(const NocConfig& noc) : noc_(noc) {}
+
+  /// Cycles from a flit's switch-traversal at one router to its arrival
+  /// processing (buffer write / circuit check) at the next router: one link
+  /// cycle plus the receive latch.
+  int st_to_arrival() const { return noc_.link_latency + 1; }
+
+  /// Packet-switched per-hop latency, arrival to arrival (5 in the paper:
+  /// BW, VA, SA, ST + link).
+  int packet_hop() const { return noc_.router_stages + noc_.link_latency; }
+
+  /// Circuit per-hop latency, arrival to arrival (2: check+ST + link).
+  int circuit_hop() const {
+    return noc_.circuit_router_latency + noc_.link_latency;
+  }
+
+  /// Predicted cycles from a request head winning VA at a router that is
+  /// `links_remaining` links from the destination router, until the message
+  /// is handed to the destination node's controller.
+  ///   VA -> SA -> ST is (router_stages - 2) more cycles at this router,
+  ///   then packet_hop() per remaining link, then ejection (ST->NI).
+  int request_remaining(int links_remaining) const {
+    return (noc_.router_stages - 2) + st_to_arrival()  // this router + eject/link
+           + links_remaining * packet_hop();
+  }
+
+  /// Predicted cycles from reply injection at the source NI until the reply's
+  /// head is processed (circuit check) at the router `links_back` links from
+  /// the circuit source router. NI->router injection costs st_to_arrival().
+  int reply_transit(int links_back) const {
+    return st_to_arrival() + links_back * circuit_hop();
+  }
+
+  /// Fixed overhead between message delivery at the destination NI and the
+  /// reply being handed to that NI for injection, excluding the cache/memory
+  /// service time itself (controller hand-off both ways).
+  int ni_turnaround() const { return noc_.ni_turnaround; }
+
+  /// Total uncontended cycles from request injection at the source NI to
+  /// delivery at the destination controller, over `links` links.
+  int request_total(int links) const {
+    return st_to_arrival() + 1 + request_remaining(links);
+  }
+
+  /// Uncontended cycle at which a request injected at `injected` is expected
+  /// to win VC allocation at the router `links_traveled` links from source.
+  Cycle expected_va(Cycle injected, int links_traveled) const {
+    return injected + st_to_arrival() + 1 +
+           static_cast<Cycle>(links_traveled) * packet_hop();
+  }
+
+ private:
+  NocConfig noc_;
+};
+
+}  // namespace rc

@@ -1,0 +1,38 @@
+#include "noc/topology.hpp"
+
+namespace rc {
+
+NodeId Topology::neighbour(NodeId n, Dir d) const {
+  Coord c = coord_of(n);
+  switch (d) {
+    case Dir::North: c.y -= 1; break;
+    case Dir::South: c.y += 1; break;
+    case Dir::East: c.x += 1; break;
+    case Dir::West: c.x -= 1; break;
+    case Dir::Local: return n;
+  }
+  return valid(c) ? node_at(c) : kInvalidNode;
+}
+
+int Topology::hops(NodeId a, NodeId b) const {
+  Coord ca = coord_of(a), cb = coord_of(b);
+  int dx = ca.x - cb.x, dy = ca.y - cb.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+std::vector<NodeId> Topology::memory_controller_nodes() const {
+  // One MC at the middle of each chip edge.
+  return {
+      node_at({w_ / 2, 0}),            // north edge
+      node_at({w_ / 2, h_ - 1}),       // south edge
+      node_at({0, h_ / 2}),            // west edge
+      node_at({w_ - 1, h_ / 2}),       // east edge
+  };
+}
+
+NodeId Topology::mem_ctrl_for(Addr addr) const {
+  auto mcs = memory_controller_nodes();
+  return mcs[(addr / kLineBytes) % mcs.size()];
+}
+
+}  // namespace rc

@@ -1,0 +1,44 @@
+// Mesh topology: node <-> coordinate mapping and neighbourhood.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+class Topology {
+ public:
+  Topology(int w, int h) : w_(w), h_(h) {}
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  int num_nodes() const { return w_ * h_; }
+
+  Coord coord_of(NodeId n) const {
+    return Coord{static_cast<int>(n) % w_, static_cast<int>(n) / w_};
+  }
+  NodeId node_at(Coord c) const { return static_cast<NodeId>(c.y * w_ + c.x); }
+
+  bool valid(Coord c) const {
+    return c.x >= 0 && c.x < w_ && c.y >= 0 && c.y < h_;
+  }
+
+  /// Neighbour of `n` in direction `d`, or kInvalidNode at a mesh edge.
+  NodeId neighbour(NodeId n, Dir d) const;
+
+  /// Manhattan distance in links.
+  int hops(NodeId a, NodeId b) const;
+
+  /// The paper places four memory controllers on the chip edges for both
+  /// 16- and 64-node chips (Table 2): middle of each edge.
+  std::vector<NodeId> memory_controller_nodes() const;
+
+  /// Memory controller that serves `addr` (nearest-from-set by interleave).
+  NodeId mem_ctrl_for(Addr addr) const;
+
+ private:
+  int w_, h_;
+};
+
+}  // namespace rc

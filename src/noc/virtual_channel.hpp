@@ -1,0 +1,32 @@
+// Input/output virtual channel state (the G/R/O/C fields of the paper's
+// Figure 2). All behaviour lives in Router; these are plain state records.
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace rc {
+
+/// Global state of an input VC.
+enum class VCState : std::uint8_t {
+  Idle,    ///< no packet
+  WaitVA,  ///< head buffered & routed, waiting for an output VC
+  Active,  ///< output VC granted, flits contending for the switch
+};
+
+struct InputVC {
+  VCState state = VCState::Idle;
+  std::deque<Flit> buf;   ///< flit buffer (depth enforced by Router)
+  Port out_port = 0;      ///< R: route computed for the resident packet
+  int out_vc = 0;         ///< O: output VC granted by VA
+  Cycle stage_ready = 0;  ///< earliest cycle the next pipeline stage may run
+};
+
+struct OutputVC {
+  int credits = 0;   ///< C: buffer slots free downstream
+  bool busy = false; ///< allocated to an upstream packet until its tail passes
+};
+
+}  // namespace rc

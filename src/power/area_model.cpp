@@ -1,0 +1,92 @@
+#include "power/area_model.hpp"
+
+#include <cmath>
+
+namespace rc {
+
+namespace {
+
+int ceil_log2(int v) {
+  int b = 0;
+  while ((1 << b) < v) ++b;
+  return b;
+}
+
+// Logic scaling constants (SRAM-bit equivalents), calibrated so the 16-core
+// baseline breakdown matches a DSENT-style 5x5 128-bit router and the
+// Table 6 deltas land near the paper's values (see tests/test_power.cpp).
+constexpr double kXbarPerPortPairBit = 2.5;   ///< crossbar cost per in*out*bit
+constexpr double kVaPerReqPair = 2.0;         ///< VA arbitration cell
+constexpr double kSaPerReqPair = 4.0;         ///< SA arbitration cell
+constexpr double kMiscShare = 0.10;           ///< latches/control on top
+constexpr double kCircuitLogicPerEntry = 4.0; ///< match/build/undo per entry
+constexpr double kTimedLogicPerEntry = 8.0;   ///< slot comparators
+constexpr double kEntryOverheadBits = 30.0;   ///< comparators amortized
+
+}  // namespace
+
+int AreaModel::circuit_entry_bits(const NocConfig& cfg) {
+  const int id_bits = ceil_log2(cfg.num_nodes());
+  const int addr_bits = 30;  // 36-bit physical address, 64B lines
+  // B + destID + block@ + outport + srcID (same-source rule)
+  int bits = 1 + id_bits + addr_bits + 3 + id_bits;
+  if (cfg.circuit.is_timed()) bits += 2 * slot_counter_bits(cfg);
+  return bits;
+}
+
+int AreaModel::slot_counter_bits(const NocConfig& cfg) {
+  // The start/end down-counters must span the longest reservation horizon:
+  // a full request traversal plus the memory service time plus the reply.
+  const int diameter = cfg.mesh_w + cfg.mesh_h - 2;
+  const int horizon = cfg.packet_hop_cycles() * diameter +
+                      cfg.est_service_mem +
+                      cfg.circuit_hop_cycles() * diameter + 64;
+  return ceil_log2(horizon);
+}
+
+RouterArea AreaModel::router(const NocConfig& cfg) {
+  RouterArea a;
+  const int flit_bits = cfg.flit_bytes * 8;
+  const int total_vcs = cfg.vcs_request_vn + cfg.vcs_reply_vn;
+  const int circuit_vcs = cfg.circuit.num_circuit_vcs();
+  // Complete circuits remove the buffer of the (single) circuit VC (§4.2).
+  const int buffered_vcs =
+      total_vcs - (cfg.circuit.bufferless_circuit_vc() ? 1 : 0);
+
+  a.buffers = static_cast<double>(kNumDirs) * buffered_vcs *
+              cfg.buffer_depth_flits * flit_bits;
+  a.crossbar = kXbarPerPortPairBit * kNumDirs * kNumDirs * flit_bits;
+  // VA: each (input VC, output VC) pair within a VN is an arbitration point.
+  const double va_pairs =
+      static_cast<double>(kNumDirs) * kNumDirs *
+      (cfg.vcs_request_vn * cfg.vcs_request_vn +
+       cfg.vcs_reply_vn * cfg.vcs_reply_vn);
+  a.va_alloc = kVaPerReqPair * va_pairs;
+  a.sa_alloc = kSaPerReqPair * kNumDirs * kNumDirs * total_vcs;
+
+  if (cfg.circuit.uses_circuits() && cfg.circuit.mode != CircuitMode::Ideal) {
+    const int entries = kNumDirs * cfg.circuit.circuits_per_input;
+    a.circuit_store =
+        entries * (circuit_entry_bits(cfg) + kEntryOverheadBits);
+    a.circuit_logic = kCircuitLogicPerEntry * entries +
+                      /*per-port check/build blocks*/ 20.0 * kNumDirs;
+    if (cfg.circuit.is_timed())
+      a.circuit_logic += kTimedLogicPerEntry * entries;
+    (void)circuit_vcs;
+  }
+
+  a.output_misc =
+      kMiscShare * (a.buffers + a.crossbar + a.va_alloc + a.sa_alloc);
+  return a;
+}
+
+double AreaModel::savings_vs_baseline(const NocConfig& cfg) {
+  NocConfig base = cfg;
+  base.circuit = CircuitConfig{};
+  base.vcs_reply_vn = 2;  // Table 4 baseline
+  const double b = router(base).total();
+  const double t = router(cfg).total();
+  return (b - t) / b;
+}
+
+}  // namespace rc

@@ -1,0 +1,45 @@
+// Analytical router area model (DSENT substitute — see DESIGN.md §2).
+//
+// Areas are in arbitrary "bit-equivalent" units: one SRAM bit is 1 unit and
+// logic blocks are expressed relative to it. Table 6 reports *relative*
+// savings, which depend only on these ratios. The constants are calibrated
+// so the baseline component shares match published DSENT-style router
+// breakdowns (buffer-dominated at 5x16B buffers per VC) and the paper's
+// reported deltas.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace rc {
+
+struct RouterArea {
+  double buffers = 0;        ///< input FIFO storage
+  double crossbar = 0;
+  double va_alloc = 0;       ///< VC allocator
+  double sa_alloc = 0;       ///< switch allocator
+  double circuit_store = 0;  ///< circuit tables (+ timestamps when timed)
+  double circuit_logic = 0;  ///< circuit check / build / undo logic
+  double output_misc = 0;    ///< output units, pipeline latches, control
+
+  double total() const {
+    return buffers + crossbar + va_alloc + sa_alloc + circuit_store +
+           circuit_logic + output_misc;
+  }
+};
+
+class AreaModel {
+ public:
+  /// Area of one router under `cfg` (mesh size sets the ID widths).
+  static RouterArea router(const NocConfig& cfg);
+
+  /// Relative saving vs. a baseline router of the same mesh:
+  /// (baseline - this) / baseline; negative numbers mean growth.
+  static double savings_vs_baseline(const NocConfig& cfg);
+
+  /// Bits of one circuit-table entry (Fig. 3: B, destID, block@, outport
+  /// [+ src for the same-source rule, + two slot counters when timed]).
+  static int circuit_entry_bits(const NocConfig& cfg);
+  static int slot_counter_bits(const NocConfig& cfg);
+};
+
+}  // namespace rc

@@ -1,0 +1,55 @@
+#include "power/energy_model.hpp"
+
+#include "power/area_model.hpp"
+
+namespace rc {
+
+namespace {
+// Dynamic energy per event (arbitrary units per 128-bit flit operation).
+constexpr double kEBufWrite = 1.0;
+constexpr double kEBufRead = 1.0;
+constexpr double kEXbar = 1.2;
+constexpr double kEAlloc = 0.2;
+constexpr double kELink = 1.6;
+constexpr double kECircCheck = 0.05;
+constexpr double kECircReserve = 0.10;
+// Leakage per area unit per cycle; buffers leak hardest, which is what
+// makes removing the circuit VC's buffers pay off (§4.2).
+constexpr double kLeakPerAreaCycle = 4.5e-5;
+constexpr double kLinkStaticPerCycle = 0.002;  ///< per link
+}  // namespace
+
+EnergyBreakdown EnergyModel::network_energy(const NocConfig& cfg,
+                                            const StatSet& s, Cycle cycles) {
+  EnergyBreakdown e;
+  auto c = [&](const char* name) {
+    return static_cast<double>(s.counter_value(name));
+  };
+  e.buffer = kEBufWrite * c("buf_write") + kEBufRead * c("buf_read");
+  e.crossbar = kEXbar * c("xbar");
+  e.alloc = kEAlloc * (c("va_ops") + c("sa_ops"));
+  e.link = kELink * (c("link_flit") + c("ni_inject_flit"));
+  e.circuit = kECircCheck * c("circ_check") +
+              kECircReserve * (c("circ_reservations") +
+                               c("circ_entries_undone"));
+
+  const int n = cfg.num_nodes();
+  const double router_area = AreaModel::router(cfg).total();
+  e.router_static = kLeakPerAreaCycle * router_area * n *
+                    static_cast<double>(cycles);
+  // 2 directed links per mesh edge + 2 local links per node.
+  const int links = 2 * (cfg.mesh_w * (cfg.mesh_h - 1) +
+                         cfg.mesh_h * (cfg.mesh_w - 1)) + 2 * n;
+  e.link_static = kLinkStaticPerCycle * links * static_cast<double>(cycles);
+  return e;
+}
+
+double EnergyModel::energy_per_instruction(const NocConfig& cfg,
+                                           const StatSet& s, Cycle cycles,
+                                           std::uint64_t retired) {
+  if (retired == 0) return 0.0;
+  return network_energy(cfg, s, cycles).total() /
+         static_cast<double>(retired);
+}
+
+}  // namespace rc

@@ -1,0 +1,43 @@
+// Network energy model (DSENT substitute): per-event dynamic energies plus
+// area-proportional leakage. Figure 8 reports energy *normalized to the
+// baseline for the same work*, so the absolute unit is arbitrary; we report
+// energy-per-retired-instruction, which folds the paper's execution-time
+// effect (a faster run leaks for fewer cycles per unit of work) into a
+// fixed-cycle simulation.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace rc {
+
+struct EnergyBreakdown {
+  double buffer = 0;    ///< buffer reads + writes
+  double crossbar = 0;  ///< switch traversals (incl. circuit bypasses)
+  double alloc = 0;     ///< VA + SA operations
+  double link = 0;      ///< inter-router link traversals
+  double circuit = 0;   ///< circuit checks + reservations + undo handling
+  double router_static = 0;
+  double link_static = 0;
+
+  double dynamic() const { return buffer + crossbar + alloc + link + circuit; }
+  double total() const { return dynamic() + router_static + link_static; }
+};
+
+class EnergyModel {
+ public:
+  /// Total network energy over a measured window.
+  /// `net_stats` must contain the router/NI event counters; `cycles` is the
+  /// measured window length.
+  static EnergyBreakdown network_energy(const NocConfig& cfg,
+                                        const StatSet& net_stats,
+                                        Cycle cycles);
+
+  /// Energy per retired instruction — the figure-8 metric before
+  /// normalization to baseline.
+  static double energy_per_instruction(const NocConfig& cfg,
+                                       const StatSet& net_stats, Cycle cycles,
+                                       std::uint64_t retired);
+};
+
+}  // namespace rc

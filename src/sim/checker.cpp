@@ -1,0 +1,58 @@
+#include "sim/checker.hpp"
+
+#include <sstream>
+
+namespace rc {
+
+std::vector<std::string> InvariantChecker::check(Cycle now) const {
+  std::vector<std::string> out;
+  // Liveness: no tracked message should stay in flight past the bound
+  // (memory round trips + queueing stay well under it in a healthy system).
+  for (const auto& [id, sent] : in_flight_) {
+    if (now - sent > max_age_) {
+      std::ostringstream os;
+      os << "message " << id << " in flight for " << (now - sent)
+         << " cycles (sent @" << sent << ")";
+      out.push_back(os.str());
+    }
+  }
+  // Directory: blocked lines are bounded by the same liveness argument;
+  // count only (ages are not tracked per line to keep the checker cheap).
+  std::size_t busy = 0;
+  const int n = sys_->config().noc.num_nodes();
+  for (NodeId i = 0; i < n; ++i) busy += sys_->l2(i).busy_lines();
+  if (busy > static_cast<std::size_t>(8 * n)) {
+    std::ostringstream os;
+    os << busy << " L2 lines blocked simultaneously (suspicious pile-up)";
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+int InvariantChecker::claimed_circuit_vcs() const {
+  int claimed = 0;
+  const NocConfig& noc = sys_->config().noc;
+  if (noc.circuit.mode != CircuitMode::Fragmented) return 0;
+  const int n = noc.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    Router& r = sys_->network().router(i);
+    for (int d = 0; d < kNumDirs; ++d)
+      for (int vc = 0; vc < noc.circuit.num_circuit_vcs(); ++vc)
+        if (r.output_vc(static_cast<Dir>(d), VNet::Reply, vc).busy) ++claimed;
+  }
+  return claimed;
+}
+
+int InvariantChecker::live_circuit_entries(Cycle now) const {
+  int live = 0;
+  const int n = sys_->config().noc.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    Router& r = sys_->network().router(i);
+    for (int p = 0; p < kNumDirs; ++p)
+      for (const auto& e : r.circuits().table(p).entries())
+        if (e.live(now)) ++live;
+  }
+  return live;
+}
+
+}  // namespace rc

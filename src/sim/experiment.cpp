@@ -1,0 +1,130 @@
+#include "sim/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "cpu/apps.hpp"
+#include "power/energy_model.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+
+RunResult run_config(SystemConfig cfg, const std::string& label) {
+  System sys(cfg);
+  sys.run();
+
+  RunResult r;
+  r.preset = label;
+  r.app = cfg.workload;
+  r.cores = cfg.noc.num_nodes();
+  r.cycles = cfg.measure_cycles;
+  r.retired = sys.total_retired();
+  r.ipc = static_cast<double>(r.retired) /
+          (static_cast<double>(r.cycles) * r.cores);
+  r.net = sys.network().stats();
+  r.sys = sys.sys_stats();
+  r.noc = cfg.noc;
+  r.energy_per_instr = EnergyModel::energy_per_instruction(
+      cfg.noc, r.net, r.cycles, r.retired);
+  return r;
+}
+
+RunResult run_one(int cores, const std::string& preset, const std::string& app,
+                  std::uint64_t seed, Cycle warmup, Cycle measure) {
+  SystemConfig cfg = make_system_config(cores, preset, app, seed);
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  return run_config(cfg, preset);
+}
+
+std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
+                                const std::vector<std::string>& labels,
+                                int jobs) {
+  RC_ASSERT(cfgs.size() == labels.size(), "one label per configuration");
+  if (jobs <= 0) {
+    if (const char* v = std::getenv("RC_JOBS")) jobs = std::atoi(v);
+    if (jobs <= 0)
+      jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 4;
+  }
+  std::vector<RunResult> out(cfgs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= cfgs.size()) return;
+      out[i] = run_config(cfgs[i], labels[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  const int n = std::min<int>(jobs, static_cast<int>(cfgs.size()));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return out;
+}
+
+ReplyBreakdown reply_breakdown(const RunResult& r) {
+  ReplyBreakdown b;
+  auto n = [&](const char* k) { return r.net.counter_value(k); };
+  const std::uint64_t used = n("reply_used");
+  const std::uint64_t partial = n("reply_partial");
+  const std::uint64_t failed = n("reply_failed");
+  const std::uint64_t undone = n("reply_undone");
+  const std::uint64_t scr = n("reply_scrounged");
+  const std::uint64_t not_el = n("reply_not_eligible");
+  const std::uint64_t other = n("reply_eligible_nocirc");
+  const std::uint64_t elim = r.sys.counter_value("replies_eliminated");
+  const std::uint64_t total =
+      used + partial + failed + undone + scr + not_el + other + elim;
+  b.total_replies = total;
+  if (total == 0) return b;
+  const double t = static_cast<double>(total);
+  b.used = used / t;
+  b.failed = (failed + partial) / t;
+  b.undone = undone / t;
+  b.scrounged = scr / t;
+  b.not_eligible = not_el / t;
+  b.eliminated = elim / t;
+  b.other = other / t;
+  return b;
+}
+
+double mean_speedup(const std::vector<RunResult>& base,
+                    const std::vector<RunResult>& variant) {
+  RC_ASSERT(base.size() == variant.size() && !base.empty(),
+            "mismatched result sets");
+  double acc = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    RC_ASSERT(base[i].app == variant[i].app, "result sets must align by app");
+    acc += variant[i].ipc / base[i].ipc;
+  }
+  return acc / static_cast<double>(base.size());
+}
+
+namespace {
+Cycle env_cycles(const char* name, Cycle fallback) {
+  if (const char* v = std::getenv(name)) {
+    long long x = std::atoll(v);
+    if (x > 0) return static_cast<Cycle>(x);
+  }
+  return fallback;
+}
+}  // namespace
+
+Cycle env_measure_cycles(Cycle fallback) {
+  return env_cycles("RC_MEASURE_CYCLES", fallback);
+}
+Cycle env_warmup_cycles(Cycle fallback) {
+  return env_cycles("RC_WARMUP_CYCLES", fallback);
+}
+bool env_full_runs() {
+  const char* v = std::getenv("RC_FULL");
+  return v && v[0] == '1';
+}
+const std::vector<std::string>& bench_apps() {
+  return env_full_runs() ? app_names() : app_names_small();
+}
+
+}  // namespace rc

@@ -1,0 +1,69 @@
+// Experiment driver: runs configurations and derives the per-figure metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace rc {
+
+/// Everything measured in one simulation run.
+struct RunResult {
+  std::string preset;
+  std::string app;
+  int cores = 0;
+  Cycle cycles = 0;
+  std::uint64_t retired = 0;
+  double ipc = 0;
+  double energy_per_instr = 0;
+  StatSet net;  ///< network-side counters/accumulators
+  StatSet sys;  ///< controller-side counters
+  NocConfig noc;
+};
+
+/// Fig. 6: fractions of all reply messages (eliminated ACKs count in the
+/// denominator, as in the paper).
+struct ReplyBreakdown {
+  double used = 0;
+  double failed = 0;     ///< includes fragmented partial circuits
+  double undone = 0;
+  double scrounged = 0;
+  double not_eligible = 0;
+  double eliminated = 0;
+  double other = 0;      ///< eligible, mechanism off / no circuit attempted
+  std::uint64_t total_replies = 0;
+};
+
+RunResult run_one(int cores, const std::string& preset, const std::string& app,
+                  std::uint64_t seed = 1, Cycle warmup = 20'000,
+                  Cycle measure = 100'000);
+
+/// Run an arbitrary (possibly hand-tweaked) configuration; `label` names it
+/// in the result. Used by the ablation benches.
+RunResult run_config(SystemConfig cfg, const std::string& label);
+
+/// Run many independent configurations on a pool of `jobs` threads
+/// (simulations share no state; results come back in input order). jobs<=0
+/// uses RC_JOBS or the hardware concurrency.
+std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
+                                const std::vector<std::string>& labels,
+                                int jobs = 0);
+
+ReplyBreakdown reply_breakdown(const RunResult& r);
+
+/// Average of per-app speedups (variant IPC / baseline IPC), given results
+/// keyed identically by app.
+double mean_speedup(const std::vector<RunResult>& base,
+                    const std::vector<RunResult>& variant);
+
+/// Convenience: measured window length scaling via environment.
+/// RC_MEASURE_CYCLES / RC_WARMUP_CYCLES / RC_FULL=1 (full app list).
+Cycle env_measure_cycles(Cycle fallback);
+Cycle env_warmup_cycles(Cycle fallback);
+bool env_full_runs();
+const std::vector<std::string>& bench_apps();
+
+}  // namespace rc

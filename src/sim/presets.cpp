@@ -1,0 +1,94 @@
+#include "sim/presets.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> v = {
+      "Baseline", "Fragmented", "Complete", "Complete_NoAck", "Reuse_NoAck",
+      "Timed_NoAck", "Slack1_NoAck", "Slack2_NoAck", "Slack4_NoAck",
+      "SlackDelay1_NoAck", "SlackDelay2_NoAck", "Postponed1_NoAck",
+      "Postponed2_NoAck", "Ideal"};
+  return v;
+}
+
+const std::vector<std::string>& preset_names_small() {
+  static const std::vector<std::string> v = {
+      "Baseline", "Fragmented", "Complete", "Complete_NoAck", "Reuse_NoAck",
+      "Timed_NoAck", "SlackDelay1_NoAck", "Postponed1_NoAck", "Ideal"};
+  return v;
+}
+
+CircuitConfig circuit_preset(const std::string& name) {
+  CircuitConfig c;
+  auto timed = [&](TimedMode m, int slack) {
+    c.mode = CircuitMode::Complete;
+    c.circuits_per_input = 5;
+    c.no_ack = true;
+    c.timed = m;
+    c.slack_per_hop = slack;
+  };
+  if (name == "Baseline") {
+    return c;
+  } else if (name == "Fragmented") {
+    c.mode = CircuitMode::Fragmented;
+    c.circuits_per_input = 2;
+  } else if (name == "Complete") {
+    c.mode = CircuitMode::Complete;
+    c.circuits_per_input = 5;
+  } else if (name == "Complete_NoAck") {
+    c.mode = CircuitMode::Complete;
+    c.circuits_per_input = 5;
+    c.no_ack = true;
+  } else if (name == "Reuse_NoAck") {
+    c.mode = CircuitMode::Complete;
+    c.circuits_per_input = 5;
+    c.no_ack = true;
+    c.reuse = true;
+  } else if (name == "Timed_NoAck") {
+    timed(TimedMode::Exact, 0);
+  } else if (name == "Slack1_NoAck") {
+    timed(TimedMode::Slack, 1);
+  } else if (name == "Slack2_NoAck") {
+    timed(TimedMode::Slack, 2);
+  } else if (name == "Slack4_NoAck") {
+    timed(TimedMode::Slack, 4);
+  } else if (name == "SlackDelay1_NoAck") {
+    timed(TimedMode::SlackDelay, 1);
+  } else if (name == "SlackDelay2_NoAck") {
+    timed(TimedMode::SlackDelay, 2);
+  } else if (name == "Postponed1_NoAck") {
+    timed(TimedMode::Postponed, 1);
+  } else if (name == "Postponed2_NoAck") {
+    timed(TimedMode::Postponed, 2);
+  } else if (name == "Ideal") {
+    c.mode = CircuitMode::Ideal;
+    c.circuits_per_input = -1;
+    c.no_ack = true;
+  } else {
+    fatal("unknown circuit preset: " + name);
+  }
+  return c;
+}
+
+SystemConfig make_system_config(int cores, const std::string& preset,
+                                const std::string& app, std::uint64_t seed) {
+  RC_ASSERT(cores == 16 || cores == 64, "the paper evaluates 16 and 64 cores");
+  SystemConfig cfg;
+  const int side = cores == 16 ? 4 : 8;
+  cfg.noc.mesh_w = cfg.noc.mesh_h = side;
+  cfg.noc.circuit = circuit_preset(preset);
+  cfg.noc.vcs_reply_vn =
+      cfg.noc.circuit.mode == CircuitMode::Fragmented ? 3 : 2;
+  cfg.noc.replies_yx = cfg.noc.circuit.uses_circuits();
+  cfg.noc.est_service_cache = cfg.cache.l2_hit_latency;
+  cfg.noc.est_service_mem = cfg.cache.memory_latency;
+  cfg.workload = app;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace rc

@@ -1,0 +1,29 @@
+// Named configurations matching the bars of the paper's Figures 6-9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace rc {
+
+/// All circuit-variant names, in the paper's presentation order:
+///   Baseline, Fragmented, Complete, Complete_NoAck, Reuse_NoAck,
+///   Timed_NoAck, Slack1_NoAck, Slack2_NoAck, Slack4_NoAck,
+///   SlackDelay1_NoAck, SlackDelay2_NoAck, Postponed1_NoAck,
+///   Postponed2_NoAck, Ideal.
+const std::vector<std::string>& preset_names();
+
+/// The subset highlighted in Figures 7-9.
+const std::vector<std::string>& preset_names_small();
+
+/// CircuitConfig (plus derived VC counts) for a named variant.
+CircuitConfig circuit_preset(const std::string& name);
+
+/// Full SystemConfig for `cores` in {16, 64}, a variant and an app model.
+SystemConfig make_system_config(int cores, const std::string& preset,
+                                const std::string& app,
+                                std::uint64_t seed = 1);
+
+}  // namespace rc

@@ -1,0 +1,48 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+namespace rc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> w(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.size() && i < w.size(); ++i)
+      if (r[i].size() > w[i]) w[i] = r[i].size();
+
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : "";
+      std::printf("%-*s  ", static_cast<int>(w[i]), c.c_str());
+    }
+    std::printf("\n");
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto x : w) total += x + 2;
+  std::string sep(total, '-');
+  std::printf("%s\n", sep.c_str());
+  for (const auto& r : rows_) line(r);
+}
+
+std::string Table::pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace rc

@@ -1,0 +1,25 @@
+// Plain-text table rendering for the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with aligned columns to stdout.
+  void print(const std::string& title = "") const;
+
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rc

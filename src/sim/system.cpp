@@ -1,0 +1,172 @@
+#include "sim/system.hpp"
+
+#include <string>
+
+#include "cpu/apps.hpp"
+
+namespace rc {
+
+System::System(const SystemConfig& cfg) : cfg_(cfg) {
+  std::string err = cfg_.validate();
+  if (!err.empty()) fatal("invalid SystemConfig: " + err);
+  net_ = std::make_unique<Network>(cfg_.noc);
+  amap_ = std::make_unique<AddressMap>(&net_->topo(), cfg_.partition_side);
+
+  const int n = cfg_.noc.num_nodes();
+  Rng root(cfg_.seed);
+  // workload "none" builds the full memory system without cores; tests
+  // drive the L1s directly.
+  const bool with_cores = cfg_.workload != "none";
+  if (with_cores) core_profs_ = core_profiles(cfg_.workload, n, cfg_.seed);
+
+  mcs_.resize(n);
+  for (NodeId node : net_->topo().memory_controller_nodes()) {
+    if (!mcs_[node])
+      mcs_[node] = std::make_unique<MemoryController>(node, cfg_.cache,
+                                                      net_.get(), &sys_stats_);
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    l1s_.push_back(std::make_unique<L1Cache>(i, cfg_.cache, net_.get(),
+                                             amap_.get(), &sys_stats_));
+    l2s_.push_back(std::make_unique<L2Bank>(i, cfg_.cache, cfg_.noc.circuit,
+                                            net_.get(), amap_.get(),
+                                            &sys_stats_));
+    if (with_cores) {
+      auto gen = std::make_unique<WorkloadGen>(core_profs_[i], i, n,
+                                               root.fork(i + 1));
+      if (amap_->partitioned()) {
+        const int p = amap_->partition_of(i);
+        auto members = amap_->partition_nodes(p);
+        int member_idx = 0;
+        for (std::size_t k = 0; k < members.size(); ++k)
+          if (members[k] == i) member_idx = static_cast<int>(k);
+        gen->set_region_bases(
+            kSharedBase + static_cast<Addr>(p) * kPartitionSharedSpan,
+            kMigratoryBase + static_cast<Addr>(p) * kPartitionSharedSpan,
+            static_cast<int>(members.size()), member_idx);
+      }
+      cores_.push_back(
+          std::make_unique<Core>(i, std::move(gen), l1s_.back().get(),
+                                 &sys_stats_));
+    }
+  }
+
+  net_->set_deliver([this](NodeId node, const MsgPtr& m) { deliver(node, m); });
+  net_->set_reply_injected([this](NodeId node, const MsgPtr& m, bool circ) {
+    l2s_[node]->on_reply_injected(m, circ, now_);
+  });
+}
+
+void System::deliver(NodeId node, const MsgPtr& msg) {
+  if (observer_) observer_(node, msg);
+  switch (msg->type) {
+    case MsgType::GetS:
+    case MsgType::GetX:
+    case MsgType::WbData:
+    case MsgType::L1DataAck:
+    case MsgType::L1InvAck:
+    case MsgType::MemData:
+    case MsgType::MemAck:
+      l2s_[node]->handle(msg, now_);
+      break;
+    case MsgType::Inv:
+    case MsgType::FwdGetS:
+    case MsgType::FwdGetX:
+    case MsgType::L2Reply:
+    case MsgType::L2WbAck:
+    case MsgType::L1ToL1:
+      l1s_[node]->handle(msg, now_);
+      break;
+    case MsgType::MemRead:
+    case MsgType::MemWb:
+      RC_ASSERT(mcs_[node] != nullptr, "memory request at non-MC node");
+      mcs_[node]->handle(msg, now_);
+      break;
+  }
+}
+
+void System::run_cycles(Cycle n) {
+  const Cycle end = now_ + n;
+  for (; now_ < end; ++now_) {
+    for (auto& c : cores_) c->tick(now_);
+    for (auto& l1 : l1s_) l1->tick(now_);
+    for (auto& l2 : l2s_) l2->tick(now_);
+    for (auto& mc : mcs_)
+      if (mc) mc->tick(now_);
+    net_->tick(now_);
+  }
+}
+
+void System::reset_stats() {
+  sys_stats_.reset();
+  net_->stats().reset();
+  for (auto& c : cores_) c->reset_retired();
+}
+
+void System::prewarm() {
+  if (prewarmed_ || cfg_.workload == "none") return;
+  prewarmed_ = true;
+  const int n = cfg_.noc.num_nodes();
+  auto hot_count = [](std::uint32_t lines, double frac) {
+    auto h = static_cast<std::uint32_t>(lines * frac);
+    return h ? h : 1u;
+  };
+  // Private hot sets: L1-resident, exclusively owned, present in the L2
+  // home bank with the owning core in the directory. The rest of every
+  // working set becomes L2-resident while capacity lasts (prewarm_line
+  // refuses once a set is full), standing in for the paper's 200M-cycle
+  // warm-up: first accesses are remote-L2 hits, and only footprints that
+  // genuinely exceed the aggregate L2 (canneal, ocean, mcf/lbm in the mix)
+  // keep producing memory traffic.
+  for (NodeId c = 0; c < n; ++c) {
+    const AppProfile& prof = core_profs_[c];
+    const std::uint32_t priv_hot =
+        hot_count(prof.private_lines, prof.hot_fraction);
+    Addr base = kPrivateBase + static_cast<Addr>(c) * kPrivateStride;
+    for (std::uint32_t i = 0; i < priv_hot; ++i) {
+      Addr a = base + static_cast<Addr>(i) * kLineBytes;
+      l1s_[c]->prewarm_line(a, L1State::E);
+      l2s_[amap_->home_l2(a)]->prewarm_line(a, c);
+    }
+    for (std::uint32_t i = priv_hot; i < prof.private_lines; ++i) {
+      Addr a = base + static_cast<Addr>(i) * kLineBytes;
+      l2s_[amap_->home_l2(a)]->prewarm_line(a, kInvalidNode);
+    }
+  }
+  // Shared/migratory regions: every partition gets its slice (one slice,
+  // offset zero, when the chip is monolithic). Sizes follow the largest
+  // profile in use (homogeneous runs: the single app; mix has no sharing).
+  std::uint32_t shared_lines = 0, mig_lines = 0;
+  for (const auto& p : core_profs_) {
+    shared_lines = std::max(shared_lines, p.shared_lines);
+    mig_lines = std::max(mig_lines, p.migratory_lines);
+  }
+  const int nparts = amap_->num_partitions();
+  for (int p = 0; p < nparts; ++p) {
+    const Addr soff = static_cast<Addr>(p) * kPartitionSharedSpan;
+    for (std::uint32_t i = 0; i < shared_lines; ++i) {
+      Addr a = kSharedBase + soff + static_cast<Addr>(i) * kLineBytes;
+      l2s_[amap_->home_l2(a)]->prewarm_line(a, kInvalidNode);
+    }
+    for (std::uint32_t i = 0; i < mig_lines; ++i) {
+      Addr a = kMigratoryBase + soff + static_cast<Addr>(i) * kLineBytes;
+      l2s_[amap_->home_l2(a)]->prewarm_line(a, kInvalidNode);
+    }
+  }
+}
+
+Cycle System::run() {
+  prewarm();
+  run_cycles(cfg_.warmup_cycles);
+  reset_stats();
+  run_cycles(cfg_.measure_cycles);
+  return cfg_.measure_cycles;
+}
+
+std::uint64_t System::total_retired() const {
+  std::uint64_t t = 0;
+  for (const auto& c : cores_) t += c->retired();
+  return t;
+}
+
+}  // namespace rc

@@ -1,0 +1,77 @@
+// Full-CMP assembly: cores, L1s, L2 banks with directory, memory
+// controllers, and the (Reactive Circuits) NoC, all on one clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/address_map.hpp"
+#include "coherence/l1_cache.hpp"
+#include "coherence/l2_bank.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "cpu/apps.hpp"
+#include "cpu/core.hpp"
+#include "memory/memory_controller.hpp"
+#include "noc/network.hpp"
+
+namespace rc {
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  /// Warm up (stats discarded), then measure. Returns measured cycles.
+  /// Caches are first warmed functionally (hot working sets installed with
+  /// consistent directory state), standing in for the paper's 200M-cycle
+  /// warm-up at laptop-scale simulation budgets.
+  Cycle run();
+
+  /// Functional cache warm-up (called by run(); idempotent).
+  void prewarm();
+
+  /// Advance the clock by `n` cycles (exposed for tests).
+  void run_cycles(Cycle n);
+
+  /// Reset all statistics (end of warm-up).
+  void reset_stats();
+
+  Cycle now() const { return now_; }
+  const SystemConfig& config() const { return cfg_; }
+  Network& network() { return *net_; }
+  StatSet& sys_stats() { return sys_stats_; }
+  const StatSet& sys_stats() const { return sys_stats_; }
+
+  std::uint64_t total_retired() const;
+  std::uint64_t retired_of(int core) const { return cores_[core]->retired(); }
+
+  L1Cache& l1(NodeId n) { return *l1s_[n]; }
+  L2Bank& l2(NodeId n) { return *l2s_[n]; }
+
+  /// Observe every message delivered over the network (tracing/debugging);
+  /// called before the message is handed to its controller.
+  void set_message_observer(
+      std::function<void(NodeId, const MsgPtr&)> cb) {
+    observer_ = std::move(cb);
+  }
+
+ private:
+  void deliver(NodeId node, const MsgPtr& msg);
+
+  SystemConfig cfg_;
+  Cycle now_ = 0;
+  bool prewarmed_ = false;
+  StatSet sys_stats_;
+  std::function<void(NodeId, const MsgPtr&)> observer_;
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<AddressMap> amap_;
+  std::vector<std::unique_ptr<L1Cache>> l1s_;
+  std::vector<std::unique_ptr<L2Bank>> l2s_;
+  std::vector<std::unique_ptr<MemoryController>> mcs_;  ///< indexed by node
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<AppProfile> core_profs_;
+};
+
+}  // namespace rc

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rc {
+
+FlightRecorder::FlightRecorder(System* sys, std::size_t max_events)
+    : max_events_(max_events) {
+  sys->set_message_observer([this](NodeId, const MsgPtr& m) {
+    if (records_.size() >= max_events_) return;
+    records_.push_back({m->id, m->type, m->src, m->dest, m->created,
+                        m->injected, m->delivered, m->on_circuit,
+                        m->outcome == CircuitOutcome::Scrounged,
+                        m->ack_elided});
+  });
+}
+
+std::string FlightRecorder::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const Record& r : records_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Queueing slice (created -> injected) then network slice
+    // (injected -> delivered), both on the source node's track.
+    const int pid = vnet_of(r.type) == VNet::Request ? 0 : 1;
+    if (r.injected > r.created) {
+      os << R"({"name":"queue )" << to_string(r.type) << R"(","ph":"X","ts":)"
+         << r.created << R"(,"dur":)" << (r.injected - r.created)
+         << R"(,"pid":)" << pid << R"(,"tid":)" << r.src
+         << R"(,"args":{"id":)" << r.id << "}},\n";
+    }
+    os << R"({"name":")" << to_string(r.type) << R"(","ph":"X","ts":)"
+       << r.injected << R"(,"dur":)"
+       << (r.delivered > r.injected ? r.delivered - r.injected : 1)
+       << R"(,"pid":)" << pid << R"(,"tid":)" << r.src << R"(,"args":{"id":)"
+       << r.id << R"(,"dest":)" << r.dest << R"(,"circuit":)"
+       << (r.on_circuit ? "true" : "false") << R"(,"scrounged":)"
+       << (r.scrounged ? "true" : "false") << R"(,"ack_elided":)"
+       << (r.ack_elided ? "true" : "false") << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool FlightRecorder::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::string json = to_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace rc

@@ -1,0 +1,40 @@
+// Flight recorder: captures every network message's lifetime and exports a
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto). One
+// track (tid) per source node, one process (pid) per virtual network, so
+// request/reply flows line up visually; circuit rides are tagged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "noc/message.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+
+class FlightRecorder {
+ public:
+  /// Attaches to the System's delivery observer; recording starts at once.
+  /// `max_events` bounds memory on long runs (oldest events are kept).
+  explicit FlightRecorder(System* sys, std::size_t max_events = 200'000);
+
+  std::size_t events() const { return records_.size(); }
+
+  /// Serialize as Chrome trace-event JSON.
+  std::string to_json() const;
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Record {
+    std::uint64_t id;
+    MsgType type;
+    NodeId src, dest;
+    Cycle created, injected, delivered;
+    bool on_circuit, scrounged, ack_elided;
+  };
+  std::vector<Record> records_;
+  std::size_t max_events_;
+};
+
+}  // namespace rc

@@ -1,0 +1,246 @@
+// Reservation-policy tests: the §4.2 structural rules for complete circuits,
+// the §4.7 slot rules and SlackDelay shifting, fragmented VC claiming, and
+// the Table-5 occupancy statistics.
+#include <gtest/gtest.h>
+
+#include "circuits/circuit_manager.hpp"
+
+namespace rc {
+namespace {
+
+CircuitConfig complete_cfg() {
+  CircuitConfig c;
+  c.mode = CircuitMode::Complete;
+  c.circuits_per_input = 5;
+  return c;
+}
+
+ReserveRequest req(NodeId src, NodeId dest, Addr addr, Port in, Port out) {
+  ReserveRequest r;
+  r.src = src;
+  r.dest = dest;
+  r.addr = addr;
+  r.in_port = in;
+  r.out_port = out;
+  r.owner_req = addr;  // unique enough for tests
+  return r;
+}
+
+TEST(CompleteRules, BasicReservationSucceeds) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  auto res = m.try_reserve(0, req(3, 7, 0x40, 1, 2), false);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(st.counter_value("circ_reserve_1st"), 1u);
+  EXPECT_NE(m.match(1, 7, 0x40, 99, true, 0), nullptr);
+}
+
+TEST(CompleteRules, SameSourcePerInputPort) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  EXPECT_TRUE(m.try_reserve(0, req(3, 7, 0x40, 1, 2), false).ok);
+  // Same input port, same source: fine.
+  EXPECT_TRUE(m.try_reserve(0, req(3, 8, 0x80, 1, 2), false).ok);
+  // Same input port, different source: rejected (§4.2).
+  auto res = m.try_reserve(0, req(4, 9, 0xc0, 1, 3), false);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::SameSource);
+}
+
+TEST(CompleteRules, OutputConflictAcrossInputs) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  EXPECT_TRUE(m.try_reserve(0, req(3, 7, 0x40, 1, 2), false).ok);
+  // Different input port, different output: fine.
+  EXPECT_TRUE(m.try_reserve(0, req(5, 9, 0x80, 0, 3), false).ok);
+  // Different input port, same output: rejected (two flits could collide).
+  auto res = m.try_reserve(0, req(5, 10, 0xc0, 0, 2), false);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::OutputConflict);
+}
+
+TEST(CompleteRules, CapacityFiveAndTable5Stats) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(m.try_reserve(0, req(3, 7, 0x40 * (i + 1), 1, 2), false).ok);
+  auto res = m.try_reserve(0, req(3, 7, 0x40 * 9, 1, 2), false);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::Storage);
+  EXPECT_EQ(st.counter_value("circ_reserve_1st"), 1u);
+  EXPECT_EQ(st.counter_value("circ_reserve_2nd"), 1u);
+  EXPECT_EQ(st.counter_value("circ_reserve_5th"), 1u);
+  EXPECT_EQ(st.counter_value("circ_fail_storage"), 1u);
+}
+
+TEST(CompleteRules, ReleaseFreesCapacity) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  EXPECT_TRUE(m.try_reserve(0, req(3, 7, 0x40, 1, 2), false).ok);
+  auto* e = m.match(1, 7, 0x40, 55, true, 1);
+  ASSERT_NE(e, nullptr);
+  m.release(1, 7, 0x40, 55, 2);
+  // The output is free again for another input port.
+  EXPECT_TRUE(m.try_reserve(3, req(5, 9, 0x80, 0, 2), false).ok);
+}
+
+TEST(CompleteRules, UndoByCredit) {
+  StatSet st;
+  CircuitManager m(complete_cfg(), &st);
+  auto r = req(3, 7, 0x40, 1, 2);
+  EXPECT_TRUE(m.try_reserve(0, r, false).ok);
+  auto e = m.undo(1, UndoRecord{7, 0x40, r.owner_req}, 1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(st.counter_value("circ_entries_undone"), 1u);
+  EXPECT_EQ(m.match(1, 7, 0x40, 99, true, 1), nullptr);
+}
+
+CircuitConfig timed_cfg(TimedMode tm, int slack) {
+  CircuitConfig c = complete_cfg();
+  c.timed = tm;
+  c.slack_per_hop = slack;
+  c.no_ack = true;
+  return c;
+}
+
+ReserveRequest timed_req(Port in, Port out, Cycle s, Cycle e, Addr addr,
+                         NodeId src = 3) {
+  auto r = req(src, 7, addr, in, out);
+  r.slot_start = s;
+  r.slot_end = e;
+  return r;
+}
+
+TEST(TimedRules, DisjointSlotsOnSameOutputCoexist) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::Slack, 1), &st);
+  // §4.7: circuits with different input and same output port CAN be built
+  // when their slots do not conflict.
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 20, 0x40), false).ok);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(0, 2, 21, 30, 0x80, 5), false).ok);
+}
+
+TEST(TimedRules, OverlappingSlotsOnSameOutputConflict) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::Slack, 1), &st);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 20, 0x40), false).ok);
+  auto res = m.try_reserve(0, timed_req(0, 2, 15, 25, 0x80, 5), false);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::SlotConflict);
+}
+
+TEST(TimedRules, SameInputLinkSlotsConflict) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::Slack, 1), &st);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 20, 0x40), false).ok);
+  // Same input port, different output, overlapping slot: one physical link
+  // cannot deliver two circuits' flits in the same window.
+  auto res = m.try_reserve(0, timed_req(1, 3, 12, 22, 0x80), false);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::SlotConflict);
+}
+
+TEST(TimedRules, SlackDelayShiftsSlot) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::SlackDelay, 2), &st);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 20, 0x40), false).ok);
+  // Conflicting slot, but a shift of up to max_extra_delay is allowed.
+  auto r = timed_req(0, 2, 15, 40, 0x80, 5);
+  r.max_extra_delay = 10;
+  auto res = m.try_reserve(0, r, /*allow_delay=*/true);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.extra_delay, 6);  // shifted to start at 21
+  auto* e = m.match(0, 7, 0x80, 1, true, 21);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->slot_start, 21u);
+}
+
+TEST(TimedRules, SlackDelayRespectsBudget) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::SlackDelay, 2), &st);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 30, 0x40), false).ok);
+  auto r = timed_req(0, 2, 15, 45, 0x80, 5);
+  r.max_extra_delay = 5;  // would need 16 to clear the blocker
+  auto res = m.try_reserve(0, r, true);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.fail, ReserveFail::SlotConflict);
+}
+
+TEST(TimedRules, SlackDelayCannotShiftPastBlockersEnd) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::SlackDelay, 2), &st);
+  // Blocker covers the whole candidate window: no shift can help.
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 100, 0x40), false).ok);
+  auto r = timed_req(0, 2, 20, 40, 0x80, 5);
+  r.max_extra_delay = 15;
+  EXPECT_FALSE(m.try_reserve(0, r, true).ok);
+}
+
+TEST(TimedRules, ExpiredReservationFreesSlot) {
+  StatSet st;
+  CircuitManager m(timed_cfg(TimedMode::Slack, 1), &st);
+  EXPECT_TRUE(m.try_reserve(0, timed_req(1, 2, 10, 20, 0x40), false).ok);
+  // At t=25 the old slot is gone; a conflicting reservation now succeeds.
+  EXPECT_TRUE(m.try_reserve(25, timed_req(0, 2, 15, 40, 0x80, 5), false).ok);
+}
+
+TEST(FragmentedRules, ClaimsOutputCircuitVc) {
+  CircuitConfig c;
+  c.mode = CircuitMode::Fragmented;
+  c.circuits_per_input = 2;
+  StatSet st;
+  CircuitManager m(c, &st);
+  auto r1 = req(3, 7, 0x40, 1, 2);
+  r1.free_circuit_vcs = 0b11;
+  auto res1 = m.try_reserve(0, r1, false);
+  ASSERT_TRUE(res1.ok);
+  EXPECT_EQ(res1.claimed_vc, 0);
+  auto r2 = req(4, 8, 0x80, 1, 2);
+  r2.free_circuit_vcs = 0b10;  // vc0 now busy at that output
+  auto res2 = m.try_reserve(0, r2, false);
+  ASSERT_TRUE(res2.ok);
+  EXPECT_EQ(res2.claimed_vc, 1);
+  // No circuit VC free: reservation fails (kept as a partial circuit).
+  // (Different input port so table capacity is not the limiter.)
+  auto r3 = req(5, 9, 0xc0, 0, 2);
+  r3.free_circuit_vcs = 0;
+  auto res3 = m.try_reserve(0, r3, false);
+  EXPECT_FALSE(res3.ok);
+  EXPECT_EQ(res3.fail, ReserveFail::OutputConflict);
+}
+
+TEST(FragmentedRules, NoStructuralRules) {
+  CircuitConfig c;
+  c.mode = CircuitMode::Fragmented;
+  c.circuits_per_input = 2;
+  StatSet st;
+  CircuitManager m(c, &st);
+  auto r1 = req(3, 7, 0x40, 1, 2);
+  r1.free_circuit_vcs = 1;
+  EXPECT_TRUE(m.try_reserve(0, r1, false).ok);
+  // Different source at same input port is fine with buffers (§4.2).
+  auto r2 = req(4, 8, 0x80, 1, 3);
+  r2.free_circuit_vcs = 1;
+  EXPECT_TRUE(m.try_reserve(0, r2, false).ok);
+}
+
+TEST(IdealRules, NeverFails) {
+  CircuitConfig c;
+  c.mode = CircuitMode::Ideal;
+  c.circuits_per_input = -1;
+  StatSet st;
+  CircuitManager m(c, &st);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(m.try_reserve(0, req(i % 7, 7, 0x40 * (i + 1), 1, 2), false).ok);
+}
+
+TEST(ManagerDisabled, RejectsEverything) {
+  CircuitConfig c;  // mode None
+  StatSet st;
+  CircuitManager m(c, &st);
+  EXPECT_FALSE(m.enabled());
+  EXPECT_FALSE(m.try_reserve(0, req(3, 7, 0x40, 1, 2), false).ok);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,170 @@
+// CircuitTable unit tests: capacity, binding, slots, expiry, instance undo.
+#include <gtest/gtest.h>
+
+#include "circuits/circuit_table.hpp"
+
+namespace rc {
+namespace {
+
+CircuitEntry make_entry(NodeId dest, Addr addr, Port out = 1,
+                        Cycle s = 0, Cycle e = kNeverCycle,
+                        std::uint64_t owner = 7) {
+  CircuitEntry ent;
+  ent.src = 3;
+  ent.dest = dest;
+  ent.addr = addr;
+  ent.out_port = out;
+  ent.slot_start = s;
+  ent.slot_end = e;
+  ent.owner_req = owner;
+  return ent;
+}
+
+TEST(CircuitTable, InsertAndFind) {
+  CircuitTable t(2);
+  EXPECT_TRUE(t.insert(make_entry(5, 0x100), 0));
+  auto* e = t.find(5, 0x100, /*msg_id=*/11, /*bind_new=*/true, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->bound_msg, 11u);
+  EXPECT_EQ(t.live_count(0), 1);
+}
+
+TEST(CircuitTable, CapacityEnforced) {
+  CircuitTable t(2);
+  EXPECT_TRUE(t.insert(make_entry(1, 0x40), 0));
+  EXPECT_TRUE(t.insert(make_entry(2, 0x80), 0));
+  EXPECT_FALSE(t.insert(make_entry(3, 0xc0), 0));
+  EXPECT_EQ(t.live_count(0), 2);
+}
+
+TEST(CircuitTable, UnboundedForIdeal) {
+  CircuitTable t(-1);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(t.insert(make_entry(i % 16, 0x40 * i), 0));
+  EXPECT_EQ(t.live_count(0), 100);
+}
+
+TEST(CircuitTable, ExpiredSlotReclaimed) {
+  CircuitTable t(1);
+  EXPECT_TRUE(t.insert(make_entry(1, 0x40, 1, 10, 20), 0));
+  EXPECT_FALSE(t.insert(make_entry(2, 0x80), 15));  // still live
+  EXPECT_TRUE(t.insert(make_entry(2, 0x80), 21));   // expired, reclaimed
+  EXPECT_EQ(t.find(1, 0x40, 9, true, 21), nullptr);
+  EXPECT_NE(t.find(2, 0x80, 9, true, 21), nullptr);
+}
+
+TEST(CircuitTable, BodyFlitNeedsBinding) {
+  CircuitTable t(2);
+  t.insert(make_entry(5, 0x100), 0);
+  // A non-head flit (bind_new=false) cannot match an unbound entry.
+  EXPECT_EQ(t.find(5, 0x100, 42, /*bind_new=*/false, 0), nullptr);
+  // The head binds it; body flits of the same message then match.
+  EXPECT_NE(t.find(5, 0x100, 42, true, 0), nullptr);
+  EXPECT_NE(t.find(5, 0x100, 42, false, 1), nullptr);
+  // A different message cannot steal the bound entry.
+  EXPECT_EQ(t.find(5, 0x100, 43, true, 1), nullptr);
+}
+
+TEST(CircuitTable, BindPrefersActiveSlot) {
+  CircuitTable t(4);
+  // Two instances of the same identity with disjoint slots (§4.7 duplicate
+  // case). A head at t=15 must bind the active one, not the future one.
+  auto later = make_entry(5, 0x100, 1, 30, 40, /*owner=*/200);
+  auto active = make_entry(5, 0x100, 1, 10, 20, /*owner=*/100);
+  t.insert(later, 0);
+  t.insert(active, 0);
+  auto* e = t.find(5, 0x100, 77, true, 15);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner_req, 100u);
+}
+
+TEST(CircuitTable, BindPrefersEarliestActive) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, 1, 12, kNeverCycle, 200), 0);
+  t.insert(make_entry(5, 0x100, 1, 4, kNeverCycle, 100), 0);
+  auto* e = t.find(5, 0x100, 77, true, 20);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner_req, 100u);  // earliest reservation rides first
+}
+
+TEST(CircuitTable, BoundEntryDoesNotExpire) {
+  CircuitTable t(2);
+  t.insert(make_entry(5, 0x100, 1, 10, 20), 0);
+  auto* e = t.find(5, 0x100, 42, true, 20);
+  ASSERT_NE(e, nullptr);
+  // Past slot_end, the bound entry is still live (rider in flight)...
+  EXPECT_NE(t.find(5, 0x100, 42, false, 25), nullptr);
+  // ...until the tail releases it.
+  auto freed = t.release(5, 0x100, 42, 25);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(t.find(5, 0x100, 42, false, 25), nullptr);
+}
+
+TEST(CircuitTable, ReleasePrefersBoundInstance) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, 1, 0, kNeverCycle, 100), 0);
+  t.insert(make_entry(5, 0x100, 2, 0, kNeverCycle, 200), 0);
+  auto* e = t.find(5, 0x100, 42, true, 0);
+  ASSERT_NE(e, nullptr);
+  auto freed = t.release(5, 0x100, 42, 1);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(freed->owner_req, e->owner_req);
+  EXPECT_EQ(t.live_count(1), 1);
+}
+
+TEST(CircuitTable, ReleaseInstanceSkipsBound) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, 1, 0, kNeverCycle, 100), 0);
+  t.find(5, 0x100, 42, true, 0);  // rider binds instance 100
+  // An undo for instance 100 must not steal the ridden entry.
+  EXPECT_FALSE(t.release_instance(5, 0x100, 100, 1).has_value());
+  // After the rider released it, there is nothing left either.
+  t.release(5, 0x100, 42, 2);
+  EXPECT_FALSE(t.release_instance(5, 0x100, 100, 3).has_value());
+}
+
+TEST(CircuitTable, ReleaseInstanceMatchesOwner) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, 1, 0, kNeverCycle, 100), 0);
+  t.insert(make_entry(5, 0x100, 2, 0, kNeverCycle, 200), 0);
+  auto freed = t.release_instance(5, 0x100, 200, 1);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(freed->owner_req, 200u);
+  EXPECT_EQ(t.live_count(1), 1);
+}
+
+TEST(CircuitTable, ConflictingOutputDetectsOverlap) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, /*out=*/2, 10, 20), 0);
+  EXPECT_NE(t.conflicting_output(2, 15, 25, 0), nullptr);
+  EXPECT_NE(t.conflicting_output(2, 5, 10, 0), nullptr);   // touch start
+  EXPECT_NE(t.conflicting_output(2, 20, 30, 0), nullptr);  // touch end
+  EXPECT_EQ(t.conflicting_output(2, 21, 30, 0), nullptr);  // disjoint after
+  EXPECT_EQ(t.conflicting_output(2, 0, 9, 0), nullptr);    // disjoint before
+  EXPECT_EQ(t.conflicting_output(3, 15, 25, 0), nullptr);  // other port
+}
+
+TEST(CircuitTable, ConflictingSlotIgnoresPort) {
+  CircuitTable t(4);
+  t.insert(make_entry(5, 0x100, 2, 10, 20), 0);
+  EXPECT_NE(t.conflicting_slot(15, 16, 0), nullptr);
+  EXPECT_EQ(t.conflicting_slot(30, 40, 0), nullptr);
+}
+
+TEST(CircuitTable, SameSourceRuleHelper) {
+  CircuitTable t(4);
+  auto e = make_entry(5, 0x100);
+  e.src = 3;
+  t.insert(e, 0);
+  EXPECT_FALSE(t.has_other_source(3, 0));
+  EXPECT_TRUE(t.has_other_source(4, 0));
+}
+
+TEST(CircuitTable, UntimedEntriesNeverExpire) {
+  CircuitTable t(1);
+  t.insert(make_entry(5, 0x100), 0);
+  EXPECT_NE(t.find(5, 0x100, 1, true, 1'000'000), nullptr);
+}
+
+}  // namespace
+}  // namespace rc

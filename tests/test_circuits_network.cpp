@@ -1,0 +1,333 @@
+// End-to-end Reactive Circuits mechanics on a raw fabric (no coherence):
+// reservation during request traversal, 2-cycle/hop reply bypass, tail
+// release, credit-carried undo, fragmented partial circuits, scroungers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+
+namespace rc {
+namespace {
+
+struct Harness {
+  explicit Harness(NocConfig cfg) : net(cfg) {
+    net.set_deliver([this](NodeId n, const MsgPtr& m) {
+      delivered.push_back({n, m});
+    });
+    net.set_reply_injected([this](NodeId n, const MsgPtr& m, bool c) {
+      injected_replies.push_back({n, m, c});
+    });
+  }
+
+  MsgPtr make(MsgType t, NodeId src, NodeId dest, Addr addr, int flits) {
+    auto m = std::make_shared<Message>();
+    m->id = ++next_id;
+    m->type = t;
+    m->src = src;
+    m->dest = dest;
+    m->addr = addr;
+    m->size_flits = flits;
+    return m;
+  }
+
+  void tick(int n = 1) {
+    for (int i = 0; i < n; ++i) net.tick(clock++);
+  }
+  void run_until_delivered(std::size_t count, int max = 3000) {
+    for (int i = 0; i < max && delivered.size() < count; ++i) tick();
+  }
+
+  struct Del {
+    NodeId node;
+    MsgPtr msg;
+  };
+  struct Inj {
+    NodeId node;
+    MsgPtr msg;
+    bool on_circuit;
+  };
+  Network net;
+  Cycle clock = 0;
+  std::uint64_t next_id = 500;
+  std::vector<Del> delivered;
+  std::vector<Inj> injected_replies;
+};
+
+NocConfig cfg_for(const std::string& preset, int side = 4) {
+  SystemConfig sc = make_system_config(side * side, preset, "fft");
+  return sc.noc;
+}
+
+/// Count live circuit entries along the request path 0 -> dest.
+int entries_on_path(Harness& h, NodeId src, NodeId dest, NodeId circ_dest,
+                    Addr addr) {
+  int found = 0;
+  const auto& topo = h.net.topo();
+  NodeId cur = src;
+  while (true) {
+    Router& r = h.net.router(cur);
+    for (int p = 0; p < kNumDirs; ++p) {
+      for (const auto& e : r.circuits().table(p).entries())
+        if (e.valid && e.dest == circ_dest && e.addr == addr) ++found;
+    }
+    if (cur == dest) break;
+    Dir d = route_dor(topo.coord_of(cur), topo.coord_of(dest), false);
+    cur = topo.neighbour(cur, d);
+  }
+  return found;
+}
+
+TEST(CompleteCircuits, RequestBuildsEntryAtEveryRouter) {
+  Harness h(cfg_for("Complete"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_TRUE(req->circuit_ok);
+  // 4 routers on the path 0->3, one entry each, keyed to the requestor.
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 4);
+}
+
+TEST(CompleteCircuits, ReplyRidesAtTwoCyclesPerHop) {
+  Harness h(cfg_for("Complete"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_TRUE(rep->on_circuit);
+  // Head: NI->router (2), 3 circuit hops (2 each), ejection (2); tail +4.
+  EXPECT_EQ(rep->delivered - rep->injected, Cycle(2 + 3 * 2 + 2 + 4));
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+}
+
+TEST(CompleteCircuits, TailReleasesEveryEntry) {
+  Harness h(cfg_for("Complete"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  h.tick(10);
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 0);
+}
+
+TEST(CompleteCircuits, PacketReplyWhenNoCircuit) {
+  // A reply with no prior request goes packet-switched at 5 cycles/hop.
+  Harness h(cfg_for("Complete"));
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x2000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(1);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_FALSE(rep->on_circuit);
+  EXPECT_EQ(rep->delivered - rep->injected, Cycle(7 + 5 * 3 + 4));
+}
+
+TEST(CompleteCircuits, ReplyInjectionCallbackReportsCircuit) {
+  Harness h(cfg_for("Complete"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  ASSERT_EQ(h.injected_replies.size(), 1u);
+  EXPECT_TRUE(h.injected_replies[0].on_circuit);
+  EXPECT_EQ(h.injected_replies[0].node, 3);
+}
+
+TEST(CompleteCircuits, NonEligibleRepliesNeverReserve) {
+  Harness h(cfg_for("Complete"));
+  auto inv = h.make(MsgType::Inv, 3, 0, 0x1000, 1);  // request VN, no circuit
+  h.net.send(inv, h.clock);
+  h.run_until_delivered(1);
+  EXPECT_FALSE(inv->build_circuit);
+  EXPECT_EQ(entries_on_path(h, 3, 0, 3, 0x1000), 0);
+}
+
+TEST(CompleteCircuits, NiUndoClearsWholePath) {
+  Harness h(cfg_for("Complete"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  ASSERT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 4);
+  // The destination node undoes the circuit (forward-to-owner case, §4.4).
+  EXPECT_TRUE(h.net.ni(3).undo_circuit(0, 0x1000, h.clock, false));
+  h.tick(30);  // undo credits crawl back at 2 cycles/hop
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 0);
+  // A later reply goes packet-switched and counts as undone... the NI
+  // record is gone, so it is simply no longer eligible to ride.
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_FALSE(rep->on_circuit);
+}
+
+TEST(CompleteCircuits, OutputConflictFailsAndUndoes) {
+  Harness h(cfg_for("Complete"));
+  // Circuit A (request 12 -> 14): its reply enters router 13 from the East
+  // and leaves West. 4x4 mesh: 12=(0,3), 13=(1,3), 14=(2,3), 9=(1,2).
+  auto a = h.make(MsgType::GetS, 12, 14, 0x1000, 1);
+  h.net.send(a, h.clock);
+  h.run_until_delivered(1);
+  ASSERT_TRUE(a->circuit_ok);
+  // Circuit B (request 12 -> 9, XY: east to 13, north to 9): its reply
+  // (9 -> 12, YX: south to 13, west to 12) would enter router 13 from the
+  // NORTH and leave WEST — a different input port targeting the same West
+  // output as circuit A. Untimed complete circuits forbid that (§4.2):
+  // the reservation fails at router 13 and the part already built at
+  // router 12 is torn down through the credit wires.
+  auto b = h.make(MsgType::GetS, 12, 9, 0x2000, 1);
+  h.net.send(b, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_FALSE(b->circuit_ok);
+  h.tick(20);
+  EXPECT_EQ(entries_on_path(h, 12, 9, 12, 0x2000), 0);
+  // Circuit A is untouched and still usable.
+  EXPECT_EQ(entries_on_path(h, 12, 14, 12, 0x1000), 3);
+  auto rep = h.make(MsgType::L2Reply, 14, 12, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(3);
+  EXPECT_TRUE(rep->on_circuit);
+}
+
+TEST(CompleteCircuits, SameSourceRuleRejectsSecondSource) {
+  Harness h(cfg_for("Complete"));
+  // A: 0 -> 3 (reply from 3 enters router 1 & 2 from the East).
+  auto a = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(a, h.clock);
+  h.run_until_delivered(1);
+  ASSERT_TRUE(a->circuit_ok);
+  // B: 0 -> 2: its reply (from node 2) also enters router 1 from the East.
+  // Different circuit source (2 vs 3) at the same input port: rejected at
+  // router 1 while building; the partial reservation (router 0) is undone.
+  auto b = h.make(MsgType::GetS, 0, 2, 0x2000, 1);
+  h.net.send(b, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_FALSE(b->circuit_ok);
+  h.tick(20);
+  EXPECT_EQ(entries_on_path(h, 0, 2, 0, 0x2000), 0);
+  // A's circuit is untouched.
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 4);
+  // And B's reply goes packet-switched, counted as failed.
+  auto rb = h.make(MsgType::L2Reply, 2, 0, 0x2000, 5);
+  h.net.send(rb, h.clock);
+  h.run_until_delivered(3);
+  EXPECT_FALSE(rb->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_failed"), 1u);
+}
+
+TEST(FragmentedCircuits, PartialPathStillHelps) {
+  Harness h(cfg_for("Fragmented"));
+  // Fill both circuit VCs at router 1's West output (toward 0) with two
+  // circuits, then a third request cannot reserve there but keeps its
+  // other hops.
+  auto a = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  auto b = h.make(MsgType::GetS, 0, 7, 0x2000, 1);
+  h.net.send(a, h.clock);
+  h.net.send(b, h.clock);
+  h.run_until_delivered(2);
+  auto c = h.make(MsgType::GetS, 0, 11, 0x3000, 1);
+  h.net.send(c, h.clock);
+  h.run_until_delivered(3);
+  EXPECT_TRUE(c->circuit_ok);        // fragmented never aborts
+  EXPECT_TRUE(c->circuit_partial);   // but some hop was not reserved
+  // The reply still rides the reserved fragments and arrives.
+  auto rep = h.make(MsgType::L2Reply, 11, 0, 0x3000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(4);
+  EXPECT_TRUE(rep->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_partial"), 1u);
+}
+
+TEST(FragmentedCircuits, FullyReservedCountsAsUsed) {
+  Harness h(cfg_for("Fragmented"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  EXPECT_FALSE(req->circuit_partial);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+}
+
+TEST(Scroungers, RideAndReinject) {
+  Harness h(cfg_for("Reuse_NoAck"));
+  // Build a circuit 3 -> 0 (request 0 -> 3).
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  // A circuit-less reply from 3 toward 4 (below 0): node 0 is strictly
+  // closer (hops(0,4)=1 < hops(3,4)=4), so it scrounges the circuit to 0
+  // and is re-injected there.
+  auto ack = h.make(MsgType::L1InvAck, 3, 4, 0x9000, 1);
+  h.net.send(ack, h.clock);
+  h.run_until_delivered(2);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[1].node, 4);
+  EXPECT_EQ(h.net.stats().counter_value("scrounge_rides"), 1u);
+  EXPECT_EQ(h.net.stats().counter_value("reply_scrounged"), 1u);
+  // The circuit is still intact for its owner afterwards.
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 4);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(3);
+  EXPECT_TRUE(rep->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+}
+
+TEST(Scroungers, NoRideWhenNotCloser) {
+  Harness h(cfg_for("Reuse_NoAck"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);  // circuit 3 -> 0
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  // Reply toward node 2: hops(0,2)=2 == hops(3,2)... 3->2 is 1 hop, so
+  // riding to 0 (2 hops from 2) is worse. No scrounging.
+  auto ack = h.make(MsgType::L1InvAck, 3, 2, 0x9000, 1);
+  h.net.send(ack, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_EQ(h.net.stats().counter_value("scrounge_rides"), 0u);
+}
+
+TEST(IdealCircuits, EverythingRides) {
+  Harness h(cfg_for("Ideal"));
+  std::vector<MsgPtr> reqs;
+  for (int i = 0; i < 6; ++i) {
+    auto r = h.make(MsgType::GetS, i, 15 - i, 0x1000 + 0x40 * i, 1);
+    reqs.push_back(r);
+    h.net.send(r, h.clock);
+  }
+  h.run_until_delivered(6);
+  for (auto& r : reqs) EXPECT_TRUE(r->circuit_ok);
+  for (int i = 0; i < 6; ++i) {
+    auto rep =
+        h.make(MsgType::L2Reply, 15 - i, i, 0x1000 + 0x40 * i, 5);
+    h.net.send(rep, h.clock);
+  }
+  h.run_until_delivered(12);
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 6u);
+  EXPECT_EQ(h.net.stats().counter_value("reply_failed"), 0u);
+}
+
+TEST(Baseline, NoCircuitMachinery) {
+  Harness h(cfg_for("Baseline"));
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until_delivered(1);
+  EXPECT_FALSE(req->build_circuit);
+  EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 0);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until_delivered(2);
+  EXPECT_FALSE(rep->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_eligible_nocirc"), 1u);
+}
+
+}  // namespace
+}  // namespace rc

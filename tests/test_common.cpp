@@ -1,0 +1,148 @@
+// Unit tests for the common module: pipes, RNG, stats, config helpers.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/pipe.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace rc {
+namespace {
+
+TEST(Pipe, DeliversAfterLatency) {
+  Pipe<int> p(2);
+  p.push(42, 10);
+  EXPECT_EQ(p.pop_ready(10), std::nullopt);
+  EXPECT_EQ(p.pop_ready(11), std::nullopt);
+  auto v = p.pop_ready(12);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Pipe, PreservesFifoOrder) {
+  Pipe<int> p(1);
+  p.push(1, 0);
+  p.push(2, 0);
+  p.push(3, 1);
+  EXPECT_EQ(*p.pop_ready(1), 1);
+  EXPECT_EQ(*p.pop_ready(1), 2);
+  EXPECT_EQ(p.pop_ready(1), std::nullopt);  // third is ready at 2
+  EXPECT_EQ(*p.pop_ready(2), 3);
+}
+
+TEST(Pipe, FrontReadyPeeksWithoutConsuming) {
+  Pipe<int> p(1);
+  p.push(7, 0);
+  EXPECT_EQ(p.front_ready(0), nullptr);
+  ASSERT_NE(p.front_ready(1), nullptr);
+  EXPECT_EQ(*p.front_ready(1), 7);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(7);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Accumulator, MeanMinMax) {
+  Accumulator a;
+  a.add(1);
+  a.add(3);
+  a.add(5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-9);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatSet, CountersAndReset) {
+  StatSet s;
+  s.counter("x") += 5;
+  EXPECT_EQ(s.counter_value("x"), 5u);
+  EXPECT_EQ(s.counter_value("missing"), 0u);
+  s.reset();
+  EXPECT_EQ(s.counter_value("x"), 0u);
+}
+
+TEST(StatSet, Merge) {
+  StatSet a, b;
+  a.counter("x") = 1;
+  b.counter("x") = 2;
+  b.counter("y") = 3;
+  b.acc("l").add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("x"), 3u);
+  EXPECT_EQ(a.counter_value("y"), 3u);
+  EXPECT_EQ(a.acc("l").count(), 1u);
+}
+
+TEST(Config, HopCycleArithmetic) {
+  NocConfig n;
+  EXPECT_EQ(n.packet_hop_cycles(), 5);   // Table 4 + §4.7
+  EXPECT_EQ(n.circuit_hop_cycles(), 2);  // §4.3
+}
+
+TEST(Config, CircuitVcCounts) {
+  CircuitConfig c;
+  EXPECT_EQ(c.num_circuit_vcs(), 0);
+  c.mode = CircuitMode::Fragmented;
+  EXPECT_EQ(c.num_circuit_vcs(), 2);
+  c.mode = CircuitMode::Complete;
+  EXPECT_EQ(c.num_circuit_vcs(), 1);
+  EXPECT_TRUE(c.bufferless_circuit_vc());
+  c.mode = CircuitMode::Ideal;
+  EXPECT_FALSE(c.bufferless_circuit_vc());
+}
+
+TEST(Types, OppositeDirections) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+  EXPECT_EQ(opposite(Dir::South), Dir::North);
+  EXPECT_EQ(opposite(Dir::Local), Dir::Local);
+}
+
+TEST(Types, LineAddrMasksOffset) {
+  EXPECT_EQ(line_addr(0x1234), 0x1200u + 0x00u);
+  EXPECT_EQ(line_addr(0x1240), 0x1240u);
+  EXPECT_EQ(line_addr(0x127f), 0x1240u);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,112 @@
+// Partitioned-operation extension (§5.5): address homing, traffic
+// isolation, and end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coherence/address_map.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+namespace {
+
+TEST(PartitionMap, PartitionOfNodes) {
+  Topology topo(8, 8);
+  AddressMap amap(&topo, 4);
+  EXPECT_TRUE(amap.partitioned());
+  EXPECT_EQ(amap.num_partitions(), 4);
+  EXPECT_EQ(amap.partition_of(0), 0);    // (0,0)
+  EXPECT_EQ(amap.partition_of(7), 1);    // (7,0)
+  EXPECT_EQ(amap.partition_of(32), 2);   // (0,4)
+  EXPECT_EQ(amap.partition_of(63), 3);   // (7,7)
+}
+
+TEST(PartitionMap, PartitionNodesCoverChipExactlyOnce) {
+  Topology topo(8, 8);
+  AddressMap amap(&topo, 4);
+  std::set<NodeId> all;
+  for (int p = 0; p < amap.num_partitions(); ++p) {
+    auto nodes = amap.partition_nodes(p);
+    EXPECT_EQ(nodes.size(), 16u);
+    for (NodeId n : nodes) {
+      EXPECT_TRUE(all.insert(n).second) << "node " << n << " twice";
+      EXPECT_EQ(amap.partition_of(n), p);
+    }
+  }
+  EXPECT_EQ(all.size(), 64u);
+}
+
+TEST(PartitionMap, PrivateAddressesHomeInOwnersPartition) {
+  Topology topo(8, 8);
+  AddressMap amap(&topo, 4);
+  for (NodeId core : {0, 9, 23, 40, 63}) {
+    Addr a = kPrivateBase + static_cast<Addr>(core) * kPrivateStride +
+             3 * kLineBytes;
+    EXPECT_EQ(amap.partition_of_addr(a), amap.partition_of(core)) << core;
+    EXPECT_EQ(amap.partition_of(amap.home_l2(a)), amap.partition_of(core))
+        << core;
+  }
+}
+
+TEST(PartitionMap, SharedSlicesHomeInTheirPartition) {
+  Topology topo(8, 8);
+  AddressMap amap(&topo, 4);
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 64; ++i) {
+      Addr a = kSharedBase + static_cast<Addr>(p) * kPartitionSharedSpan +
+               static_cast<Addr>(i) * kLineBytes;
+      EXPECT_EQ(amap.partition_of_addr(a), p);
+      EXPECT_EQ(amap.partition_of(amap.home_l2(a)), p);
+    }
+  }
+}
+
+TEST(PartitionMap, MonolithicIsUnchanged) {
+  Topology topo(8, 8);
+  AddressMap mono(&topo, 0);
+  EXPECT_FALSE(mono.partitioned());
+  EXPECT_EQ(mono.num_partitions(), 1);
+  EXPECT_EQ(mono.home_l2(5 * kLineBytes), 5);
+  EXPECT_EQ(mono.partition_nodes(0).size(), 64u);
+}
+
+RunResult run_partitioned(const std::string& preset, int pside) {
+  SystemConfig cfg = make_system_config(64, preset, "fft", 3);
+  cfg.partition_side = pside;
+  cfg.warmup_cycles = 4'000;
+  cfg.measure_cycles = 12'000;
+  return run_config(cfg, preset);
+}
+
+TEST(Partitioned, RunsCleanlyAcrossVariants) {
+  for (const char* preset :
+       {"Baseline", "Complete_NoAck", "SlackDelay1_NoAck", "Fragmented"}) {
+    RunResult r = run_partitioned(preset, 4);
+    EXPECT_GT(r.retired, 10'000u) << preset;
+  }
+}
+
+TEST(Partitioned, ShorterPathsThanMonolithic) {
+  RunResult mono = run_partitioned("Baseline", 0);
+  RunResult part = run_partitioned("Baseline", 4);
+  const Accumulator* lm = mono.net.find_acc("lat_net_req");
+  const Accumulator* lp = part.net.find_acc("lat_net_req");
+  ASSERT_NE(lm, nullptr);
+  ASSERT_NE(lp, nullptr);
+  EXPECT_LT(lp->mean(), lm->mean());
+}
+
+TEST(Partitioned, CircuitsWorkBetterInsidePartitions) {
+  RunResult mono = run_partitioned("Complete_NoAck", 0);
+  RunResult part = run_partitioned("Complete_NoAck", 4);
+  ReplyBreakdown bm = reply_breakdown(mono);
+  ReplyBreakdown bp = reply_breakdown(part);
+  // §5.5: isolation restores 16-core-like circuit behaviour.
+  EXPECT_GT(bp.used, bm.used);
+  EXPECT_LT(bp.failed, bm.failed);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,141 @@
+// Property-style sweeps over configurations and seeds: global invariants
+// that must hold for every Reactive Circuits variant.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+
+namespace rc {
+namespace {
+
+struct Case {
+  std::string preset;
+  std::string app;
+  std::uint64_t seed;
+};
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> v;
+  for (const auto& p : preset_names_small())
+    for (std::uint64_t seed : {11ull, 23ull})
+      v.push_back({p, "fft", seed});
+  for (const auto& app : {"canneal", "mix", "blackscholes", "barnes"})
+    v.push_back({"SlackDelay1_NoAck", app, 5ull});
+  return v;
+}
+
+class VariantSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(VariantSweep, InvariantsHold) {
+  const Case& c = GetParam();
+  RunResult r = run_one(16, c.preset, c.app, c.seed, 5'000, 15'000);
+  auto n = [&](const char* k) { return r.net.counter_value(k); };
+
+  // 1. Work happened.
+  EXPECT_GT(r.retired, 1'000u);
+  EXPECT_GT(n("msg_GetS") + n("msg_GetX"), 0u);
+
+  // 2. Flit conservation: every injected flit is eventually ejected
+  //    (modulo those still in flight at the measurement edge).
+  double injected = static_cast<double>(n("ni_inject_flit"));
+  double buffered = static_cast<double>(n("buf_write"));
+  EXPECT_GT(injected, 0.0);
+  EXPECT_GE(buffered + n("circ_fwd"), injected * 0.9);
+
+  // 3. Reply accounting covers all replies.
+  ReplyBreakdown b = reply_breakdown(r);
+  double covered = b.used + b.failed + b.undone + b.scrounged +
+                   b.not_eligible + b.eliminated + b.other;
+  EXPECT_NEAR(covered, 1.0, 1e-9);
+
+  // 4. Mechanism sanity per mode.
+  const CircuitConfig& cc = r.noc.circuit;
+  if (!cc.uses_circuits()) {
+    EXPECT_EQ(n("circ_reservations"), 0u);
+    EXPECT_EQ(b.used, 0.0);
+  } else {
+    EXPECT_GT(n("circ_reservations"), 0u);
+    EXPECT_GT(b.used, 0.0);
+  }
+  if (!cc.no_ack) {
+    EXPECT_EQ(b.eliminated, 0.0);
+  }
+  if (!cc.reuse) {
+    EXPECT_EQ(b.scrounged, 0.0);
+  }
+  if (cc.mode == CircuitMode::Ideal) {
+    EXPECT_EQ(b.failed, 0.0);
+  }
+
+  // 5. Latency sanity: requests cost at least the uncontended pipeline.
+  const Accumulator* req = r.net.find_acc("lat_net_req");
+  ASSERT_NE(req, nullptr);
+  EXPECT_GE(req->min(), 12.0);   // 1-hop minimum: 7 + 5
+  EXPECT_LT(req->mean(), 200.0);
+
+  // 6. Energy accounting is positive and finite.
+  EXPECT_GT(r.energy_per_instr, 0.0);
+  EXPECT_LT(r.energy_per_instr, 1e9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<Case>& i) {
+      return i.param.preset + "_" + i.param.app + "_s" +
+             std::to_string(i.param.seed);
+    });
+
+TEST(Determinism, EveryVariantIsReproducible) {
+  for (const auto& p : preset_names_small()) {
+    RunResult a = run_one(16, p, "fluidanimate", 3, 3'000, 8'000);
+    RunResult b = run_one(16, p, "fluidanimate", 3, 3'000, 8'000);
+    EXPECT_EQ(a.retired, b.retired) << p;
+    EXPECT_EQ(a.net.counter_value("ni_inject_flit"),
+              b.net.counter_value("ni_inject_flit"))
+        << p;
+    EXPECT_EQ(a.net.counter_value("circ_reservations"),
+              b.net.counter_value("circ_reservations"))
+        << p;
+  }
+}
+
+TEST(Shapes, CircuitsReduceEligibleReplyLatency) {
+  RunResult base = run_one(16, "Baseline", "fft", 3, 5'000, 15'000);
+  RunResult comp = run_one(16, "Complete_NoAck", "fft", 3, 5'000, 15'000);
+  const auto* lb = base.net.find_acc("lat_net_rep_circ");
+  const auto* lc = comp.net.find_acc("lat_net_rep_circ");
+  ASSERT_NE(lb, nullptr);
+  ASSERT_NE(lc, nullptr);
+  EXPECT_LT(lc->mean(), lb->mean());
+}
+
+TEST(Shapes, NoAckImprovesOnPlainComplete) {
+  RunResult comp = run_one(16, "Complete", "fft", 3, 5'000, 15'000);
+  RunResult noack = run_one(16, "Complete_NoAck", "fft", 3, 5'000, 15'000);
+  // Fewer messages traverse the network for the same work rate.
+  double per_instr_c =
+      double(comp.net.counter_value("ni_inject_flit")) / comp.retired;
+  double per_instr_n =
+      double(noack.net.counter_value("ni_inject_flit")) / noack.retired;
+  EXPECT_LT(per_instr_n, per_instr_c);
+}
+
+TEST(Shapes, IdealIsTheUpperBound) {
+  RunResult base = run_one(16, "Baseline", "fft", 3, 5'000, 15'000);
+  RunResult best = run_one(16, "SlackDelay1_NoAck", "fft", 3, 5'000, 15'000);
+  RunResult ideal = run_one(16, "Ideal", "fft", 3, 5'000, 15'000);
+  EXPECT_GT(ideal.ipc, base.ipc);
+  EXPECT_GE(ideal.ipc * 1.02, best.ipc);  // ideal at or above, small noise
+}
+
+TEST(Shapes, SixtyFourCoreRunsAllVariants) {
+  for (const auto& p : preset_names_small()) {
+    RunResult r = run_one(64, p, "fft", 3, 2'000, 6'000);
+    EXPECT_GT(r.retired, 4'000u) << p;
+  }
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,71 @@
+// Golden regression guard: one fixed configuration's exact counters.
+//
+// The simulator is bit-deterministic, so any change to these values means
+// simulated *behaviour* changed. If you changed behaviour intentionally,
+// re-record the goldens (instructions below); if not, you found a bug.
+//
+// To re-record: run this test, copy the values from the failure output into
+// kGolden, and note the behavioural change in your commit message.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+
+namespace rc {
+namespace {
+
+struct Golden {
+  std::uint64_t retired, gets, used, eliminated, reservations, flits;
+};
+
+// 16 cores, SlackDelay1_NoAck, fft, seed 3, warmup 2000, measure 6000.
+constexpr Golden kGolden{25448, 921, 914, 908, 4053, 7528};
+
+TEST(Regression, GoldenCountersUnchanged) {
+  RunResult r = run_one(16, "SlackDelay1_NoAck", "fft", 3, 2'000, 6'000);
+  EXPECT_EQ(r.retired, kGolden.retired);
+  EXPECT_EQ(r.net.counter_value("msg_GetS"), kGolden.gets);
+  EXPECT_EQ(r.net.counter_value("reply_used"), kGolden.used);
+  EXPECT_EQ(r.sys.counter_value("replies_eliminated"), kGolden.eliminated);
+  EXPECT_EQ(r.net.counter_value("circ_reservations"), kGolden.reservations);
+  EXPECT_EQ(r.net.counter_value("ni_inject_flit"), kGolden.flits);
+}
+
+TEST(Regression, RunManyMatchesSerialRuns) {
+  // The parallel runner must produce bit-identical results to serial runs.
+  std::vector<SystemConfig> cfgs;
+  std::vector<std::string> labels;
+  for (const char* p : {"Baseline", "Complete_NoAck"}) {
+    SystemConfig cfg = make_system_config(16, p, "barnes", 5);
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 4'000;
+    cfgs.push_back(cfg);
+    labels.push_back(p);
+  }
+  auto par = run_many(cfgs, labels, 2);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    RunResult ser = run_config(cfgs[i], labels[i]);
+    EXPECT_EQ(par[i].retired, ser.retired) << labels[i];
+    EXPECT_EQ(par[i].net.counter_value("ni_inject_flit"),
+              ser.net.counter_value("ni_inject_flit"))
+        << labels[i];
+  }
+}
+
+TEST(Regression, RectangularMeshesWork) {
+  // Non-square meshes exercise the routing/edge logic asymmetrically.
+  for (auto [w, h] : {std::pair{8, 2}, std::pair{2, 8}, std::pair{4, 8}}) {
+    SystemConfig cfg = make_system_config(16, "SlackDelay1_NoAck", "fft", 3);
+    cfg.noc.mesh_w = w;
+    cfg.noc.mesh_h = h;
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 4'000;
+    ASSERT_EQ(cfg.validate(), "") << w << "x" << h;
+    RunResult r = run_config(cfg, "rect");
+    EXPECT_GT(r.retired, 1'000u) << w << "x" << h;
+    EXPECT_GT(r.net.counter_value("reply_used"), 0u) << w << "x" << h;
+  }
+}
+
+}  // namespace
+}  // namespace rc

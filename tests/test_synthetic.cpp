@@ -1,0 +1,66 @@
+// Synthetic traffic driver tests (the §5.5 load-sweep substrate).
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "sim/synthetic.hpp"
+
+namespace rc {
+namespace {
+
+NocConfig cfg_for(const std::string& preset) {
+  return make_system_config(16, preset, "fft").noc;
+}
+
+TEST(Synthetic, GeneratesAndCompletesTraffic) {
+  SyntheticTraffic t(cfg_for("Baseline"), /*rate=*/0.01, /*service=*/7, 42);
+  SyntheticResult r = t.run(1'000, 10'000);
+  EXPECT_GT(r.requests_done, 1'000u);
+  EXPECT_GT(r.request_latency, 10.0);
+  EXPECT_GT(r.reply_latency, 10.0);
+  EXPECT_EQ(r.circuit_use, 0.0);  // baseline has no circuits
+}
+
+TEST(Synthetic, CircuitsRideUnderLightLoad) {
+  SyntheticTraffic t(cfg_for("Complete_NoAck"), 0.002, 7, 42);
+  SyntheticResult r = t.run(1'000, 10'000);
+  EXPECT_GT(r.circuit_use, 0.5);
+}
+
+TEST(Synthetic, CircuitLatencyBeatsBaseline) {
+  SyntheticTraffic base(cfg_for("Baseline"), 0.005, 7, 42);
+  SyntheticTraffic circ(cfg_for("SlackDelay1_NoAck"), 0.005, 7, 42);
+  SyntheticResult rb = base.run(1'000, 10'000);
+  SyntheticResult rc_ = circ.run(1'000, 10'000);
+  EXPECT_LT(rc_.reply_latency, rb.reply_latency);
+}
+
+TEST(Synthetic, UntimedCircuitUseCollapsesUnderLoad) {
+  // §5.5: reservations held between setup and use stop being grantable as
+  // traffic grows.
+  SyntheticTraffic light(cfg_for("Complete_NoAck"), 0.002, 7, 42);
+  SyntheticTraffic heavy(cfg_for("Complete_NoAck"), 0.03, 7, 42);
+  double lo = light.run(1'000, 8'000).circuit_use;
+  double hi = heavy.run(1'000, 8'000).circuit_use;
+  EXPECT_LT(hi, lo * 0.7);
+}
+
+TEST(Synthetic, TimedKeepsHigherThreshold) {
+  const double rate = 0.02;
+  SyntheticTraffic untimed(cfg_for("Complete_NoAck"), rate, 7, 42);
+  SyntheticTraffic timed(cfg_for("SlackDelay1_NoAck"), rate, 7, 42);
+  double u = untimed.run(1'000, 8'000).circuit_use;
+  double t = timed.run(1'000, 8'000).circuit_use;
+  EXPECT_GT(t, u);
+}
+
+TEST(Synthetic, Deterministic) {
+  SyntheticTraffic a(cfg_for("Complete_NoAck"), 0.01, 7, 9);
+  SyntheticTraffic b(cfg_for("Complete_NoAck"), 0.01, 7, 9);
+  SyntheticResult ra = a.run(500, 4'000);
+  SyntheticResult rb = b.run(500, 4'000);
+  EXPECT_EQ(ra.requests_done, rb.requests_done);
+  EXPECT_DOUBLE_EQ(ra.reply_latency, rb.reply_latency);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,94 @@
+// Full-system integration tests: every configuration variant must run a
+// real workload to completion with coherent protocol behaviour and sane
+// statistics.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+namespace {
+
+RunResult quick(int cores, const std::string& preset,
+                const std::string& app = "fft", std::uint64_t seed = 3) {
+  return run_one(cores, preset, app, seed, /*warmup=*/5'000,
+                 /*measure=*/20'000);
+}
+
+TEST(System, BaselineRunsAndRetires) {
+  RunResult r = quick(16, "Baseline");
+  EXPECT_GT(r.retired, 10'000u);
+  EXPECT_GT(r.ipc, 0.05);
+  EXPECT_LT(r.ipc, 1.01);
+  // Traffic flows in both VNs.
+  EXPECT_GT(r.net.counter_value("msg_GetS"), 0u);
+  EXPECT_GT(r.net.counter_value("msg_L2Reply"), 0u);
+  EXPECT_GT(r.net.counter_value("msg_L1DataAck"), 0u);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  RunResult a = quick(16, "Baseline");
+  RunResult b = quick(16, "Baseline");
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.net.counter_value("msg_GetS"), b.net.counter_value("msg_GetS"));
+  EXPECT_EQ(a.net.counter_value("buf_write"), b.net.counter_value("buf_write"));
+}
+
+TEST(System, SeedChangesTraffic) {
+  RunResult a = quick(16, "Baseline", "fft", 3);
+  RunResult b = quick(16, "Baseline", "fft", 4);
+  EXPECT_NE(a.net.counter_value("msg_GetS"), b.net.counter_value("msg_GetS"));
+}
+
+class AllPresets : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllPresets, RunsCleanly16) {
+  RunResult r = quick(16, GetParam());
+  EXPECT_GT(r.retired, 1'000u) << GetParam();
+  EXPECT_GT(r.net.counter_value("msg_GetS"), 0u) << GetParam();
+}
+
+TEST_P(AllPresets, RunsCleanly64) {
+  RunResult r = quick(64, GetParam());
+  EXPECT_GT(r.retired, 4'000u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AllPresets,
+                         ::testing::ValuesIn(preset_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(System, CircuitsActuallyUsed) {
+  RunResult r = quick(16, "Complete");
+  EXPECT_GT(r.net.counter_value("reply_used"), 0u);
+  EXPECT_GT(r.net.counter_value("circ_fwd"), 0u);
+}
+
+TEST(System, NoAckEliminatesAcks) {
+  RunResult base = quick(16, "Complete");
+  RunResult noack = quick(16, "Complete_NoAck");
+  EXPECT_EQ(base.sys.counter_value("replies_eliminated"), 0u);
+  EXPECT_GT(noack.sys.counter_value("replies_eliminated"), 0u);
+  // Fewer L1DataAck messages must traverse the network.
+  EXPECT_LT(noack.net.counter_value("msg_L1DataAck"),
+            base.net.counter_value("msg_L1DataAck"));
+}
+
+TEST(System, LightLoadAsPaperReports) {
+  // §1: nodes inject on average less than ~4 flits per 100 cycles.
+  RunResult r = quick(64, "Baseline", "mix");
+  double flits_per_100 =
+      100.0 * static_cast<double>(r.net.counter_value("ni_inject_flit")) /
+      (static_cast<double>(r.cycles) * 64);
+  EXPECT_LT(flits_per_100, 10.0);
+  EXPECT_GT(flits_per_100, 0.1);
+}
+
+TEST(System, MemoryTrafficExists) {
+  RunResult r = quick(16, "Baseline", "mix");
+  EXPECT_GT(r.sys.counter_value("mem_reads"), 0u);
+  EXPECT_GT(r.net.counter_value("msg_MemData"), 0u);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,186 @@
+// Tooling tests: invariant checker, flight recorder, report tables, and
+// the remaining small public APIs (message helpers, presets).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "noc/message.hpp"
+#include "sim/checker.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/trace.hpp"
+
+namespace rc {
+namespace {
+
+SystemConfig small_cfg(const std::string& preset = "SlackDelay1_NoAck") {
+  SystemConfig cfg = make_system_config(16, preset, "fft", 3);
+  cfg.warmup_cycles = 1'000;
+  cfg.measure_cycles = 4'000;
+  return cfg;
+}
+
+TEST(Checker, HealthySystemHasNoViolations) {
+  System sys(small_cfg());
+  InvariantChecker chk(&sys);
+  sys.prewarm();
+  sys.run_cycles(5'000);
+  EXPECT_TRUE(chk.check(sys.now()).empty());
+}
+
+TEST(Checker, CircuitEntriesDrainWhenIdle) {
+  // Stop the cores (core-less system), push a few transactions through,
+  // then verify no circuit entry outlives its transaction.
+  SystemConfig cfg = small_cfg("Complete_NoAck");
+  cfg.workload = "none";
+  System sys(cfg);
+  InvariantChecker chk(&sys);
+  for (NodeId n = 0; n < 4; ++n) {
+    bool done = false;
+    sys.l1(n).set_complete([&](Cycle) { done = true; });
+    ASSERT_TRUE(sys.l1(n).access((5 + n) * kLineBytes, false, sys.now()));
+    for (int i = 0; i < 3'000 && !done; ++i) sys.run_cycles(1);
+    ASSERT_TRUE(done);
+  }
+  sys.run_cycles(300);  // drain ACKs and tail flits
+  EXPECT_EQ(chk.live_circuit_entries(sys.now()), 0);
+  EXPECT_TRUE(chk.check(sys.now()).empty());
+}
+
+TEST(Checker, FragmentedClaimsMatchLiveEntries) {
+  // After a fragmented system drains, every claimed circuit VC must belong
+  // to a live entry (claims release with their circuits, never leak).
+  SystemConfig cfg = small_cfg("Fragmented");
+  cfg.workload = "none";
+  System sys(cfg);
+  InvariantChecker chk(&sys);
+  for (NodeId n = 0; n < 6; ++n) {
+    bool done = false;
+    sys.l1(n).set_complete([&](Cycle) { done = true; });
+    ASSERT_TRUE(sys.l1(n).access((5 + n) * kLineBytes, false, sys.now()));
+    for (int i = 0; i < 3'000 && !done; ++i) sys.run_cycles(1);
+    ASSERT_TRUE(done);
+  }
+  sys.run_cycles(400);
+  EXPECT_EQ(chk.live_circuit_entries(sys.now()), 0);
+  EXPECT_EQ(chk.claimed_circuit_vcs(), 0);
+  EXPECT_TRUE(sys.network().idle());
+}
+
+TEST(Checker, FlagsMessagesExceedingTheAgeBound) {
+  // With an absurdly tight bound, ordinary in-flight messages count as
+  // violations — exercising the reporting path end to end.
+  System sys(small_cfg());
+  InvariantChecker chk(&sys, /*max_msg_age=*/1);
+  sys.prewarm();
+  sys.run_cycles(200);
+  EXPECT_FALSE(chk.check(sys.now()).empty());
+}
+
+TEST(Trace, RecordsAndSerializes) {
+  SystemConfig cfg = small_cfg();
+  System sys(cfg);
+  FlightRecorder rec(&sys);
+  sys.run();
+  EXPECT_GT(rec.events(), 100u);
+  std::string json = rec.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"circuit\":true"), std::string::npos);
+}
+
+TEST(Trace, WritesFile) {
+  SystemConfig cfg = small_cfg();
+  cfg.measure_cycles = 1'500;
+  System sys(cfg);
+  FlightRecorder rec(&sys);
+  sys.run();
+  const std::string path = "/tmp/rc_trace_test.json";
+  ASSERT_TRUE(rec.write(path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_GT(ss.str().size(), 1000u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, BoundsMemory) {
+  SystemConfig cfg = small_cfg();
+  System sys(cfg);
+  FlightRecorder rec(&sys, /*max_events=*/50);
+  sys.run();
+  EXPECT_EQ(rec.events(), 50u);
+}
+
+TEST(Report, TableFormatting) {
+  EXPECT_EQ(Table::pct(0.1234), "12.3%");
+  EXPECT_EQ(Table::pct(-0.05, 2), "-5.00%");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(MessageHelpers, VnetClassification) {
+  EXPECT_EQ(vnet_of(MsgType::GetS), VNet::Request);
+  EXPECT_EQ(vnet_of(MsgType::Inv), VNet::Request);
+  EXPECT_EQ(vnet_of(MsgType::MemWb), VNet::Request);
+  EXPECT_EQ(vnet_of(MsgType::L2Reply), VNet::Reply);
+  EXPECT_EQ(vnet_of(MsgType::MemAck), VNet::Reply);
+  EXPECT_EQ(vnet_of(MsgType::L1ToL1), VNet::Reply);
+}
+
+TEST(MessageHelpers, CircuitEligibilityMatchesPaper) {
+  // §4.1: circuits for L2_Replies, replacement acks and MEMORY replies.
+  EXPECT_TRUE(reply_circuit_eligible(MsgType::L2Reply));
+  EXPECT_TRUE(reply_circuit_eligible(MsgType::L2WbAck));
+  EXPECT_TRUE(reply_circuit_eligible(MsgType::MemData));
+  EXPECT_TRUE(reply_circuit_eligible(MsgType::MemAck));
+  EXPECT_FALSE(reply_circuit_eligible(MsgType::L1DataAck));
+  EXPECT_FALSE(reply_circuit_eligible(MsgType::L1InvAck));
+  EXPECT_FALSE(reply_circuit_eligible(MsgType::L1ToL1));
+  // ...built by the requests that trigger them.
+  EXPECT_TRUE(request_builds_circuit(MsgType::GetS));
+  EXPECT_TRUE(request_builds_circuit(MsgType::GetX));
+  EXPECT_TRUE(request_builds_circuit(MsgType::WbData));
+  EXPECT_TRUE(request_builds_circuit(MsgType::MemRead));
+  EXPECT_TRUE(request_builds_circuit(MsgType::MemWb));
+  EXPECT_FALSE(request_builds_circuit(MsgType::Inv));
+  EXPECT_FALSE(request_builds_circuit(MsgType::FwdGetS));
+  EXPECT_FALSE(request_builds_circuit(MsgType::FwdGetX));
+}
+
+TEST(Presets, NamesResolveAndDiffer) {
+  for (const auto& name : preset_names()) {
+    CircuitConfig c = circuit_preset(name);
+    if (name == "Baseline") {
+      EXPECT_FALSE(c.uses_circuits());
+    } else {
+      EXPECT_TRUE(c.uses_circuits()) << name;
+    }
+  }
+  EXPECT_EQ(circuit_preset("Slack2_NoAck").slack_per_hop, 2);
+  EXPECT_EQ(circuit_preset("Postponed1_NoAck").timed, TimedMode::Postponed);
+  EXPECT_TRUE(circuit_preset("Ideal").no_ack);
+  EXPECT_LT(circuit_preset("Ideal").circuits_per_input, 0);
+}
+
+TEST(Presets, DeeperPipelineSlowsRequests) {
+  SystemConfig cfg = make_system_config(16, "Baseline", "fft", 3);
+  cfg.noc.router_stages = 6;
+  EXPECT_EQ(cfg.validate(), "");
+  cfg.warmup_cycles = 1'000;
+  cfg.measure_cycles = 4'000;
+  RunResult deep = run_config(cfg, "deep");
+  RunResult normal = run_one(16, "Baseline", "fft", 3, 1'000, 4'000);
+  const auto* ld = deep.net.find_acc("lat_net_req");
+  const auto* ln = normal.net.find_acc("lat_net_req");
+  ASSERT_NE(ld, nullptr);
+  ASSERT_NE(ln, nullptr);
+  EXPECT_GT(ld->mean(), ln->mean() + 3.0);  // ~2 extra cycles per hop
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,160 @@
+// Topology and routing unit tests, including the path property the whole
+// Reactive Circuits mechanism rests on: a YX reply visits exactly the
+// routers of its XY request, in reverse order (§4.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace rc {
+namespace {
+
+std::vector<NodeId> trace_path(const Topology& t, NodeId src, NodeId dest,
+                               bool yx) {
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  int guard = 0;
+  while (cur != dest) {
+    Dir d = route_dor(t.coord_of(cur), t.coord_of(dest), yx);
+    EXPECT_NE(d, Dir::Local);
+    cur = t.neighbour(cur, d);
+    EXPECT_NE(cur, kInvalidNode);
+    if (cur == kInvalidNode) break;
+    path.push_back(cur);
+    EXPECT_LT(++guard, 64);
+    if (guard >= 64) break;
+  }
+  return path;
+}
+
+TEST(Topology, CoordRoundTrip) {
+  Topology t(4, 4);
+  for (NodeId n = 0; n < 16; ++n) EXPECT_EQ(t.node_at(t.coord_of(n)), n);
+  EXPECT_EQ(t.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(t.coord_of(5), (Coord{1, 1}));
+  EXPECT_EQ(t.coord_of(15), (Coord{3, 3}));
+}
+
+TEST(Topology, NeighboursAndEdges) {
+  Topology t(4, 4);
+  EXPECT_EQ(t.neighbour(5, Dir::North), 1);
+  EXPECT_EQ(t.neighbour(5, Dir::South), 9);
+  EXPECT_EQ(t.neighbour(5, Dir::East), 6);
+  EXPECT_EQ(t.neighbour(5, Dir::West), 4);
+  EXPECT_EQ(t.neighbour(0, Dir::North), kInvalidNode);
+  EXPECT_EQ(t.neighbour(0, Dir::West), kInvalidNode);
+  EXPECT_EQ(t.neighbour(15, Dir::South), kInvalidNode);
+  EXPECT_EQ(t.neighbour(15, Dir::East), kInvalidNode);
+}
+
+TEST(Topology, ManhattanHops) {
+  Topology t(8, 8);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 63), 14);  // corner to corner
+  EXPECT_EQ(t.hops(0, 7), 7);
+  EXPECT_EQ(t.hops(9, 18), 2);
+}
+
+TEST(Topology, FourMemoryControllersOnEdges) {
+  for (int side : {4, 8}) {
+    Topology t(side, side);
+    auto mcs = t.memory_controller_nodes();
+    ASSERT_EQ(mcs.size(), 4u);
+    for (NodeId m : mcs) {
+      Coord c = t.coord_of(m);
+      bool on_edge = c.x == 0 || c.y == 0 || c.x == side - 1 || c.y == side - 1;
+      EXPECT_TRUE(on_edge) << "MC " << m << " not on an edge";
+    }
+  }
+}
+
+TEST(Topology, MemCtrlMappingIsStable) {
+  Topology t(4, 4);
+  for (Addr a = 0; a < 64 * 100; a += 64)
+    EXPECT_EQ(t.mem_ctrl_for(a), t.mem_ctrl_for(a + 1));
+}
+
+TEST(Routing, XYGoesHorizontalFirst) {
+  Topology t(4, 4);
+  // from (0,0) to (2,2): east twice, then south twice
+  auto p = trace_path(t, 0, 10, /*yx=*/false);
+  std::vector<NodeId> expect{0, 1, 2, 6, 10};
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Routing, YXGoesVerticalFirst) {
+  Topology t(4, 4);
+  auto p = trace_path(t, 10, 0, /*yx=*/true);
+  std::vector<NodeId> expect{10, 6, 2, 1, 0};
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Routing, LocalWhenAtDestination) {
+  EXPECT_EQ(route_dor({2, 2}, {2, 2}, false), Dir::Local);
+  EXPECT_EQ(route_dor({2, 2}, {2, 2}, true), Dir::Local);
+}
+
+/// Property over all pairs: reply path (YX) == reverse of request path (XY).
+class PathSymmetry : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathSymmetry, ReplyRetracesRequest) {
+  const int side = GetParam();
+  Topology t(side, side);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      auto req = trace_path(t, s, d, false);
+      auto rep = trace_path(t, d, s, true);
+      std::vector<NodeId> rev(rep.rbegin(), rep.rend());
+      ASSERT_EQ(req, rev) << "src=" << s << " dest=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, PathSymmetry, ::testing::Values(2, 4, 8));
+
+/// Without YX replies (plain XY both ways) the paths do NOT generally match
+/// — the reason the paper modifies DOR in the first place.
+TEST(Routing, XYBothWaysDoesNotRetrace) {
+  Topology t(4, 4);
+  auto req = trace_path(t, 0, 10, false);
+  auto rep = trace_path(t, 10, 0, false);
+  std::vector<NodeId> rev(rep.rbegin(), rep.rend());
+  EXPECT_NE(req, rev);
+}
+
+TEST(LatencyModel, PaperHopLatencies) {
+  NocConfig cfg;
+  LatencyModel lat(cfg);
+  EXPECT_EQ(lat.packet_hop(), 5);   // §4.7: five cycles/hop for requests
+  EXPECT_EQ(lat.circuit_hop(), 2);  // two cycles/hop for circuit replies
+  EXPECT_EQ(lat.st_to_arrival(), 2);
+}
+
+TEST(LatencyModel, RequestTotalComposition) {
+  NocConfig cfg;
+  LatencyModel lat(cfg);
+  // injection latch + BW->VA + (VA..ST) + ejection, plus 5/hop en route.
+  EXPECT_EQ(lat.request_total(0), 7);
+  EXPECT_EQ(lat.request_total(1), 12);
+  EXPECT_EQ(lat.request_total(6), 37);
+}
+
+TEST(LatencyModel, ExpectedVaMatchesSchedule) {
+  NocConfig cfg;
+  LatencyModel lat(cfg);
+  EXPECT_EQ(lat.expected_va(100, 0), 103u);
+  EXPECT_EQ(lat.expected_va(100, 2), 113u);
+}
+
+TEST(LatencyModel, ReplyTransit) {
+  NocConfig cfg;
+  LatencyModel lat(cfg);
+  EXPECT_EQ(lat.reply_transit(0), 2);
+  EXPECT_EQ(lat.reply_transit(3), 8);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,159 @@
+// Tear-down race regressions: the §4.4 credit-carried undo must never
+// overtake a reply (or scrounger) already riding the circuit it dismantles,
+// and must never confuse two same-identity circuit instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+
+namespace rc {
+namespace {
+
+struct Harness {
+  explicit Harness(const std::string& preset)
+      : net(make_system_config(16, preset, "fft").noc) {
+    net.set_deliver([this](NodeId n, const MsgPtr& m) {
+      delivered.push_back({n, m});
+    });
+  }
+  MsgPtr make(MsgType t, NodeId s, NodeId d, Addr a, int f) {
+    auto m = std::make_shared<Message>();
+    m->id = ++next_id;
+    m->type = t;
+    m->src = s;
+    m->dest = d;
+    m->addr = a;
+    m->size_flits = f;
+    return m;
+  }
+  void tick(int n = 1) {
+    for (int i = 0; i < n; ++i) net.tick(clock++);
+  }
+  void run_until(std::size_t count, int max = 2000) {
+    for (int i = 0; i < max && delivered.size() < count; ++i) tick();
+  }
+  int entries(NodeId dest, Addr addr) {
+    int found = 0;
+    for (NodeId n = 0; n < 16; ++n)
+      for (int p = 0; p < kNumDirs; ++p)
+        for (const auto& e : net.router(n).circuits().table(p).entries())
+          if (e.valid && e.dest == dest && e.addr == addr) ++found;
+    return found;
+  }
+  struct Del {
+    NodeId node;
+    MsgPtr msg;
+  };
+  Network net;
+  Cycle clock = 0;
+  std::uint64_t next_id = 40;
+  std::vector<Del> delivered;
+};
+
+TEST(UndoRaces, DeferredUndoNeverCatchesAScrounger) {
+  Harness h("Reuse_NoAck");
+  // Circuit 3 -> 0 via a request from node 0.
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until(1);
+  ASSERT_TRUE(req->circuit_ok);
+
+  // A 5-flit data reply from node 3 toward node 4 scrounges the circuit
+  // (node 0 is one hop from 4; node 3 is four).
+  auto scr = h.make(MsgType::L1ToL1, 3, 4, 0x9000, 5);
+  h.net.send(scr, h.clock);
+  h.tick(2);  // head is in flight, tail still injecting: riders > 0
+  // The coherence protocol now decides to undo the circuit (forward case).
+  EXPECT_TRUE(h.net.ni(3).undo_circuit(0, 0x1000, h.clock, false));
+  // The scrounger must still arrive (via node 0, where it is re-injected
+  // without a delivery callback) untouched...
+  h.run_until(2, 4000);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered.back().node, 4);
+  EXPECT_EQ(h.delivered.back().msg->id, scr->id);
+  // ...and the deferred undo then clears every entry.
+  h.tick(60);
+  EXPECT_EQ(h.entries(0, 0x1000), 0);
+  EXPECT_EQ(h.net.stats().counter_value("circ_origin_undone"), 1u);
+}
+
+TEST(UndoRaces, UndoAfterOwnerInjectionIsRefused) {
+  Harness h("Complete_NoAck");
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until(1);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.tick(2);  // owner head injected: origin record consumed
+  EXPECT_FALSE(h.net.ni(3).undo_circuit(0, 0x1000, h.clock, false));
+  h.run_until(2);
+  EXPECT_TRUE(rep->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+}
+
+TEST(UndoRaces, InstanceTagsKeepDuplicatesApart) {
+  Harness h("Complete_NoAck");
+  // Two circuits with the same (requestor, line) identity: a GetS and a
+  // write-back racing each other.
+  auto a = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(a, h.clock);
+  h.run_until(1);
+  auto b = h.make(MsgType::WbData, 0, 3, 0x1000, 5);
+  h.net.send(b, h.clock);
+  h.run_until(2);
+  EXPECT_EQ(h.net.stats().counter_value("circ_origin_duplicate"), 1u);
+  // The duplicate's undo is instance-tagged: exactly one entry per router
+  // remains for the reply that will ride.
+  h.tick(60);
+  EXPECT_EQ(h.entries(0, 0x1000), 4);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until(3);
+  EXPECT_TRUE(rep->on_circuit);
+  h.tick(20);
+  EXPECT_EQ(h.entries(0, 0x1000), 0);
+}
+
+TEST(UndoRaces, ExpectReplyKeepsUndoneTombstone) {
+  // The L2-miss knob undoes the circuit but the reply still comes later;
+  // it must be counted as "undone", not "failed" or "other".
+  Harness h("Complete_NoAck");
+  auto req = h.make(MsgType::GetS, 0, 3, 0x1000, 1);
+  h.net.send(req, h.clock);
+  h.run_until(1);
+  EXPECT_TRUE(h.net.ni(3).undo_circuit(0, 0x1000, h.clock,
+                                       /*expect_reply=*/true));
+  h.tick(40);
+  EXPECT_EQ(h.entries(0, 0x1000), 0);
+  auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  h.net.send(rep, h.clock);
+  h.run_until(2);
+  EXPECT_FALSE(rep->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_undone"), 1u);
+}
+
+TEST(UndoRaces, BuildFailureUndoLeavesRiddenCircuitAlone) {
+  Harness h("Complete_NoAck");
+  // Circuit A: 12 -> 14 (entries at routers 12, 13, 14).
+  auto a = h.make(MsgType::GetS, 12, 14, 0x1000, 1);
+  h.net.send(a, h.clock);
+  h.run_until(1);
+  // Reply A starts riding...
+  auto ra = h.make(MsgType::L2Reply, 14, 12, 0x1000, 5);
+  h.net.send(ra, h.clock);
+  h.tick(1);
+  // ...while request B (12 -> 9) fails its reservation at router 13 and
+  // launches a build-failure undo for ITS instance through the same
+  // routers. Reply A must still complete on its circuit.
+  auto b = h.make(MsgType::GetS, 12, 9, 0x2000, 1);
+  h.net.send(b, h.clock);
+  h.run_until(3, 4000);
+  EXPECT_FALSE(b->circuit_ok);
+  EXPECT_TRUE(ra->on_circuit);
+  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+}
+
+}  // namespace
+}  // namespace rc

