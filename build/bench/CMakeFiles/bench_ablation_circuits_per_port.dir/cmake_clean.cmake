@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_circuits_per_port.dir/bench_ablation_circuits_per_port.cpp.o"
+  "CMakeFiles/bench_ablation_circuits_per_port.dir/bench_ablation_circuits_per_port.cpp.o.d"
+  "bench_ablation_circuits_per_port"
+  "bench_ablation_circuits_per_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_circuits_per_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

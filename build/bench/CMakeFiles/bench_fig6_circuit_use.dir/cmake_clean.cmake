@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_circuit_use.dir/bench_fig6_circuit_use.cpp.o"
+  "CMakeFiles/bench_fig6_circuit_use.dir/bench_fig6_circuit_use.cpp.o.d"
+  "bench_fig6_circuit_use"
+  "bench_fig6_circuit_use.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_circuit_use.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

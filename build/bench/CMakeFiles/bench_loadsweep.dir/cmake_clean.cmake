@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loadsweep.dir/bench_loadsweep.cpp.o"
+  "CMakeFiles/bench_loadsweep.dir/bench_loadsweep.cpp.o.d"
+  "bench_loadsweep"
+  "bench_loadsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loadsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

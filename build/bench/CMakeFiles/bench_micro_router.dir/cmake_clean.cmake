@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_router.dir/bench_micro_router.cpp.o"
+  "CMakeFiles/bench_micro_router.dir/bench_micro_router.cpp.o.d"
+  "bench_micro_router"
+  "bench_micro_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_reservations.dir/bench_table5_reservations.cpp.o"
+  "CMakeFiles/bench_table5_reservations.dir/bench_table5_reservations.cpp.o.d"
+  "bench_table5_reservations"
+  "bench_table5_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coherence_trace.dir/coherence_trace.cpp.o"
+  "CMakeFiles/example_coherence_trace.dir/coherence_trace.cpp.o.d"
+  "example_coherence_trace"
+  "example_coherence_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coherence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

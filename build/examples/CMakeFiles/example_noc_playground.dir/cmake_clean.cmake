@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noc_playground.dir/noc_playground.cpp.o"
+  "CMakeFiles/example_noc_playground.dir/noc_playground.cpp.o.d"
+  "example_noc_playground"
+  "example_noc_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noc_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

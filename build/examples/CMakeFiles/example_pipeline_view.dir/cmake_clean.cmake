@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_view.dir/pipeline_view.cpp.o"
+  "CMakeFiles/example_pipeline_view.dir/pipeline_view.cpp.o.d"
+  "example_pipeline_view"
+  "example_pipeline_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_circuits.dir/circuits/circuit_manager.cpp.o"
+  "CMakeFiles/rc_circuits.dir/circuits/circuit_manager.cpp.o.d"
+  "CMakeFiles/rc_circuits.dir/circuits/circuit_table.cpp.o"
+  "CMakeFiles/rc_circuits.dir/circuits/circuit_table.cpp.o.d"
+  "librc_circuits.a"
+  "librc_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

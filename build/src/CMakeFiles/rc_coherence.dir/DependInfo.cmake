@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/address_map.cpp" "src/CMakeFiles/rc_coherence.dir/coherence/address_map.cpp.o" "gcc" "src/CMakeFiles/rc_coherence.dir/coherence/address_map.cpp.o.d"
+  "/root/repo/src/coherence/l1_cache.cpp" "src/CMakeFiles/rc_coherence.dir/coherence/l1_cache.cpp.o" "gcc" "src/CMakeFiles/rc_coherence.dir/coherence/l1_cache.cpp.o.d"
+  "/root/repo/src/coherence/l2_bank.cpp" "src/CMakeFiles/rc_coherence.dir/coherence/l2_bank.cpp.o" "gcc" "src/CMakeFiles/rc_coherence.dir/coherence/l2_bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

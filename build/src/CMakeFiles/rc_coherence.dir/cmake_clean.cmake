@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_coherence.dir/coherence/address_map.cpp.o"
+  "CMakeFiles/rc_coherence.dir/coherence/address_map.cpp.o.d"
+  "CMakeFiles/rc_coherence.dir/coherence/l1_cache.cpp.o"
+  "CMakeFiles/rc_coherence.dir/coherence/l1_cache.cpp.o.d"
+  "CMakeFiles/rc_coherence.dir/coherence/l2_bank.cpp.o"
+  "CMakeFiles/rc_coherence.dir/coherence/l2_bank.cpp.o.d"
+  "librc_coherence.a"
+  "librc_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

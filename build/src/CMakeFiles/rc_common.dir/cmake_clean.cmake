@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_common.dir/common/config.cpp.o"
+  "CMakeFiles/rc_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/rc_common.dir/common/stats.cpp.o"
+  "CMakeFiles/rc_common.dir/common/stats.cpp.o.d"
+  "librc_common.a"
+  "librc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/apps.cpp" "src/CMakeFiles/rc_cpu.dir/cpu/apps.cpp.o" "gcc" "src/CMakeFiles/rc_cpu.dir/cpu/apps.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/CMakeFiles/rc_cpu.dir/cpu/core.cpp.o" "gcc" "src/CMakeFiles/rc_cpu.dir/cpu/core.cpp.o.d"
+  "/root/repo/src/cpu/workload.cpp" "src/CMakeFiles/rc_cpu.dir/cpu/workload.cpp.o" "gcc" "src/CMakeFiles/rc_cpu.dir/cpu/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

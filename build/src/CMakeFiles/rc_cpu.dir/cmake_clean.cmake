@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_cpu.dir/cpu/apps.cpp.o"
+  "CMakeFiles/rc_cpu.dir/cpu/apps.cpp.o.d"
+  "CMakeFiles/rc_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/rc_cpu.dir/cpu/core.cpp.o.d"
+  "CMakeFiles/rc_cpu.dir/cpu/workload.cpp.o"
+  "CMakeFiles/rc_cpu.dir/cpu/workload.cpp.o.d"
+  "librc_cpu.a"
+  "librc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_memory.dir/memory/memory_controller.cpp.o"
+  "CMakeFiles/rc_memory.dir/memory/memory_controller.cpp.o.d"
+  "librc_memory.a"
+  "librc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/message.cpp" "src/CMakeFiles/rc_noc.dir/noc/message.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/message.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/CMakeFiles/rc_noc.dir/noc/network.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/network.cpp.o.d"
+  "/root/repo/src/noc/network_interface.cpp" "src/CMakeFiles/rc_noc.dir/noc/network_interface.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/network_interface.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/CMakeFiles/rc_noc.dir/noc/router.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/CMakeFiles/rc_noc.dir/noc/routing.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/routing.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/CMakeFiles/rc_noc.dir/noc/topology.cpp.o" "gcc" "src/CMakeFiles/rc_noc.dir/noc/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

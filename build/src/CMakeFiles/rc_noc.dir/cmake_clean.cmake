@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_noc.dir/noc/message.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/message.cpp.o.d"
+  "CMakeFiles/rc_noc.dir/noc/network.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/network.cpp.o.d"
+  "CMakeFiles/rc_noc.dir/noc/network_interface.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/network_interface.cpp.o.d"
+  "CMakeFiles/rc_noc.dir/noc/router.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/router.cpp.o.d"
+  "CMakeFiles/rc_noc.dir/noc/routing.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/routing.cpp.o.d"
+  "CMakeFiles/rc_noc.dir/noc/topology.cpp.o"
+  "CMakeFiles/rc_noc.dir/noc/topology.cpp.o.d"
+  "librc_noc.a"
+  "librc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_power.dir/power/area_model.cpp.o"
+  "CMakeFiles/rc_power.dir/power/area_model.cpp.o.d"
+  "CMakeFiles/rc_power.dir/power/energy_model.cpp.o"
+  "CMakeFiles/rc_power.dir/power/energy_model.cpp.o.d"
+  "librc_power.a"
+  "librc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

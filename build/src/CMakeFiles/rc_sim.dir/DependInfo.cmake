@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/checker.cpp" "src/CMakeFiles/rc_sim.dir/sim/checker.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/checker.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/rc_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/CMakeFiles/rc_sim.dir/sim/presets.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/presets.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/rc_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/synthetic.cpp" "src/CMakeFiles/rc_sim.dir/sim/synthetic.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/synthetic.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/rc_sim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/system.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rc_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sim.dir/sim/checker.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/checker.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/presets.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/presets.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/synthetic.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/synthetic.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/system.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/system.cpp.o.d"
+  "CMakeFiles/rc_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rc_sim.dir/sim/trace.cpp.o.d"
+  "librc_sim.a"
+  "librc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

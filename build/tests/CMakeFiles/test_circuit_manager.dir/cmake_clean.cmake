@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_manager.dir/test_circuit_manager.cpp.o"
+  "CMakeFiles/test_circuit_manager.dir/test_circuit_manager.cpp.o.d"
+  "test_circuit_manager"
+  "test_circuit_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

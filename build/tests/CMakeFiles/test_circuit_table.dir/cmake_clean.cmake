@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_table.dir/test_circuit_table.cpp.o"
+  "CMakeFiles/test_circuit_table.dir/test_circuit_table.cpp.o.d"
+  "test_circuit_table"
+  "test_circuit_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

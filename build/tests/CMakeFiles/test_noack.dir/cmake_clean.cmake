@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noack.dir/test_noack.cpp.o"
+  "CMakeFiles/test_noack.dir/test_noack.cpp.o.d"
+  "test_noack"
+  "test_noack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioning.dir/test_partitioning.cpp.o"
+  "CMakeFiles/test_partitioning.dir/test_partitioning.cpp.o.d"
+  "test_partitioning"
+  "test_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/test_regression.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/test_regression.dir/test_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_circuits.dir/test_timed_circuits.cpp.o"
+  "CMakeFiles/test_timed_circuits.dir/test_timed_circuits.cpp.o.d"
+  "test_timed_circuits"
+  "test_timed_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_routing.dir/test_topology_routing.cpp.o"
+  "CMakeFiles/test_topology_routing.dir/test_topology_routing.cpp.o.d"
+  "test_topology_routing"
+  "test_topology_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_undo_races.dir/test_undo_races.cpp.o"
+  "CMakeFiles/test_undo_races.dir/test_undo_races.cpp.o.d"
+  "test_undo_races"
+  "test_undo_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_undo_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units2.dir/test_units2.cpp.o"
+  "CMakeFiles/test_units2.dir/test_units2.cpp.o.d"
+  "test_units2"
+  "test_units2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc-sim.dir/rc_sim.cpp.o"
+  "CMakeFiles/rc-sim.dir/rc_sim.cpp.o.d"
+  "rc-sim"
+  "rc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
