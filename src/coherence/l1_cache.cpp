@@ -25,6 +25,7 @@ MsgPtr L1Cache::make(MsgType t, NodeId dest, Addr addr, int flits) const {
 
 void L1Cache::send_later(MsgPtr msg, Cycle when) {
   outbox_.emplace(when, std::move(msg));
+  wake(when);
 }
 
 bool L1Cache::access(Addr addr, bool is_write, Cycle now) {
@@ -37,6 +38,7 @@ bool L1Cache::access(Addr addr, bool is_write, Cycle now) {
     if (is_write) line->meta.st = L1State::M;  // silent E->M upgrade
     ++stats_->counter(is_write ? "l1_write_hit" : "l1_read_hit");
     hit_done_ = now + cfg_.l1_hit_latency;
+    wake(hit_done_);
     return true;
   }
   // Miss (or S-state write upgrade).

@@ -11,6 +11,7 @@
 #include "coherence/address_map.hpp"
 #include "coherence/cache_array.hpp"
 #include "common/config.hpp"
+#include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
@@ -21,7 +22,7 @@ class Network;
 
 enum class L1State : std::uint8_t { I, S, E, M };
 
-class L1Cache {
+class L1Cache : public Ticker {
  public:
   L1Cache(NodeId node, const CacheConfig& cfg, Network* net,
           const AddressMap* amap, StatSet* stats);
@@ -37,6 +38,13 @@ class L1Cache {
   void handle(const MsgPtr& msg, Cycle now);
 
   void tick(Cycle now);
+  /// Earliest cycle with pending work: a hit completing or an outbox send.
+  Cycle next_work(Cycle) const {
+    Cycle w = hit_done_;
+    if (!outbox_.empty() && outbox_.begin()->first < w)
+      w = outbox_.begin()->first;
+    return w;
+  }
 
   /// Test access.
   L1State state_of(Addr addr);

@@ -30,6 +30,7 @@ MsgPtr L2Bank::make(MsgType t, NodeId dest, Addr addr, int flits) const {
 
 void L2Bank::send_later(MsgPtr msg, Cycle when) {
   outbox_.emplace(when, std::move(msg));
+  wake(when);
 }
 
 bool L2Bank::try_undo_circuit(const MsgPtr& req, Cycle now, bool expect_reply) {
@@ -269,6 +270,7 @@ void L2Bank::start_miss(const MsgPtr& msg, Cycle now) {
   });
   if (!victim) {
     retry_.push_back(msg);  // every way busy: retry next cycle
+    wake(now);
     ++stats_->counter("l2_victim_stall");
     return;
   }

@@ -15,6 +15,7 @@
 #include "coherence/address_map.hpp"
 #include "coherence/cache_array.hpp"
 #include "common/config.hpp"
+#include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
@@ -23,13 +24,19 @@ namespace rc {
 
 class Network;
 
-class L2Bank {
+class L2Bank : public Ticker {
  public:
   L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
          Network* net, const AddressMap* amap, StatSet* stats);
 
   void handle(const MsgPtr& msg, Cycle now);
   void tick(Cycle now);
+  /// Earliest cycle with pending work: stalled-miss retries re-run every
+  /// cycle, otherwise the next outbox send.
+  Cycle next_work(Cycle now) const {
+    if (!retry_.empty()) return now;
+    return outbox_.empty() ? kNeverCycle : outbox_.begin()->first;
+  }
 
   /// §4.6 hook from the NI: a reply's head flit was injected. When it is an
   /// L2Reply departing on a complete circuit and NoAck is enabled, the ACK

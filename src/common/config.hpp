@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/schedule.hpp"
 #include "common/types.hpp"
 
 namespace rc {
@@ -96,6 +97,11 @@ struct NocConfig {
   /// Replies route YX so they retrace their request's XY path (§4.1).
   /// Baseline keeps plain XY for everything.
   bool replies_yx = false;
+
+  /// Tick-loop scheduling (see common/schedule.hpp). Overridable at run time
+  /// with RC_VERIFY_TICKS=1 / RC_TICK_ALWAYS=1; all modes produce identical
+  /// simulations — Activity just skips quiescent components.
+  TickMode tick = TickMode::Activity;
 
   CircuitConfig circuit;
 

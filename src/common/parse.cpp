@@ -1,0 +1,32 @@
+#include "common/parse.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rc {
+
+std::optional<long long> parse_ll(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return std::nullopt;
+  return v;
+}
+
+long long env_positive_ll(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  auto parsed = parse_ll(v);
+  if (!parsed || *parsed <= 0) {
+    std::fprintf(stderr,
+                 "rc: environment variable %s=\"%s\" is not a positive "
+                 "integer\n",
+                 name, v);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+}  // namespace rc

@@ -1,0 +1,22 @@
+// Checked integer parsing for environment variables and CLI flags.
+//
+// std::atoi / strtoull-with-null-endptr silently map garbage to 0, which
+// turns a typo like RC_JOBS=all into a nonsense run. Everything here either
+// parses the full string or reports the offending value and exits non-zero.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace rc {
+
+/// Strict base-10 parse of the entire string. Returns nullopt on empty
+/// input, trailing junk, or overflow.
+std::optional<long long> parse_ll(const char* s);
+
+/// Read an integer environment variable that must be a positive integer
+/// when set. Unset (or empty) returns `fallback`; a set-but-invalid or
+/// non-positive value prints a diagnostic to stderr and exits with status 2.
+long long env_positive_ll(const char* name, long long fallback);
+
+}  // namespace rc

@@ -10,12 +10,17 @@
 #include <optional>
 #include <utility>
 
+#include "common/schedule.hpp"
 #include "common/types.hpp"
 
 namespace rc {
 
 /// FIFO channel with per-item ready times (monotonically non-decreasing,
 /// which holds because each producer pushes with a fixed latency).
+///
+/// A pipe may carry a waker: the Ticker on its consuming end, woken at each
+/// pushed item's ready time so activity-driven tick loops never sleep
+/// through a delivery.
 template <typename T>
 class Pipe {
  public:
@@ -23,10 +28,13 @@ class Pipe {
 
   Cycle latency() const { return latency_; }
 
+  void set_waker(Ticker* waker) { waker_ = waker; }
+
   void push(T item, Cycle now) {
     RC_ASSERT(q_.empty() || q_.back().ready <= now + latency_,
               "pipe ready times must be monotonic");
     q_.push_back(Entry{now + latency_, std::move(item)});
+    if (waker_) waker_->wake(now + latency_);
   }
 
   /// Pop the front item if it is ready at `now`.
@@ -46,6 +54,9 @@ class Pipe {
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
 
+  /// Cycle at which the front item becomes consumable (kNeverCycle if empty).
+  Cycle next_ready() const { return q_.empty() ? kNeverCycle : q_.front().ready; }
+
  private:
   struct Entry {
     Cycle ready;
@@ -53,6 +64,7 @@ class Pipe {
   };
   Cycle latency_;
   std::deque<Entry> q_;
+  Ticker* waker_ = nullptr;
 };
 
 }  // namespace rc

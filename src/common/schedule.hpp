@@ -1,0 +1,83 @@
+// Activity-tracked tick scheduling.
+//
+// Every tickable component (Core, L1Cache, L2Bank, MemoryController,
+// Router, NetworkInterface) derives from Ticker and reports, after each
+// tick, the earliest cycle at which it has pending work (next_work).
+// Anything that hands work to a possibly-sleeping component wakes it:
+// pipes wake their consumer on push (Pipe::set_waker), controllers wake
+// themselves when they enqueue future sends, and the core is woken by its
+// L1's completion callback. The tick loops in System::run_cycles and
+// Network::tick then skip quiescent components entirely, which is where
+// the simulator spends most of its time at the low injection rates the
+// paper's reactive circuits target.
+//
+// Three modes:
+//   Activity - tick only components whose wake_at has arrived (default).
+//   Always   - tick everything every cycle (the pre-optimization loop).
+//   Verify   - tick everything, but assert that the activity bookkeeping
+//              would not have missed any pending work; combined with the
+//              fact that a skipped tick is a no-op by construction, a clean
+//              Verify run proves Activity and Always produce identical
+//              simulations. Enabled globally with RC_VERIFY_TICKS=1.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+enum class TickMode : std::uint8_t {
+  Activity,  ///< skip components with no pending work
+  Always,    ///< unconditionally tick every component every cycle
+  Verify,    ///< Always + assert the activity tracking is conservative
+};
+
+const char* to_string(TickMode m);
+
+/// Apply the environment overrides: RC_VERIFY_TICKS=1 forces Verify,
+/// RC_TICK_ALWAYS=1 forces Always, otherwise `configured` is used.
+TickMode effective_tick_mode(TickMode configured);
+
+/// Base class for components driven by an activity-tracked tick loop.
+/// wake_at_ is the earliest cycle the component may have work; kNeverCycle
+/// means fully quiescent. Components start awake so cycle 0 always ticks.
+class Ticker {
+ public:
+  /// Mark pending work no later than `at` (monotone: only moves earlier).
+  void wake(Cycle at) {
+    if (at < wake_at_) wake_at_ = at;
+  }
+  Cycle wake_at() const { return wake_at_; }
+  /// Re-arm after a tick; the scheduler calls this with next_work().
+  void sleep_until(Cycle at) { wake_at_ = at; }
+
+ private:
+  Cycle wake_at_ = 0;
+};
+
+/// Tick `c` under the given scheduling mode. The component must expose
+/// tick(Cycle) and next_work(Cycle) and derive from Ticker.
+template <typename C>
+inline void tick_scheduled(C& c, Cycle now, TickMode mode, const char* what) {
+  switch (mode) {
+    case TickMode::Always:
+      c.tick(now);
+      return;
+    case TickMode::Verify:
+      if (c.next_work(now) <= now && c.wake_at() > now)
+        fatal(std::string("RC_VERIFY_TICKS: activity scheduler would have "
+                          "slept through pending work in a ") +
+              what + " at cycle " + std::to_string(now));
+      c.tick(now);
+      c.sleep_until(c.next_work(now));
+      return;
+    case TickMode::Activity:
+      if (c.wake_at() > now) return;
+      c.tick(now);
+      c.sleep_until(c.next_work(now));
+      return;
+  }
+}
+
+}  // namespace rc

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <compare>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace rc {
@@ -80,11 +82,20 @@ inline const char* to_string(VNet v) {
   return v == VNet::Request ? "REQ" : "REP";
 }
 
-/// Abort simulation with a message; used for invariant violations that
-/// indicate a modelling bug rather than a recoverable condition.
+/// Exception thrown by fatal(). Uncaught it still kills the process (with
+/// the message already on stderr), but supervising code — notably the
+/// run_many worker threads — can catch it and attribute the failure to a
+/// specific configuration instead of tearing down the whole sweep.
+class FatalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Report an invariant violation (a modelling bug rather than a recoverable
+/// condition): print to stderr, then throw FatalError.
 [[noreturn]] inline void fatal(const std::string& msg) {
   std::fprintf(stderr, "rc fatal: %s\n", msg.c_str());
-  std::abort();
+  throw FatalError(msg);
 }
 
 #define RC_ASSERT(cond, msg)                                    \

@@ -12,18 +12,27 @@ Core::Core(int id, std::unique_ptr<WorkloadGen> gen, L1Cache* l1,
   gap_left_ = next_op_.gap;
 }
 
-void Core::on_complete(Cycle) {
+void Core::flush_stalls(Cycle now) {
+  // The core never ticks at the issue cycle's stall position, so stalls
+  // cover (stall_from_, now]; advancing stall_from_ makes the flush
+  // idempotent across run_cycles block boundaries.
+  if (waiting_ && now > stall_from_) {
+    *stall_cycles_ += now - stall_from_;
+    stall_from_ = now;
+  }
+}
+
+void Core::on_complete(Cycle now) {
+  flush_stalls(now);
   ++retired_;  // the memory instruction itself
   waiting_ = false;
   next_op_ = gen_->next();
   gap_left_ = next_op_.gap;
+  wake(now + 1);  // completion happens after this cycle's core phase
 }
 
 void Core::tick(Cycle now) {
-  if (waiting_) {
-    ++*stall_cycles_;
-    return;
-  }
+  if (waiting_) return;  // stalls are accounted in flush_stalls
   if (gap_left_ > 0) {
     --gap_left_;
     ++retired_;
@@ -31,6 +40,7 @@ void Core::tick(Cycle now) {
   }
   if (l1_->access(next_op_.addr, next_op_.is_write, now)) {
     waiting_ = true;
+    stall_from_ = now;
     ++*mem_ops_;
   }
 }

@@ -33,6 +33,7 @@ void MemoryController::handle(const MsgPtr& msg, Cycle now) {
             to_string(msg->type));
   }
   outbox_.emplace(now + cfg_.memory_latency, std::move(reply));
+  wake(now + cfg_.memory_latency);
 }
 
 void MemoryController::tick(Cycle now) {

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/config.hpp"
+#include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
@@ -13,13 +14,17 @@ namespace rc {
 
 class Network;
 
-class MemoryController {
+class MemoryController : public Ticker {
  public:
   MemoryController(NodeId node, const CacheConfig& cfg, Network* net,
                    StatSet* stats);
 
   void handle(const MsgPtr& msg, Cycle now);
   void tick(Cycle now);
+  /// Earliest cycle with pending work: the next reply leaving the outbox.
+  Cycle next_work(Cycle) const {
+    return outbox_.empty() ? kNeverCycle : outbox_.begin()->first;
+  }
 
   std::size_t in_flight() const { return outbox_.size(); }
 

@@ -6,7 +6,8 @@
 namespace rc {
 
 Network::Network(const NocConfig& cfg)
-    : cfg_(cfg), topo_(cfg.mesh_w, cfg.mesh_h), lat_(cfg) {
+    : cfg_(cfg), topo_(cfg.mesh_w, cfg.mesh_h), lat_(cfg),
+      mode_(effective_tick_mode(cfg.tick)) {
   const int n = topo_.num_nodes();
   routers_.reserve(n);
   nis_.reserve(n);
@@ -28,7 +29,9 @@ Network::Network(const NocConfig& cfg)
       NodeId b = topo_.neighbour(a, d);
       if (b == kInvalidNode) continue;
       flit_pipes_.emplace_back(data_lat);
+      flit_pipes_.back().set_waker(routers_[b].get());  // consumer: b's input
       credit_pipes_.emplace_back(1);
+      credit_pipes_.back().set_waker(routers_[a].get());  // a pops its credits
       links[{a, b}] = {&flit_pipes_.back(), &credit_pipes_.back()};
     }
   }
@@ -46,15 +49,19 @@ Network::Network(const NocConfig& cfg)
     // Local port: NI <-> router.
     flit_pipes_.emplace_back(data_lat);   // inject: NI -> router
     Pipe<Flit>* inject = &flit_pipes_.back();
+    inject->set_waker(routers_[a].get());
     flit_pipes_.emplace_back(data_lat);   // eject: router -> NI
     Pipe<Flit>* eject = &flit_pipes_.back();
+    eject->set_waker(nis_[a].get());
     credit_pipes_.emplace_back(1);        // router -> NI (input buffer credits)
     Pipe<Credit>* inj_credits = &credit_pipes_.back();
+    inj_credits->set_waker(nis_[a].get());
     // NI -> router undo records: 3 cycles, so a tear-down launched in the
     // same cycle a rider's tail was injected still reaches every router
     // strictly after the tail (both then advance at 2 cycles/hop).
     credit_pipes_.emplace_back(3);
     Pipe<Credit>* undo = &credit_pipes_.back();
+    undo->set_waker(routers_[a].get());
     Router::PortWiring w;
     w.in_data = inject;
     w.in_credits = inj_credits;
@@ -99,14 +106,21 @@ void Network::set_reply_injected(
 }
 
 void Network::tick(Cycle now) {
+  // Same-tile bypass pipes are drained unconditionally: they feed the
+  // deliver callback directly (no Ticker on the consuming end), and the
+  // empty() guard makes the quiescent case a single branch per node.
   for (std::size_t i = 0; i < local_pipes_.size(); ++i) {
+    if (local_pipes_[i].empty()) continue;
     while (auto m = local_pipes_[i].pop_ready(now)) {
       (*m)->delivered = now;
       if (deliver_) deliver_(static_cast<NodeId>(i), *m);
     }
   }
-  for (auto& ni : nis_) ni->tick(now);
-  for (auto& r : routers_) r->tick(now);
+  // Fixed scan order (all NIs, then all routers, in node order) regardless
+  // of mode: activity scheduling skips quiescent components in place, so
+  // the components that do tick run in exactly the always-tick order.
+  for (auto& ni : nis_) tick_scheduled(*ni, now, mode_, "network interface");
+  for (auto& r : routers_) tick_scheduled(*r, now, mode_, "router");
 }
 
 bool Network::idle() const {

@@ -41,6 +41,9 @@ class Network {
 
   const Topology& topo() const { return topo_; }
   const NocConfig& config() const { return cfg_; }
+  /// Scheduling mode in effect (config + RC_VERIFY_TICKS/RC_TICK_ALWAYS
+  /// overrides, resolved once at construction).
+  TickMode tick_mode() const { return mode_; }
   Router& router(NodeId n) { return *routers_[n]; }
   NetworkInterface& ni(NodeId n) { return *nis_[n]; }
   StatSet& stats() { return stats_; }
@@ -54,6 +57,7 @@ class Network {
   Topology topo_;
   StatSet stats_;
   LatencyModel lat_;
+  TickMode mode_;
 
   // Stable-address pipe storage.
   std::deque<Pipe<Flit>> flit_pipes_;

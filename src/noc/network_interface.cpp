@@ -31,6 +31,7 @@ void NetworkInterface::send(const MsgPtr& msg, Cycle now) {
     msg->reply_size_flits = reply_flits_for_request(msg->type, MessageSizes{});
   }
   q_[static_cast<int>(vn)].push_back(msg);
+  wake(now);  // controllers send before the network phase of this cycle
 }
 
 void NetworkInterface::launch_undo(NodeId dest, Addr addr,

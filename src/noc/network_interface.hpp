@@ -12,15 +12,17 @@
 //    can elide the L1_DATA_ACK (§4.6).
 #pragma once
 
-#include <deque>
-#include <vector>
-#include <functional>
+#include <algorithm>
 #include <array>
+#include <deque>
+#include <functional>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/pipe.hpp"
+#include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
@@ -30,7 +32,7 @@ namespace rc {
 
 class Topology;
 
-class NetworkInterface {
+class NetworkInterface : public Ticker {
  public:
   NetworkInterface(NodeId id, const NocConfig& cfg, const Topology* topo,
                    StatSet* stats);
@@ -62,6 +64,16 @@ class NetworkInterface {
   bool undo_circuit(NodeId dest, Addr addr, Cycle now, bool expect_reply);
 
   void tick(Cycle now);
+  /// Earliest cycle with pending work: queued/streaming packets need every
+  /// cycle (including replies holding for a timed departure window);
+  /// otherwise the next ejected flit or returning credit.
+  Cycle next_work(Cycle now) const {
+    if (pending() > 0) return now;
+    Cycle w = kNeverCycle;
+    if (eject_) w = std::min(w, eject_->next_ready());
+    if (inject_credits_) w = std::min(w, inject_credits_->next_ready());
+    return w;
+  }
 
   NodeId node() const { return id_; }
   /// Messages queued or mid-injection at this NI.

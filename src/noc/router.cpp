@@ -73,6 +73,17 @@ void Router::wire(Dir d, const PortWiring& w) {
   }
 }
 
+Cycle Router::next_work(Cycle now) const {
+  if (!undo_latch_.empty() || busy()) return now;
+  Cycle w = kNeverCycle;
+  for (int p = 0; p < kNumDirs; ++p) {
+    if (wires_[p].in_data) w = std::min(w, wires_[p].in_data->next_ready());
+    if (wires_[p].out_credits)
+      w = std::min(w, wires_[p].out_credits->next_ready());
+  }
+  return w;
+}
+
 void Router::tick(Cycle now) {
   for (auto& op : outputs_) op.taken_by_circuit = false;
   if (!undo_latch_.empty()) {

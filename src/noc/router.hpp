@@ -22,6 +22,7 @@
 #include "circuits/circuit_manager.hpp"
 #include "common/config.hpp"
 #include "common/pipe.hpp"
+#include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/allocator.hpp"
@@ -32,7 +33,7 @@ namespace rc {
 
 class Topology;
 
-class Router {
+class Router : public Ticker {
  public:
   /// Pipes connecting one port to its neighbour (router or NI). The router
   /// pops from `in_data`/`out_credits` and pushes to `out_data`/`in_credits`.
@@ -49,6 +50,11 @@ class Router {
   void wire(Dir d, const PortWiring& w);
 
   void tick(Cycle now);
+  /// Earliest cycle with pending work: resident packets and latched undos
+  /// need every cycle; otherwise the next arriving flit or credit (the
+  /// wiring sets this router as those pipes' waker, so a sleeping router is
+  /// re-armed the moment upstream pushes).
+  Cycle next_work(Cycle now) const;
 
   NodeId id() const { return id_; }
   /// Flits this router pushed through its crossbar (packet + circuit),

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <thread>
 
+#include "common/parse.hpp"
 #include "cpu/apps.hpp"
 #include "power/energy_model.hpp"
 #include "sim/presets.hpp"
@@ -12,6 +14,18 @@
 namespace rc {
 
 RunResult run_config(SystemConfig cfg, const std::string& label) {
+  // Fail fast on configurations whose metrics would silently degenerate:
+  // IPC divides by measure_cycles * cores, and a NaN/inf there poisons
+  // every downstream mean_speedup without any obvious symptom.
+  if (cfg.measure_cycles == 0)
+    fatal("run_config('" + label + "'): measure_cycles must be > 0");
+  if (cfg.noc.num_nodes() <= 0)
+    fatal("run_config('" + label + "'): configuration has no cores (mesh " +
+          std::to_string(cfg.noc.mesh_w) + "x" +
+          std::to_string(cfg.noc.mesh_h) + ")");
+  std::string err = cfg.validate();
+  if (!err.empty()) fatal("run_config('" + label + "'): " + err);
+
   System sys(cfg);
   sys.run();
 
@@ -44,24 +58,39 @@ std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
                                 int jobs) {
   RC_ASSERT(cfgs.size() == labels.size(), "one label per configuration");
   if (jobs <= 0) {
-    if (const char* v = std::getenv("RC_JOBS")) jobs = std::atoi(v);
+    jobs = static_cast<int>(env_positive_ll("RC_JOBS", 0));
     if (jobs <= 0)
       jobs = static_cast<int>(std::thread::hardware_concurrency());
     if (jobs <= 0) jobs = 4;
   }
   std::vector<RunResult> out(cfgs.size());
   std::atomic<std::size_t> next{0};
+  // Exceptions (fatal() included) must not escape a worker thread — that
+  // would std::terminate the whole sweep. Record per-config failures and
+  // let the remaining configurations finish.
   auto worker = [&]() {
     for (;;) {
       std::size_t i = next.fetch_add(1);
       if (i >= cfgs.size()) return;
-      out[i] = run_config(cfgs[i], labels[i]);
+      try {
+        out[i] = run_config(cfgs[i], labels[i]);
+      } catch (const std::exception& e) {
+        out[i].preset = labels[i];
+        out[i].app = cfgs[i].workload;
+        out[i].failed = true;
+        out[i].error = e.what();
+      }
     }
   };
   std::vector<std::thread> pool;
   const int n = std::min<int>(jobs, static_cast<int>(cfgs.size()));
   for (int t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].failed)
+      throw FatalError("run_many: configuration '" + labels[i] +
+                       "' failed: " + out[i].error);
+  }
   return out;
 }
 
@@ -98,26 +127,20 @@ double mean_speedup(const std::vector<RunResult>& base,
   double acc = 0;
   for (std::size_t i = 0; i < base.size(); ++i) {
     RC_ASSERT(base[i].app == variant[i].app, "result sets must align by app");
+    RC_ASSERT(base[i].ipc > 0,
+              "baseline IPC is zero for app '" + base[i].app + "'");
     acc += variant[i].ipc / base[i].ipc;
   }
   return acc / static_cast<double>(base.size());
 }
 
-namespace {
-Cycle env_cycles(const char* name, Cycle fallback) {
-  if (const char* v = std::getenv(name)) {
-    long long x = std::atoll(v);
-    if (x > 0) return static_cast<Cycle>(x);
-  }
-  return fallback;
-}
-}  // namespace
-
 Cycle env_measure_cycles(Cycle fallback) {
-  return env_cycles("RC_MEASURE_CYCLES", fallback);
+  return static_cast<Cycle>(
+      env_positive_ll("RC_MEASURE_CYCLES", static_cast<long long>(fallback)));
 }
 Cycle env_warmup_cycles(Cycle fallback) {
-  return env_cycles("RC_WARMUP_CYCLES", fallback);
+  return static_cast<Cycle>(
+      env_positive_ll("RC_WARMUP_CYCLES", static_cast<long long>(fallback)));
 }
 bool env_full_runs() {
   const char* v = std::getenv("RC_FULL");

@@ -22,6 +22,12 @@ struct RunResult {
   StatSet net;  ///< network-side counters/accumulators
   StatSet sys;  ///< controller-side counters
   NocConfig noc;
+  /// Set by run_many when this configuration's simulation threw instead of
+  /// completing; `error` carries the message. run_many still rethrows the
+  /// first failure after every worker has joined, so these fields matter to
+  /// callers that catch FatalError and inspect partial sweeps.
+  bool failed = false;
+  std::string error;
 };
 
 /// Fig. 6: fractions of all reply messages (eliminated ACKs count in the
@@ -47,7 +53,10 @@ RunResult run_config(SystemConfig cfg, const std::string& label);
 
 /// Run many independent configurations on a pool of `jobs` threads
 /// (simulations share no state; results come back in input order). jobs<=0
-/// uses RC_JOBS or the hardware concurrency.
+/// uses RC_JOBS or the hardware concurrency. A configuration that fails is
+/// recorded in its RunResult (failed/error) without tearing down the other
+/// workers; once all threads have joined, the first failure (in input
+/// order) is rethrown as FatalError on the calling thread.
 std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
                                 const std::vector<std::string>& labels,
                                 int jobs = 0);

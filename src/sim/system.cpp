@@ -86,15 +86,21 @@ void System::deliver(NodeId node, const MsgPtr& msg) {
 }
 
 void System::run_cycles(Cycle n) {
+  const TickMode mode = net_->tick_mode();
   const Cycle end = now_ + n;
   for (; now_ < end; ++now_) {
-    for (auto& c : cores_) c->tick(now_);
-    for (auto& l1 : l1s_) l1->tick(now_);
-    for (auto& l2 : l2s_) l2->tick(now_);
+    for (auto& c : cores_) tick_scheduled(*c, now_, mode, "core");
+    for (auto& l1 : l1s_) tick_scheduled(*l1, now_, mode, "L1 cache");
+    for (auto& l2 : l2s_) tick_scheduled(*l2, now_, mode, "L2 bank");
     for (auto& mc : mcs_)
-      if (mc) mc->tick(now_);
+      if (mc) tick_scheduled(*mc, now_, mode, "memory controller");
     net_->tick(now_);
   }
+  // Stall accounting is batched (cores skip ticks while blocked on the
+  // memory system); fold everything up to the last simulated cycle in so
+  // counters read after any run_cycles block are exact.
+  if (now_ > 0)
+    for (auto& c : cores_) c->flush_stalls(now_ - 1);
 }
 
 void System::reset_stats() {

@@ -39,6 +39,8 @@ class System {
 
   Cycle now() const { return now_; }
   const SystemConfig& config() const { return cfg_; }
+  /// Scheduling mode in effect (config + environment overrides).
+  TickMode tick_mode() const { return net_->tick_mode(); }
   Network& network() { return *net_; }
   StatSet& sys_stats() { return sys_stats_; }
   const StatSet& sys_stats() const { return sys_stats_; }

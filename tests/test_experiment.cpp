@@ -1,0 +1,211 @@
+// Experiment-runner hardening and tick-scheduler equivalence tests:
+//  * checked env/CLI parsing (parse_ll / env_positive_ll),
+//  * run_config input validation (no NaN/inf IPC),
+//  * run_many worker-thread error propagation and sharding determinism,
+//  * Activity vs Always tick scheduling producing bit-identical stats,
+//  * the RC_VERIFY_TICKS / TickMode::Verify lockstep checker.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/parse.hpp"
+#include "common/schedule.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/synthetic.hpp"
+#include "sim/system.hpp"
+
+using namespace rc;
+
+namespace {
+
+SystemConfig small_config(const std::string& preset, TickMode tick,
+                          std::uint64_t seed = 1) {
+  SystemConfig cfg = make_system_config(16, preset, "fft", seed);
+  cfg.warmup_cycles = 2'000;
+  cfg.measure_cycles = 5'000;
+  cfg.noc.tick = tick;
+  return cfg;
+}
+
+// Exact (bit-identical) comparison over the union of both stat sets.
+void expect_stats_equal(const StatSet& a, const StatSet& b,
+                        const char* what) {
+  for (const auto& [k, v] : a.counters())
+    EXPECT_EQ(v, b.counter_value(k)) << what << " counter " << k;
+  for (const auto& [k, v] : b.counters())
+    EXPECT_EQ(v, a.counter_value(k)) << what << " counter " << k;
+  EXPECT_EQ(a.accumulators().size(), b.accumulators().size()) << what;
+  for (const auto& [k, acc] : a.accumulators()) {
+    const Accumulator* o = b.find_acc(k);
+    ASSERT_NE(o, nullptr) << what << " accumulator " << k;
+    EXPECT_EQ(acc.count(), o->count()) << what << " accumulator " << k;
+    EXPECT_EQ(acc.sum(), o->sum()) << what << " accumulator " << k;
+    EXPECT_EQ(acc.min(), o->min()) << what << " accumulator " << k;
+    EXPECT_EQ(acc.max(), o->max()) << what << " accumulator " << k;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- parsing
+
+TEST(Parse, StrictIntegerParsing) {
+  EXPECT_EQ(parse_ll("42").value_or(-1), 42);
+  EXPECT_EQ(parse_ll("-7").value_or(1), -7);
+  EXPECT_EQ(parse_ll("0").value_or(-1), 0);
+  EXPECT_FALSE(parse_ll(nullptr).has_value());
+  EXPECT_FALSE(parse_ll("").has_value());
+  EXPECT_FALSE(parse_ll("garbage").has_value());
+  EXPECT_FALSE(parse_ll("12abc").has_value());
+  EXPECT_FALSE(parse_ll("4.5").has_value());
+  EXPECT_FALSE(parse_ll("99999999999999999999999").has_value());  // overflow
+}
+
+TEST(Parse, EnvPositiveFallsBackWhenUnset) {
+  unsetenv("RC_TEST_UNSET_KNOB");
+  EXPECT_EQ(env_positive_ll("RC_TEST_UNSET_KNOB", 7), 7);
+  setenv("RC_TEST_UNSET_KNOB", "12", 1);
+  EXPECT_EQ(env_positive_ll("RC_TEST_UNSET_KNOB", 7), 12);
+  unsetenv("RC_TEST_UNSET_KNOB");
+}
+
+TEST(ParseDeathTest, GarbageEnvValueExitsNonZero) {
+  EXPECT_EXIT(
+      {
+        setenv("RC_TEST_BAD_KNOB", "garbage", 1);
+        env_positive_ll("RC_TEST_BAD_KNOB", 1);
+      },
+      testing::ExitedWithCode(2), "not a positive integer");
+  EXPECT_EXIT(
+      {
+        setenv("RC_TEST_BAD_KNOB", "0", 1);
+        env_positive_ll("RC_TEST_BAD_KNOB", 1);
+      },
+      testing::ExitedWithCode(2), "not a positive integer");
+}
+
+TEST(ParseDeathTest, BadRcJobsExitsNonZeroInsteadOfSilentZero) {
+  // RC_JOBS=garbage used to atoi() to 0 and silently fall back; now it is
+  // rejected before any worker spawns.
+  EXPECT_EXIT(
+      {
+        setenv("RC_JOBS", "many", 1);
+        SystemConfig cfg = small_config("Baseline", TickMode::Activity);
+        run_many({cfg}, {"Baseline"}, /*jobs=*/0);
+      },
+      testing::ExitedWithCode(2), "RC_JOBS");
+}
+
+// ------------------------------------------------------ run_config guards
+
+TEST(RunConfig, RejectsZeroMeasureCycles) {
+  SystemConfig cfg = small_config("Baseline", TickMode::Activity);
+  cfg.measure_cycles = 0;
+  EXPECT_THROW(run_config(cfg, "zero-measure"), FatalError);
+}
+
+TEST(RunConfig, RejectsInvalidMesh) {
+  SystemConfig cfg = small_config("Baseline", TickMode::Activity);
+  cfg.noc.mesh_w = 0;
+  cfg.noc.mesh_h = 0;
+  EXPECT_THROW(run_config(cfg, "no-cores"), FatalError);
+}
+
+// ------------------------------------------------------------- run_many
+
+TEST(RunMany, WorkerFailurePropagatesAfterJoin) {
+  // One bad configuration among good ones: the sweep must not
+  // std::terminate; the failure surfaces as FatalError on the caller's
+  // thread after every worker finished.
+  std::vector<SystemConfig> cfgs = {
+      small_config("Baseline", TickMode::Activity),
+      small_config("Baseline", TickMode::Activity),
+  };
+  cfgs[1].measure_cycles = 0;  // poison pill
+  try {
+    run_many(cfgs, {"good", "bad"}, /*jobs=*/2);
+    FAIL() << "run_many should have rethrown the worker failure";
+  } catch (const FatalError& e) {
+    EXPECT_NE(std::string(e.what()).find("'bad'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunMany, ShardingIsDeterministic) {
+  std::vector<SystemConfig> cfgs;
+  std::vector<std::string> labels;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SystemConfig cfg = small_config("Complete_NoAck", TickMode::Activity, seed);
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 2'000;
+    cfgs.push_back(cfg);
+    labels.push_back("seed" + std::to_string(seed));
+  }
+  auto serial = run_many(cfgs, labels, /*jobs=*/1);
+  auto sharded = run_many(cfgs, labels, /*jobs=*/8);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].preset, sharded[i].preset);
+    EXPECT_EQ(serial[i].retired, sharded[i].retired) << labels[i];
+    EXPECT_EQ(serial[i].ipc, sharded[i].ipc) << labels[i];
+    expect_stats_equal(serial[i].net, sharded[i].net, labels[i].c_str());
+    expect_stats_equal(serial[i].sys, sharded[i].sys, labels[i].c_str());
+  }
+}
+
+// ------------------------------------------------- tick-mode equivalence
+
+TEST(TickScheduling, ActivityMatchesAlwaysOnFullSystem) {
+  for (const char* preset : {"Baseline", "SlackDelay1_NoAck"}) {
+    RunResult always =
+        run_config(small_config(preset, TickMode::Always), preset);
+    RunResult activity =
+        run_config(small_config(preset, TickMode::Activity), preset);
+    EXPECT_EQ(always.retired, activity.retired) << preset;
+    EXPECT_EQ(always.ipc, activity.ipc) << preset;
+    expect_stats_equal(always.net, activity.net, preset);
+    expect_stats_equal(always.sys, activity.sys, preset);
+  }
+}
+
+TEST(TickScheduling, ActivityMatchesAlwaysOnSyntheticNetwork) {
+  SystemConfig base = make_system_config(16, "Complete_NoAck", "fft", 1);
+  auto run_mode = [&](TickMode m) {
+    NocConfig noc = base.noc;
+    noc.tick = m;
+    SyntheticTraffic t(noc, /*rate=*/0.01, /*service_cycles=*/7, /*seed=*/3);
+    return t.run(/*warmup=*/2'000, /*measure=*/6'000);
+  };
+  SyntheticResult always = run_mode(TickMode::Always);
+  SyntheticResult activity = run_mode(TickMode::Activity);
+  EXPECT_EQ(always.requests_done, activity.requests_done);
+  EXPECT_EQ(always.request_latency, activity.request_latency);
+  EXPECT_EQ(always.reply_latency, activity.reply_latency);
+  EXPECT_EQ(always.circuit_use, activity.circuit_use);
+  expect_stats_equal(always.net, activity.net, "synthetic");
+}
+
+TEST(TickScheduling, VerifyModeRunsCleanOnSmallMesh) {
+  // TickMode::Verify ticks everything but asserts the activity bookkeeping
+  // would never have slept through pending work; a clean run is the
+  // lockstep proof that Activity == Always on this configuration.
+  SystemConfig cfg = small_config("SlackDelay1_NoAck", TickMode::Verify);
+  RunResult verify = run_config(cfg, "verify");
+  RunResult always =
+      run_config(small_config("SlackDelay1_NoAck", TickMode::Always),
+                 "always");
+  EXPECT_EQ(verify.retired, always.retired);
+  expect_stats_equal(verify.net, always.net, "verify-vs-always");
+  expect_stats_equal(verify.sys, always.sys, "verify-vs-always");
+}
+
+TEST(TickScheduling, EnvOverrideSelectsVerify) {
+  setenv("RC_VERIFY_TICKS", "1", 1);
+  EXPECT_EQ(effective_tick_mode(TickMode::Activity), TickMode::Verify);
+  unsetenv("RC_VERIFY_TICKS");
+  setenv("RC_TICK_ALWAYS", "1", 1);
+  EXPECT_EQ(effective_tick_mode(TickMode::Activity), TickMode::Always);
+  unsetenv("RC_TICK_ALWAYS");
+  EXPECT_EQ(effective_tick_mode(TickMode::Activity), TickMode::Activity);
+}

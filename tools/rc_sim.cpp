@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "cpu/apps.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -189,21 +190,34 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--cores")) o.cores = std::atoi(need("--cores"));
+    // Numeric flags go through checked parsing: std::atoi-style silent
+    // zero-on-garbage turned typos into nonsense runs.
+    auto need_int = [&](const char* flag, long long min_v) -> long long {
+      const char* v = need(flag);
+      auto parsed = parse_ll(v);
+      if (!parsed || *parsed < min_v) {
+        std::fprintf(stderr, "%s: \"%s\" is not an integer >= %lld\n", flag, v,
+                     min_v);
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    if (!std::strcmp(argv[i], "--cores"))
+      o.cores = static_cast<int>(need_int("--cores", 1));
     else if (!std::strcmp(argv[i], "--preset")) o.preset = need("--preset");
     else if (!std::strcmp(argv[i], "--app")) o.app = need("--app");
     else if (!std::strcmp(argv[i], "--warmup"))
-      o.warmup = std::strtoull(need("--warmup"), nullptr, 10);
+      o.warmup = static_cast<Cycle>(need_int("--warmup", 0));
     else if (!std::strcmp(argv[i], "--cycles"))
-      o.cycles = std::strtoull(need("--cycles"), nullptr, 10);
+      o.cycles = static_cast<Cycle>(need_int("--cycles", 1));
     else if (!std::strcmp(argv[i], "--seed"))
-      o.seed = std::strtoull(need("--seed"), nullptr, 10);
+      o.seed = static_cast<std::uint64_t>(need_int("--seed", 0));
     else if (!std::strcmp(argv[i], "--partition"))
-      o.partition = std::atoi(need("--partition"));
+      o.partition = static_cast<int>(need_int("--partition", 0));
     else if (!std::strcmp(argv[i], "--circuits"))
-      o.circuits = std::atoi(need("--circuits"));
+      o.circuits = static_cast<int>(need_int("--circuits", 0));
     else if (!std::strcmp(argv[i], "--slack"))
-      o.slack = std::atoi(need("--slack"));
+      o.slack = static_cast<int>(need_int("--slack", 0));
     else if (!std::strcmp(argv[i], "--no-l1tol1")) o.no_l1tol1 = true;
     else if (!std::strcmp(argv[i], "--trace")) o.trace_path = need("--trace");
     else if (!std::strcmp(argv[i], "--heatmap")) o.heatmap = true;
