@@ -78,6 +78,13 @@ class CircuitManager {
   CircuitTable& table(Port p) { return tables_[p]; }
   const CircuitTable& table(Port p) const { return tables_[p]; }
 
+  /// Attach a lifecycle observer to every table, identified as belonging to
+  /// router `node` (ports keep their own indices).
+  void set_observer(CircuitTableObserver* obs, NodeId node) {
+    for (int p = 0; p < kNumDirs; ++p)
+      tables_[p].set_observer(obs, node, static_cast<Port>(p));
+  }
+
  private:
   CircuitConfig cfg_;
   StatSet* stats_;

@@ -109,14 +109,17 @@ bool CircuitTable::insert(const CircuitEntry& e, Cycle now) {
   // Reuse an invalid or expired slot first.
   for (auto& s : slots_) {
     if (!s.valid || s.expired(now)) {
+      if (s.valid && obs_) obs_->on_circuit_reclaimed(node_, port_, s, now);
       s = e;
       s.valid = true;
+      if (obs_) obs_->on_circuit_inserted(node_, port_, s, now);
       return true;
     }
   }
   if (unbounded() || static_cast<int>(slots_.size()) < capacity_) {
     slots_.push_back(e);
     slots_.back().valid = true;
+    if (obs_) obs_->on_circuit_inserted(node_, port_, slots_.back(), now);
     return true;
   }
   return false;
@@ -137,11 +140,16 @@ std::optional<CircuitEntry> CircuitTable::release(NodeId dest, Addr addr,
       victim = &e;
       break;
     }
-    if (!victim) victim = &e;
+    // A tail release (msg_id != 0) may fall back to any same-identity entry
+    // (its binding can have been cleared by a scrounger, §4.5). A tear-down
+    // (msg_id == 0) must never fall back to a bound entry: a reply is
+    // riding it and its own tail will free it (§4.4).
+    if (!victim && msg_id != 0) victim = &e;
   }
   if (!victim) return std::nullopt;
   CircuitEntry out = *victim;
   victim->valid = false;
+  if (obs_) obs_->on_circuit_released(node_, port_, out, msg_id, now);
   return out;
 }
 
@@ -158,6 +166,7 @@ std::optional<CircuitEntry> CircuitTable::release_instance(
     if (e.bound_msg != 0) continue;  // a rider owns it now; its tail frees it
     CircuitEntry out = e;
     e.valid = false;
+    if (obs_) obs_->on_circuit_undone(node_, port_, out, owner_req, now);
     return out;
   }
   return std::nullopt;

@@ -45,6 +45,27 @@ struct CircuitEntry {
   }
 };
 
+/// Passive observer of a table's entry lifecycle. The table reports its
+/// (node, port) identity with every event so one observer can watch all the
+/// tables of a fabric (rc::Validator does, via the wider NocObserver in
+/// noc/observer.hpp). Hooks default to no-ops and every call site is guarded
+/// by a null test, so an unattached table pays nothing.
+class CircuitTableObserver {
+ public:
+  virtual ~CircuitTableObserver() = default;
+  /// A reservation was written into the table.
+  virtual void on_circuit_inserted(NodeId, Port, const CircuitEntry&, Cycle) {}
+  /// insert() reclaimed the slot of an expired timed entry (§4.7).
+  virtual void on_circuit_reclaimed(NodeId, Port, const CircuitEntry&, Cycle) {}
+  /// release() freed an entry; `msg_id` is the releasing message (0 = an
+  /// identity-keyed tear-down rather than a tail release).
+  virtual void on_circuit_released(NodeId, Port, const CircuitEntry&,
+                                   std::uint64_t /*msg_id*/, Cycle) {}
+  /// release_instance() freed the entry built by `owner_req` (§4.4 undo).
+  virtual void on_circuit_undone(NodeId, Port, const CircuitEntry&,
+                                 std::uint64_t /*owner_req*/, Cycle) {}
+};
+
 /// Fixed-capacity table of circuit entries for one input port.
 /// capacity < 0 means unbounded (the Ideal configuration, §4.8).
 class CircuitTable {
@@ -94,9 +115,20 @@ class CircuitTable {
   const std::vector<CircuitEntry>& entries() const { return slots_; }
   void clear();
 
+  /// Attach a lifecycle observer; (node, port) identify this table in the
+  /// fabric and are passed back with every event.
+  void set_observer(CircuitTableObserver* obs, NodeId node, Port port) {
+    obs_ = obs;
+    node_ = node;
+    port_ = port;
+  }
+
  private:
   int capacity_;
   std::vector<CircuitEntry> slots_;
+  CircuitTableObserver* obs_ = nullptr;
+  NodeId node_ = kInvalidNode;
+  Port port_ = 0;
 };
 
 }  // namespace rc

@@ -57,6 +57,14 @@ class Pipe {
   /// Cycle at which the front item becomes consumable (kNeverCycle if empty).
   Cycle next_ready() const { return q_.empty() ? kNeverCycle : q_.front().ready; }
 
+  /// Visit every queued item (ready or not) with its ready cycle. Read-only
+  /// introspection for validation (e.g. counting in-flight credits per VC);
+  /// simulation code must consume through pop_ready only.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& e : q_) fn(e.item, e.ready);
+  }
+
  private:
   struct Entry {
     Cycle ready;

@@ -3,6 +3,8 @@
 #include <array>
 #include <map>
 
+#include "noc/observer.hpp"
+
 namespace rc {
 
 Network::Network(const NocConfig& cfg)
@@ -105,6 +107,12 @@ void Network::set_reply_injected(
   }
 }
 
+void Network::set_observer(NocObserver* obs) {
+  obs_ = obs;
+  for (auto& r : routers_) r->set_observer(obs);
+  for (auto& ni : nis_) ni->set_observer(obs);
+}
+
 void Network::tick(Cycle now) {
   // Same-tile bypass pipes are drained unconditionally: they feed the
   // deliver callback directly (no Ticker on the consuming end), and the
@@ -121,6 +129,7 @@ void Network::tick(Cycle now) {
   // the components that do tick run in exactly the always-tick order.
   for (auto& ni : nis_) tick_scheduled(*ni, now, mode_, "network interface");
   for (auto& r : routers_) tick_scheduled(*r, now, mode_, "router");
+  if (obs_) obs_->on_network_cycle(now);
 }
 
 bool Network::idle() const {

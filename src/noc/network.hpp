@@ -32,6 +32,13 @@ class Network {
     send_observer_ = std::move(cb);
   }
 
+  /// Attach a passive fabric observer to every router, NI and circuit table
+  /// (see noc/observer.hpp). Pass nullptr to detach. The observed network
+  /// additionally fires NocObserver::on_network_cycle at the end of every
+  /// tick.
+  void set_observer(NocObserver* obs);
+  NocObserver* observer() const { return obs_; }
+
   /// Delivery callback invoked at the destination node, with the node id.
   void set_deliver(std::function<void(NodeId, const MsgPtr&)> cb);
   /// §4.6 hook: reply head injected, with circuit usage flag.
@@ -68,6 +75,7 @@ class Network {
 
   std::function<void(NodeId, const MsgPtr&)> deliver_;
   std::function<void(const MsgPtr&, Cycle)> send_observer_;
+  NocObserver* obs_ = nullptr;
 };
 
 }  // namespace rc

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "noc/observer.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
 
@@ -43,6 +44,7 @@ void NetworkInterface::launch_undo(NodeId dest, Addr addr,
   cr.vc = -1;
   cr.undo = UndoRecord{dest, addr, owner};
   undo_out_->push(cr, now);
+  if (obs_) obs_->on_undo_launched(id_, dest, addr, owner, now);
 }
 
 bool NetworkInterface::undo_circuit(NodeId dest, Addr addr, Cycle now,
@@ -252,6 +254,7 @@ void NetworkInterface::inject_flit(Stream& s, Cycle now) {
   f.on_circuit = s.on_circuit;
   if (f.is_head()) {
     msg->injected = now;
+    if (obs_) obs_->on_message_injected(id_, *msg, now);
     stats_->acc(msg->is_reply() ? "q_lat_reply" : "q_lat_req")
         .add(static_cast<double>(now - msg->created));
     if (msg->is_reply()) {
@@ -335,6 +338,7 @@ void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
 
 void NetworkInterface::finish_delivery(const MsgPtr& msg, Cycle now) {
   msg->delivered = now;
+  if (obs_) obs_->on_message_delivered(id_, *msg, now);
   if (msg->scrounging) {
     // Intermediate hop of a scrounger: re-inject toward the real target.
     msg->dest = msg->final_dest;

@@ -30,6 +30,7 @@
 
 namespace rc {
 
+class NocObserver;
 class Topology;
 
 class NetworkInterface : public Ticker {
@@ -74,6 +75,9 @@ class NetworkInterface : public Ticker {
     if (inject_credits_) w = std::min(w, inject_credits_->next_ready());
     return w;
   }
+
+  /// Attach a fabric observer (message injection/delivery, undo launches).
+  void set_observer(NocObserver* obs) { obs_ = obs; }
 
   NodeId node() const { return id_; }
   /// Messages queued or mid-injection at this NI.
@@ -136,6 +140,7 @@ class NetworkInterface : public Ticker {
 
   std::function<void(const MsgPtr&)> deliver_;
   std::function<void(const MsgPtr&, bool)> reply_injected_;
+  NocObserver* obs_ = nullptr;
 
   std::deque<MsgPtr> q_[kNumVNets];
   Stream stream_[kNumVNets];

@@ -1,0 +1,47 @@
+// Passive observation interface for the NoC fabric.
+//
+// A NocObserver attached via Network::set_observer sees the circuit-table
+// lifecycle (inherited from CircuitTableObserver) plus message and flit
+// movement at the routers and NIs, and an end-of-cycle callback fired after
+// every component has ticked (the point at which the fabric's state is
+// consistent and scannable). rc::Validator (sim/validator.hpp) is the main
+// implementation: it machine-checks the paper's §4.2/§4.4-4.7 rules when
+// RC_CHECK=1.
+//
+// Every hook defaults to a no-op and every call site in the fabric is
+// guarded by a null-pointer test, so an unobserved network — the normal
+// case — pays one predictable branch per event.
+#pragma once
+
+#include "circuits/circuit_table.hpp"
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace rc {
+
+class NocObserver : public CircuitTableObserver {
+ public:
+  /// A message's head flit entered the fabric at its source NI.
+  virtual void on_message_injected(NodeId /*node*/, const Message&, Cycle) {}
+  /// A message's tail flit was ejected at `node`. A scrounger's intermediate
+  /// hop counts as a delivery; its onward leg shows up as a new injection.
+  virtual void on_message_delivered(NodeId /*node*/, const Message&, Cycle) {}
+  /// A flit was written into an input VC buffer (packet-switched pipeline).
+  virtual void on_flit_buffered(NodeId /*node*/, Port /*in_port*/,
+                                const Flit&, Cycle) {}
+  /// The circuit check forwarded a flit straight through the crossbar.
+  virtual void on_circuit_forwarded(NodeId /*node*/, Port /*in_port*/,
+                                    const Flit&, Cycle) {}
+  /// The circuit check matched an entry but could not forward this cycle
+  /// (output taken by another circuit flit, or no credit in buffered modes).
+  virtual void on_circuit_blocked(NodeId /*node*/, Port /*in_port*/,
+                                  const Flit&, Cycle) {}
+  /// An NI launched a credit-carried circuit tear-down (§4.4).
+  virtual void on_undo_launched(NodeId /*node*/, NodeId /*circuit_dest*/,
+                                Addr, std::uint64_t /*owner_req*/, Cycle) {}
+  /// End of Network::tick for cycle `now`: all NIs and routers have ticked,
+  /// so credit counts, buffers and circuit tables are mutually consistent.
+  virtual void on_network_cycle(Cycle /*now*/) {}
+};
+
+}  // namespace rc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/observer.hpp"
 #include "noc/topology.hpp"
 
 namespace rc {
@@ -54,6 +55,11 @@ Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
 }
 
 int Router::num_circuit_vcs() const { return cfg_.circuit.num_circuit_vcs(); }
+
+void Router::set_observer(NocObserver* obs) {
+  obs_ = obs;
+  circuits_.set_observer(obs, id_);
+}
 
 void Router::wire(Dir d, const PortWiring& w) {
   Port p = port_of(d);
@@ -142,13 +148,17 @@ Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
   const bool fragmented = cfg_.circuit.mode == CircuitMode::Fragmented;
   if (outputs_[out].taken_by_circuit) {
     if (!buffered) ++stats_->counter("circ_skid_block");
+    if (obs_) obs_->on_circuit_blocked(id_, in_port, flit, now);
     return CircFwd::Blocked;
   }
   const int arrival_vc = flit.vc;
   const int fwd_vc = fragmented ? entry->vc : flit.vc;
   if (buffered && out != port_of(Dir::Local)) {
     auto& ovc = outputs_[out].vcs[vc_index(VNet::Reply, fwd_vc)];
-    if (ovc.credits <= 0) return CircFwd::Blocked;
+    if (ovc.credits <= 0) {
+      if (obs_) obs_->on_circuit_blocked(id_, in_port, flit, now);
+      return CircFwd::Blocked;
+    }
     --ovc.credits;
   }
   outputs_[out].taken_by_circuit = true;
@@ -167,6 +177,7 @@ Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
   flit.vc = fwd_vc;
   send_flit(out, flit, now);
   ++*hot_.circ_fwd;
+  if (obs_) obs_->on_circuit_forwarded(id_, in_port, flit, now);
   // The flit never occupied our buffer: hand the slot straight back.
   if (buffered) send_credit(in_port, VNet::Reply, arrival_vc, now);
   return CircFwd::Forwarded;
@@ -241,6 +252,7 @@ void Router::buffer_flit(const Flit& flit, Port p, Cycle now) {
   }
   ivc.buf.push_back(flit);
   ++*hot_.buf_write;
+  if (obs_) obs_->on_flit_buffered(id_, p, flit, now);
   if (ivc.state == VCState::Idle) try_start_packet(p, idx, now);
 }
 

@@ -31,6 +31,7 @@
 
 namespace rc {
 
+class NocObserver;
 class Topology;
 
 class Router : public Ticker {
@@ -100,6 +101,24 @@ class Router : public Ticker {
     return !(cfg_.circuit.bufferless_circuit_vc() && is_circuit_vc(vn, vc));
   }
 
+  /// Attach a fabric observer (also forwarded to the circuit tables).
+  void set_observer(NocObserver* obs);
+
+  // ---- validation accessors (read-only introspection, see sim/validator) --
+  /// Wiring of one port; validators walk its pipes with Pipe::for_each.
+  const PortWiring& wiring(Dir d) const { return wires_[port_of(d)]; }
+  /// Flit sitting in a port's switch-traversal register (its downstream
+  /// credit is already consumed), or nullptr.
+  const Flit* st_latch_flit(Dir d) const {
+    const auto& l = outputs_[port_of(d)].st_latch;
+    return l ? &*l : nullptr;
+  }
+  /// Blocked circuit flits of one input port awaiting retry (their upstream
+  /// credits are still held).
+  const std::deque<Flit>& circuit_retry(Dir d) const {
+    return inputs_[port_of(d)].circ_retry;
+  }
+
  private:
   struct InputPort {
     std::vector<InputVC> vcs;
@@ -164,6 +183,7 @@ class Router : public Ticker {
   StatSet* stats_;
   LatencyModel lat_;
   CircuitManager circuits_;
+  NocObserver* obs_ = nullptr;
 
   std::array<InputPort, kNumDirs> inputs_;
   std::array<OutputPort, kNumDirs> outputs_;

@@ -1,11 +1,16 @@
 #include "sim/synthetic.hpp"
 
+#include "sim/validator.hpp"
+
 namespace rc {
+
+SyntheticTraffic::~SyntheticTraffic() = default;
 
 SyntheticTraffic::SyntheticTraffic(const NocConfig& cfg, double rate,
                                    int service_cycles, std::uint64_t seed)
     : cfg_(cfg), rate_(rate), service_(service_cycles), rng_(seed) {
   net_ = std::make_unique<Network>(cfg_);
+  validator_ = Validator::maybe_attach(net_.get());
   net_->set_deliver([this](NodeId n, const MsgPtr& m) {
     if (m->type == MsgType::GetS) {
       // Echo a data reply after the service time (like an L2 hit).

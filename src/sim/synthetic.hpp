@@ -19,6 +19,8 @@
 
 namespace rc {
 
+class Validator;
+
 struct SyntheticResult {
   double offered_load = 0;    ///< requests per node per 100 cycles
   double request_latency = 0; ///< mean network latency (cycles)
@@ -34,9 +36,13 @@ class SyntheticTraffic {
   /// `rate` = probability a node injects a request in a given cycle.
   SyntheticTraffic(const NocConfig& cfg, double rate, int service_cycles,
                    std::uint64_t seed = 1);
+  ~SyntheticTraffic();
 
   /// Run warm-up + measurement; returns aggregated metrics.
   SyntheticResult run(Cycle warmup, Cycle measure);
+
+  /// Invariant checker attached when RC_CHECK=1, else nullptr.
+  Validator* validator() { return validator_.get(); }
 
  private:
   void tick();
@@ -46,6 +52,7 @@ class SyntheticTraffic {
   int service_;
   Rng rng_;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<Validator> validator_;
   Cycle clock_ = 0;
   std::uint64_t next_id_ = 0;
   std::uint64_t next_addr_ = 0;

@@ -3,13 +3,17 @@
 #include <string>
 
 #include "cpu/apps.hpp"
+#include "sim/validator.hpp"
 
 namespace rc {
+
+System::~System() = default;
 
 System::System(const SystemConfig& cfg) : cfg_(cfg) {
   std::string err = cfg_.validate();
   if (!err.empty()) fatal("invalid SystemConfig: " + err);
   net_ = std::make_unique<Network>(cfg_.noc);
+  validator_ = Validator::maybe_attach(net_.get());
   amap_ = std::make_unique<AddressMap>(&net_->topo(), cfg_.partition_side);
 
   const int n = cfg_.noc.num_nodes();

@@ -18,9 +18,12 @@
 
 namespace rc {
 
+class Validator;
+
 class System {
  public:
   explicit System(const SystemConfig& cfg);
+  ~System();
 
   /// Warm up (stats discarded), then measure. Returns measured cycles.
   /// Caches are first warmed functionally (hot working sets installed with
@@ -42,6 +45,8 @@ class System {
   /// Scheduling mode in effect (config + environment overrides).
   TickMode tick_mode() const { return net_->tick_mode(); }
   Network& network() { return *net_; }
+  /// Invariant checker attached when RC_CHECK=1, else nullptr.
+  Validator* validator() { return validator_.get(); }
   StatSet& sys_stats() { return sys_stats_; }
   const StatSet& sys_stats() const { return sys_stats_; }
 
@@ -68,6 +73,7 @@ class System {
   std::function<void(NodeId, const MsgPtr&)> observer_;
 
   std::unique_ptr<Network> net_;
+  std::unique_ptr<Validator> validator_;
   std::unique_ptr<AddressMap> amap_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<L2Bank>> l2s_;

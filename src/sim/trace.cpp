@@ -8,7 +8,8 @@ namespace rc {
 FlightRecorder::FlightRecorder(System* sys, std::size_t max_events)
     : max_events_(max_events) {
   sys->set_message_observer([this](NodeId, const MsgPtr& m) {
-    if (records_.size() >= max_events_) return;
+    if (max_events_ == 0) return;
+    if (records_.size() >= max_events_) records_.pop_front();
     records_.push_back({m->id, m->type, m->src, m->dest, m->created,
                         m->injected, m->delivered, m->on_circuit,
                         m->outcome == CircuitOutcome::Scrounged,

@@ -4,8 +4,8 @@
 // request/reply flows line up visually; circuit rides are tagged.
 #pragma once
 
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "noc/message.hpp"
 #include "sim/system.hpp"
@@ -14,18 +14,6 @@ namespace rc {
 
 class FlightRecorder {
  public:
-  /// Attaches to the System's delivery observer; recording starts at once.
-  /// `max_events` bounds memory on long runs (oldest events are kept).
-  explicit FlightRecorder(System* sys, std::size_t max_events = 200'000);
-
-  std::size_t events() const { return records_.size(); }
-
-  /// Serialize as Chrome trace-event JSON.
-  std::string to_json() const;
-  /// Write to a file; returns false on I/O failure.
-  bool write(const std::string& path) const;
-
- private:
   struct Record {
     std::uint64_t id;
     MsgType type;
@@ -33,7 +21,24 @@ class FlightRecorder {
     Cycle created, injected, delivered;
     bool on_circuit, scrounged, ack_elided;
   };
-  std::vector<Record> records_;
+
+  /// Attaches to the System's delivery observer; recording starts at once.
+  /// `max_events` bounds memory on long runs: like a hardware flight
+  /// recorder, the buffer is a ring — once full, the oldest event is
+  /// evicted for each new one, so the trace always ends at the crash.
+  /// `max_events == 0` disables recording entirely.
+  explicit FlightRecorder(System* sys, std::size_t max_events = 200'000);
+
+  std::size_t events() const { return records_.size(); }
+  const std::deque<Record>& records() const { return records_; }
+
+  /// Serialize as Chrome trace-event JSON.
+  std::string to_json() const;
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::deque<Record> records_;
   std::size_t max_events_;
 };
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "circuits/circuit_table.hpp"
+#include "common/rng.hpp"
 
 namespace rc {
 namespace {
@@ -164,6 +165,96 @@ TEST(CircuitTable, UntimedEntriesNeverExpire) {
   CircuitTable t(1);
   t.insert(make_entry(5, 0x100), 0);
   EXPECT_NE(t.find(5, 0x100, 1, true, 1'000'000), nullptr);
+}
+
+// An identity-keyed tear-down (msg_id == 0, the §4.4 undo path) must never
+// take the entry a reply is currently riding; only that reply's own tail
+// release (msg_id != 0) frees it.
+TEST(CircuitTable, UndoReleaseNeverStealsBoundEntry) {
+  CircuitTable t(2);
+  ASSERT_TRUE(t.insert(make_entry(5, 0x100), 0));
+  CircuitEntry* e = t.find(5, 0x100, /*msg_id=*/11, /*bind_new=*/true, 0);
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->bound_msg, 11u);
+  EXPECT_FALSE(t.release(5, 0x100, /*msg_id=*/0, 0).has_value());
+  auto rel = t.release(5, 0x100, /*msg_id=*/11, 0);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->bound_msg, 11u);
+  EXPECT_EQ(t.live_count(0), 0);
+}
+
+// Property test: drive a bounded table through long random op sequences and
+// check the §4.2/§4.4/§4.7 structural invariants after every step:
+//  * live entries never exceed capacity, and neither does physical storage
+//    (expired timed slots are reclaimed in place, not appended around);
+//  * insert() fails exactly when the table is full of live entries;
+//  * release(msg_id=0) and release_instance() never return a bound entry.
+TEST(CircuitTable, PropertyRandomOpsRespectInvariants) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 977 + 1);
+    const int cap = 1 + static_cast<int>(rng.next_below(5));
+    CircuitTable t(cap);
+    Cycle now = 0;
+    std::uint64_t next_msg = 1;
+    std::uint64_t next_owner = 1;
+    // Small identity space so finds, releases and undos actually collide.
+    auto rand_dest = [&] { return static_cast<NodeId>(rng.next_below(3)); };
+    auto rand_addr = [&] {
+      return static_cast<Addr>(0x40 * (1 + rng.next_below(3)));
+    };
+    for (int step = 0; step < 400; ++step) {
+      now += rng.next_below(4);
+      switch (rng.next_below(5)) {
+        case 0: {  // insert (timed half the time)
+          CircuitEntry e = make_entry(rand_dest(), rand_addr(),
+                                      static_cast<Port>(rng.next_below(4)));
+          if (rng.chance(0.5)) {
+            e.slot_start = now + rng.next_below(8);
+            e.slot_end = e.slot_start + 1 + rng.next_below(12);
+          }
+          e.owner_req = next_owner++;
+          const bool was_full = !t.unbounded() && t.live_count(now) >= cap;
+          EXPECT_EQ(t.insert(e, now), !was_full)
+              << "insert must succeed iff a live slot is free (step " << step
+              << ")";
+          break;
+        }
+        case 1: {  // find / bind a head flit
+          CircuitEntry* e = t.find(rand_dest(), rand_addr(), next_msg,
+                                   rng.chance(0.7), now);
+          if (e != nullptr) {
+            EXPECT_TRUE(e->live(now));
+            EXPECT_NE(e->bound_msg, 0u);
+          }
+          ++next_msg;
+          break;
+        }
+        case 2: {  // tail release by a (possibly stale) message id
+          t.release(rand_dest(), rand_addr(),
+                    1 + rng.next_below(next_msg), now);
+          break;
+        }
+        case 3: {  // identity tear-down: must never steal a bound entry
+          auto freed = t.release(rand_dest(), rand_addr(), 0, now);
+          if (freed.has_value()) {
+            EXPECT_EQ(freed->bound_msg, 0u);
+          }
+          break;
+        }
+        case 4: {  // instance undo: riders survive, so never bound either
+          auto freed = t.release_instance(rand_dest(), rand_addr(),
+                                          1 + rng.next_below(next_owner), now);
+          if (freed.has_value()) {
+            EXPECT_EQ(freed->bound_msg, 0u);
+          }
+          break;
+        }
+      }
+      ASSERT_LE(t.live_count(now), cap) << "step " << step;
+      ASSERT_LE(static_cast<int>(t.entries().size()), cap) << "step " << step;
+    }
+  }
 }
 
 }  // namespace

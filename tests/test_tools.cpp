@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "noc/message.hpp"
 #include "sim/checker.hpp"
@@ -114,6 +116,38 @@ TEST(Trace, BoundsMemory) {
   FlightRecorder rec(&sys, /*max_events=*/50);
   sys.run();
   EXPECT_EQ(rec.events(), 50u);
+}
+
+// The bounded recorder is a ring: once full it evicts the OLDEST event per
+// new one, so a capped trace is exactly the tail of the unbounded trace
+// (the interesting part when debugging a crash at the end of a run).
+TEST(Trace, RingKeepsNewestEvents) {
+  SystemConfig cfg = small_cfg();
+  std::vector<std::uint64_t> all_ids;
+  {
+    System sys(cfg);
+    FlightRecorder full(&sys);
+    sys.run();
+    for (const auto& r : full.records()) all_ids.push_back(r.id);
+  }
+  ASSERT_GT(all_ids.size(), 80u);
+  const std::size_t cap = 64;
+  System sys(cfg);  // identical seed: same message stream
+  FlightRecorder capped(&sys, cap);
+  sys.run();
+  ASSERT_EQ(capped.events(), cap);
+  std::vector<std::uint64_t> tail(all_ids.end() - cap, all_ids.end());
+  std::vector<std::uint64_t> kept;
+  for (const auto& r : capped.records()) kept.push_back(r.id);
+  EXPECT_EQ(kept, tail);
+}
+
+TEST(Trace, ZeroCapDisablesRecording) {
+  SystemConfig cfg = small_cfg();
+  System sys(cfg);
+  FlightRecorder rec(&sys, /*max_events=*/0);
+  sys.run();
+  EXPECT_EQ(rec.events(), 0u);
 }
 
 TEST(Report, TableFormatting) {

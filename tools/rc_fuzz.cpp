@@ -1,0 +1,188 @@
+// rc-fuzz: seeded configuration fuzzer for the RC_CHECK invariant checker.
+//
+// Sweeps randomized-but-reproducible configurations (mesh size, VC counts,
+// circuit variant, circuits per port, traffic mix, seeds) through short
+// whole-system runs with the Validator attached, and reports the first
+// violating configuration as a ready-to-paste rc-sim repro command.
+//
+//   rc-fuzz [--configs N] [--cycles N] [--seed N] [--warmup N] [--verbose]
+//
+// Exit status: 0 when every configuration ran clean, 1 on the first
+// violation (after printing the repro), 2 on bad flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "common/rng.hpp"
+#include "cpu/apps.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "sim/validator.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct FuzzCase {
+  std::string preset;
+  std::string app;
+  int mesh_w = 4, mesh_h = 4;
+  int circuits = -1;  ///< -1 = preset default
+  int slack = -1;
+  int vcs_req = 2;
+  int vcs_rep = 2;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--configs N] [--cycles N] [--seed N] [--warmup N]"
+               " [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Draw one configuration. Every choice comes from `rng`, so (seed, index)
+/// fully determines the case.
+FuzzCase draw_case(Rng& rng) {
+  FuzzCase fc;
+  const auto& presets = preset_names();
+  const auto& apps = app_names();
+  fc.preset = presets[rng.next_below(presets.size())];
+  fc.app = apps[rng.next_below(apps.size())];
+  static const int kMesh[][2] = {{2, 2}, {4, 2}, {4, 4}, {8, 4}, {8, 8}};
+  const auto& m = kMesh[rng.next_below(5)];
+  fc.mesh_w = m[0];
+  fc.mesh_h = m[1];
+  CircuitConfig cc = circuit_preset(fc.preset);
+  if (cc.uses_circuits() && rng.chance(0.5)) {
+    static const int kCircs[] = {1, 2, 3, 5, 8};
+    fc.circuits = kCircs[rng.next_below(5)];
+  }
+  if (cc.slack_per_hop > 0 && rng.chance(0.5))
+    fc.slack = 1 + static_cast<int>(rng.next_below(4));
+  fc.vcs_req = 1 + static_cast<int>(rng.next_below(3));
+  const int needed = cc.num_circuit_vcs() + 1;
+  fc.vcs_rep = needed + static_cast<int>(rng.next_below(3));
+  fc.seed = 1 + rng.next_below(1u << 20);
+  return fc;
+}
+
+SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
+  SystemConfig cfg = make_system_config(16, fc.preset, fc.app, fc.seed);
+  cfg.noc.mesh_w = fc.mesh_w;
+  cfg.noc.mesh_h = fc.mesh_h;
+  cfg.noc.vcs_request_vn = fc.vcs_req;
+  cfg.noc.vcs_reply_vn = fc.vcs_rep;
+  if (fc.circuits >= 0) cfg.noc.circuit.circuits_per_input = fc.circuits;
+  if (fc.slack >= 0) cfg.noc.circuit.slack_per_hop = fc.slack;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = cycles;
+  return cfg;
+}
+
+std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
+                          const char* hang) {
+  std::string cmd = "RC_CHECK=1 RC_HANG_CYCLES=" + std::string(hang) +
+                    " build/tools/rc-sim --cores 16 --preset " + fc.preset +
+                    " --app " + fc.app + " --mesh " +
+                    std::to_string(fc.mesh_w) + "x" +
+                    std::to_string(fc.mesh_h) + " --vcs-req " +
+                    std::to_string(fc.vcs_req) + " --vcs-rep " +
+                    std::to_string(fc.vcs_rep);
+  if (fc.circuits >= 0) cmd += " --circuits " + std::to_string(fc.circuits);
+  if (fc.slack >= 0) cmd += " --slack " + std::to_string(fc.slack);
+  cmd += " --seed " + std::to_string(fc.seed) + " --warmup " +
+         std::to_string(warmup) + " --cycles " + std::to_string(cycles);
+  return cmd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long configs = 25;
+  long long cycles = 2'000;
+  long long warmup = 500;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    auto need_int = [&](const char* flag, long long min_v) -> long long {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage(argv[0]);
+      }
+      const char* v = argv[++i];
+      auto parsed = parse_ll(v);
+      if (!parsed || *parsed < min_v) {
+        std::fprintf(stderr, "%s: \"%s\" is not an integer >= %lld\n", flag, v,
+                     min_v);
+        std::exit(2);
+      }
+      return *parsed;
+    };
+    if (!std::strcmp(argv[i], "--configs")) configs = need_int("--configs", 1);
+    else if (!std::strcmp(argv[i], "--cycles")) cycles = need_int("--cycles", 1);
+    else if (!std::strcmp(argv[i], "--warmup")) warmup = need_int("--warmup", 0);
+    else if (!std::strcmp(argv[i], "--seed"))
+      seed = static_cast<std::uint64_t>(need_int("--seed", 0));
+    else if (!std::strcmp(argv[i], "--verbose")) verbose = true;
+    else if (!std::strcmp(argv[i], "--help")) usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+
+  // Enable the checker for every System built below. The watchdog window
+  // covers the whole run: a message that outlives warm-up + measurement is
+  // certainly stuck in a run this short.
+  const std::string hang = std::to_string(warmup + cycles);
+  setenv("RC_CHECK", "1", 1);
+  setenv("RC_HANG_CYCLES", hang.c_str(), 1);
+
+  Rng root(seed ? seed : 1);
+  int ran = 0, skipped = 0;
+  for (long long i = 0; i < configs; ++i) {
+    Rng rng = root.fork(i + 1);
+    FuzzCase fc = draw_case(rng);
+    SystemConfig cfg = to_config(fc, static_cast<Cycle>(warmup),
+                                 static_cast<Cycle>(cycles));
+    std::string err = cfg.validate();
+    if (!err.empty()) {
+      // Shouldn't happen (draw_case respects the config rules); count it so
+      // a drifting generator can't silently shrink coverage.
+      ++skipped;
+      if (verbose)
+        std::fprintf(stderr, "[rc-fuzz] %lld: SKIP (%s)\n", i, err.c_str());
+      continue;
+    }
+    if (verbose)
+      std::fprintf(stderr,
+                   "[rc-fuzz] %lld: %s/%s %dx%d circs=%d slack=%d vcs=%d/%d "
+                   "seed=%llu\n",
+                   i, fc.preset.c_str(), fc.app.c_str(), fc.mesh_w, fc.mesh_h,
+                   fc.circuits, fc.slack, fc.vcs_req, fc.vcs_rep,
+                   static_cast<unsigned long long>(fc.seed));
+    try {
+      System sys(cfg);
+      sys.run();
+      ++ran;
+    } catch (const FatalError& e) {
+      std::fprintf(stderr,
+                   "\n[rc-fuzz] VIOLATION at config %lld (sweep seed %llu):\n"
+                   "  %s\n\nrepro:\n  %s\n",
+                   i, static_cast<unsigned long long>(seed), e.what(),
+                   repro_command(fc, static_cast<Cycle>(warmup),
+                                 static_cast<Cycle>(cycles), hang.c_str())
+                       .c_str());
+      return 1;
+    }
+  }
+  std::printf("[rc-fuzz] %d config(s) x %lld cycles clean, %d skipped, "
+              "0 violations\n",
+              ran, cycles, skipped);
+  return 0;
+}

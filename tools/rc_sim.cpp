@@ -41,6 +41,8 @@ struct Options {
   int partition = 0;
   int circuits = -1;
   int slack = -1;
+  int vcs_req = -1;  ///< VC-count overrides (rc-fuzz repro commands use them)
+  int vcs_rep = -1;
   bool no_l1tol1 = false;
   bool csv = false;
   bool heatmap = false;
@@ -54,7 +56,7 @@ struct Options {
                "          [--warmup N] [--cycles N] [--seed N] [--partition N]\n"
                "          [--circuits N] [--slack N] [--no-l1tol1] [--csv]\n"
                "          [--trace FILE.json] [--heatmap] [--mesh WxH]\n"
-               "          [--list]\n",
+               "          [--vcs-req N] [--vcs-rep N] [--list]\n",
                argv0);
   std::exit(2);
 }
@@ -96,6 +98,8 @@ RunResult run(const Options& o, const std::string& preset,
   cfg.partition_side = o.partition;
   if (o.circuits >= 0) cfg.noc.circuit.circuits_per_input = o.circuits;
   if (o.slack >= 0) cfg.noc.circuit.slack_per_hop = o.slack;
+  if (o.vcs_req > 0) cfg.noc.vcs_request_vn = o.vcs_req;
+  if (o.vcs_rep > 0) cfg.noc.vcs_reply_vn = o.vcs_rep;
   cfg.cache.direct_l1_transfers = !o.no_l1tol1;
   std::string err = cfg.validate();
   if (!err.empty()) {
@@ -218,6 +222,10 @@ int main(int argc, char** argv) {
       o.circuits = static_cast<int>(need_int("--circuits", 0));
     else if (!std::strcmp(argv[i], "--slack"))
       o.slack = static_cast<int>(need_int("--slack", 0));
+    else if (!std::strcmp(argv[i], "--vcs-req"))
+      o.vcs_req = static_cast<int>(need_int("--vcs-req", 1));
+    else if (!std::strcmp(argv[i], "--vcs-rep"))
+      o.vcs_rep = static_cast<int>(need_int("--vcs-rep", 1));
     else if (!std::strcmp(argv[i], "--no-l1tol1")) o.no_l1tol1 = true;
     else if (!std::strcmp(argv[i], "--trace")) o.trace_path = need("--trace");
     else if (!std::strcmp(argv[i], "--heatmap")) o.heatmap = true;
