@@ -64,6 +64,7 @@ std::string SystemConfig::validate() const {
       return "slack/delay/postponed variants need slack_per_hop >= 1";
   }
 
+  if (shards < 0) return "shards must be >= 0 (0 defers to RC_SHARDS)";
   if (partition_side > 0) {
     if (noc.mesh_w % partition_side != 0 || noc.mesh_h % partition_side != 0)
       return "partition side must divide both mesh dimensions";

@@ -163,6 +163,13 @@ struct SystemConfig {
   /// boundary (0 = monolithic chip). Must divide both mesh dimensions.
   int partition_side = 0;
 
+  /// Worker shards for the parallel tick engine (common/shard.hpp).
+  /// 0 = defer to the RC_SHARDS environment variable (unset -> 1 = serial,
+  /// "auto" -> hardware concurrency, else a positive count); > 0 = explicit,
+  /// overriding the environment. Either way the effective count is clamped
+  /// to [1, num_nodes]. Statistics are bit-identical for any value.
+  int shards = 0;
+
   /// Simulated cycles of cache warm-up before stats collection begins.
   Cycle warmup_cycles = 20'000;
   /// Simulated cycles of measurement.

@@ -6,9 +6,9 @@
 // which components tick within a cycle.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/schedule.hpp"
 #include "common/types.hpp"
@@ -21,6 +21,20 @@ namespace rc {
 /// A pipe may carry a waker: the Ticker on its consuming end, woken at each
 /// pushed item's ready time so activity-driven tick loops never sleep
 /// through a delivery.
+///
+/// Storage is a grow-on-demand ring buffer: per-flit push/pop is the
+/// innermost structure of the simulator and must not allocate in steady
+/// state (a deque allocates per block and thrashes its map under load).
+///
+/// Cross-shard operation (see common/shard.hpp): when a pipe's producer and
+/// consumer live on different shard threads, set_deferred(true) turns push()
+/// into an append to a producer-private mailbox; flush_deferred(), called
+/// from the single-threaded barrier completion at the end of each cycle,
+/// moves the entries into the ring and fires the waker. Because every item
+/// carries latency >= 1, an item pushed in cycle t is never consumable
+/// before t+1 — deferring its visibility to the end of cycle t is
+/// unobservable, and the barrier provides the happens-before edge between
+/// the producer's appends and the completion's flush.
 template <typename T>
 class Pipe {
  public:
@@ -30,39 +44,65 @@ class Pipe {
 
   void set_waker(Ticker* waker) { waker_ = waker; }
 
+  /// Route pushes through the deferred mailbox (cross-shard pipes only).
+  void set_deferred(bool on) {
+    RC_ASSERT(deferred_q_.empty(), "mode change with deferred items pending");
+    deferred_ = on;
+  }
+  bool deferred() const { return deferred_; }
+
   void push(T item, Cycle now) {
-    RC_ASSERT(q_.empty() || q_.back().ready <= now + latency_,
-              "pipe ready times must be monotonic");
-    q_.push_back(Entry{now + latency_, std::move(item)});
-    if (waker_) waker_->wake(now + latency_);
+    if (deferred_) {
+      deferred_q_.push_back(Entry{now + latency_, std::move(item)});
+      return;
+    }
+    enqueue(Entry{now + latency_, std::move(item)});
+  }
+
+  /// Move mailboxed items into the ring. Call only from the barrier
+  /// completion (or any point where no worker is running).
+  void flush_deferred() {
+    for (auto& e : deferred_q_) enqueue(std::move(e));
+    deferred_q_.clear();
   }
 
   /// Pop the front item if it is ready at `now`.
   std::optional<T> pop_ready(Cycle now) {
-    if (q_.empty() || q_.front().ready > now) return std::nullopt;
-    T item = std::move(q_.front().item);
-    q_.pop_front();
+    if (count_ == 0 || ring_[head_].ready > now) return std::nullopt;
+    T item = std::move(ring_[head_].item);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
     return item;
   }
 
   /// Peek without consuming.
   const T* front_ready(Cycle now) const {
-    if (q_.empty() || q_.front().ready > now) return nullptr;
-    return &q_.front().item;
+    if (count_ == 0 || ring_[head_].ready > now) return nullptr;
+    return &ring_[head_].item;
   }
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  bool empty() const { return count_ == 0 && deferred_q_.empty(); }
+  std::size_t size() const { return count_ + deferred_q_.size(); }
 
   /// Cycle at which the front item becomes consumable (kNeverCycle if empty).
-  Cycle next_ready() const { return q_.empty() ? kNeverCycle : q_.front().ready; }
+  /// Deferred items are excluded until flushed — the flush wakes the waker,
+  /// so a consumer that slept on this value is still re-armed in time.
+  Cycle next_ready() const {
+    return count_ == 0 ? kNeverCycle : ring_[head_].ready;
+  }
 
   /// Visit every queued item (ready or not) with its ready cycle. Read-only
   /// introspection for validation (e.g. counting in-flight credits per VC);
-  /// simulation code must consume through pop_ready only.
+  /// simulation code must consume through pop_ready only. Deferred items are
+  /// included last (validators run post-flush, so the mailbox is normally
+  /// empty when this is called).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& e : q_) fn(e.item, e.ready);
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Entry& e = ring_[(head_ + i) & (ring_.size() - 1)];
+      fn(e.item, e.ready);
+    }
+    for (const auto& e : deferred_q_) fn(e.item, e.ready);
   }
 
  private:
@@ -70,8 +110,33 @@ class Pipe {
     Cycle ready;
     T item;
   };
+
+  void enqueue(Entry e) {
+    const Cycle ready = e.ready;
+    RC_ASSERT(count_ == 0 || ring_[(head_ + count_ - 1) & (ring_.size() - 1)]
+                                     .ready <= ready,
+              "pipe ready times must be monotonic");
+    if (count_ == ring_.size()) grow();
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(e);
+    ++count_;
+    if (waker_) waker_->wake(ready);
+  }
+
+  void grow() {
+    const std::size_t cap = ring_.empty() ? 8 : ring_.size() * 2;
+    std::vector<Entry> next(cap);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
   Cycle latency_;
-  std::deque<Entry> q_;
+  std::vector<Entry> ring_;  ///< power-of-two capacity circular buffer
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool deferred_ = false;
+  std::vector<Entry> deferred_q_;  ///< producer-private cross-shard mailbox
   Ticker* waker_ = nullptr;
 };
 

@@ -1,0 +1,127 @@
+#include "common/shard.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/parse.hpp"
+
+namespace rc {
+
+std::vector<ShardRange> shard_ranges(int num_nodes, int shards) {
+  RC_ASSERT(num_nodes > 0, "cannot shard an empty mesh");
+  if (shards < 1) shards = 1;
+  if (shards > num_nodes) shards = num_nodes;
+  std::vector<ShardRange> out(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    // Even split: shard k owns [k*n/s, (k+1)*n/s), so sizes differ by <= 1
+    // and the union covers [0, n) with no gaps or overlaps.
+    out[k].begin = static_cast<NodeId>(
+        (static_cast<long long>(k) * num_nodes) / shards);
+    out[k].end = static_cast<NodeId>(
+        (static_cast<long long>(k + 1) * num_nodes) / shards);
+  }
+  return out;
+}
+
+int effective_shards(int configured, int num_nodes) {
+  int n = configured;
+  if (n <= 0) {
+    const char* v = std::getenv("RC_SHARDS");
+    if (v == nullptr || v[0] == '\0') {
+      n = 1;
+    } else if (std::strcmp(v, "auto") == 0) {
+      n = static_cast<int>(std::thread::hardware_concurrency());
+      if (n <= 0) n = 1;
+    } else {
+      n = static_cast<int>(env_positive_ll("RC_SHARDS", 1));
+    }
+  }
+  if (n < 1) n = 1;
+  if (n > num_nodes) n = num_nodes;
+  return n;
+}
+
+namespace {
+
+/// Shared state of one run_sharded invocation.
+struct ShardRun {
+  Cycle cur = 0;
+  Cycle end = 0;
+  const std::function<void(int, Cycle)>* body = nullptr;
+  const std::function<void(Cycle)>* finish = nullptr;
+  std::atomic<bool> err{false};
+  bool stop = false;  ///< written only by the barrier completion
+  std::vector<std::exception_ptr> errors;  ///< per shard, + 1 slot for finish
+
+  /// Barrier completion: runs on the last arriver while everyone else is
+  /// parked, so it may touch shared state freely. Publishes one stop
+  /// decision per cycle — workers all break at the same generation, which
+  /// is what keeps a throwing worker from deadlocking the barrier.
+  void complete() noexcept {
+    if (!err.load(std::memory_order_relaxed)) {
+      try {
+        (*finish)(cur);
+      } catch (...) {
+        errors.back() = std::current_exception();
+        err.store(true, std::memory_order_relaxed);
+      }
+    }
+    ++cur;
+    stop = err.load(std::memory_order_relaxed) || cur >= end;
+  }
+};
+
+struct Completion {
+  ShardRun* run;
+  void operator()() noexcept { run->complete(); }
+};
+
+}  // namespace
+
+void run_sharded(int nshards, Cycle start, Cycle end,
+                 const std::function<void(int, Cycle)>& body,
+                 const std::function<void(Cycle)>& finish) {
+  RC_ASSERT(nshards >= 1, "run_sharded needs at least one shard");
+  if (start >= end) return;
+
+  ShardRun run;
+  run.cur = start;
+  run.end = end;
+  run.body = &body;
+  run.finish = &finish;
+  run.errors.assign(static_cast<std::size_t>(nshards) + 1, nullptr);
+
+  std::barrier<Completion> bar(nshards, Completion{&run});
+  auto worker = [&](int k) {
+    for (;;) {
+      // run.cur / run.stop are only written by the barrier completion while
+      // every worker is parked; the barrier's release sequence publishes
+      // them, so plain reads here are race-free.
+      const Cycle now = run.cur;
+      if (!run.err.load(std::memory_order_relaxed)) {
+        try {
+          body(k, now);
+        } catch (...) {
+          run.errors[static_cast<std::size_t>(k)] = std::current_exception();
+          run.err.store(true, std::memory_order_relaxed);
+        }
+      }
+      bar.arrive_and_wait();
+      if (run.stop) return;
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nshards) - 1);
+  for (int k = 1; k < nshards; ++k) pool.emplace_back(worker, k);
+  worker(0);
+  for (auto& t : pool) t.join();
+
+  for (auto& e : run.errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace rc

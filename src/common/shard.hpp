@@ -1,0 +1,66 @@
+// Sharded parallel tick engine: mesh partitioning and the per-cycle barrier
+// loop shared by System and SyntheticTraffic.
+//
+// The mesh is split into contiguous tile shards (each tile = core + L1 + L2
+// bank + optional MC + router + NI); one worker thread owns each shard and
+// the workers meet at a barrier every cycle. This is conservative spatial
+// parallelism in the Graphite tradition, and it is safe by construction
+// here: components only exchange data through latency Pipes (latency >= 1),
+// so an item pushed in cycle t is never consumable before t+1 and the order
+// in which shards progress *within* a cycle is unobservable. Cross-shard
+// pushes are deferred into per-pipe mailboxes and flushed at the barrier
+// (see Pipe::set_deferred / Network::finish_cycle), which also gives the
+// Validator a consistent post-barrier global view.
+//
+// Stats stay bit-identical across shard counts because every component
+// writes only its own node's StatSet and the merge runs in fixed node order
+// (see Network::merged_stats / System::sys_stats).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+/// Half-open range of node ids [begin, end) owned by one shard.
+struct ShardRange {
+  NodeId begin = 0;
+  NodeId end = 0;
+
+  int size() const { return end - begin; }
+  bool contains(NodeId n) const { return n >= begin && n < end; }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+/// Partition `num_nodes` row-major tiles into `shards` contiguous ranges.
+/// Shard counts are clamped to [1, num_nodes]; sizes differ by at most one
+/// node, every node is covered exactly once, and the ranges are returned in
+/// ascending node order (so degenerate meshes like 1xN just get contiguous
+/// strip slices).
+std::vector<ShardRange> shard_ranges(int num_nodes, int shards);
+
+/// Resolve the shard count for a run. `configured > 0` is an explicit
+/// request (tests pin 1/2/4 this way) and wins; `configured == 0` defers to
+/// the RC_SHARDS environment variable ("auto" = hardware concurrency, a
+/// positive integer otherwise, unset = 1 = the serial engine). The result
+/// is clamped to [1, num_nodes].
+int effective_shards(int configured, int num_nodes);
+
+/// Run cycles [start, end) over `nshards` workers with a per-cycle barrier.
+///
+/// Each cycle, every worker k runs `body(k, now)`; when all have arrived at
+/// the barrier, the last one runs `finish(now)` (cross-shard mailbox flush,
+/// observer scans, clock bump) while the others are parked, then all release
+/// into the next cycle. The calling thread acts as shard 0.
+///
+/// Exceptions (including rc::fatal) thrown by `body` or `finish` stop every
+/// worker at the same cycle boundary — no barrier deadlock — and the first
+/// one (by shard index, `finish` last) is rethrown on the calling thread
+/// after all workers have joined.
+void run_sharded(int nshards, Cycle start, Cycle end,
+                 const std::function<void(int, Cycle)>& body,
+                 const std::function<void(Cycle)>& finish);
+
+}  // namespace rc

@@ -38,6 +38,8 @@ class Accumulator {
 
   void reset() { *this = Accumulator{}; }
   void merge(const Accumulator& o);
+  /// Bitwise equality (the shard-determinism tests compare doubles exactly).
+  bool operator==(const Accumulator&) const = default;
 
  private:
   std::uint64_t n_ = 0;
@@ -59,6 +61,7 @@ class Histogram {
   const std::uint64_t* buckets() const { return b_; }
   void reset();
   void merge(const Histogram& o);
+  bool operator==(const Histogram&) const = default;
 
  private:
   std::uint64_t b_[kBuckets] = {};
@@ -82,6 +85,7 @@ class StatSet {
 
   void reset();
   void merge(const StatSet& o);
+  bool operator==(const StatSet&) const = default;
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -114,8 +114,15 @@ struct Message {
 };
 
 /// Flow-control unit. Flits of a packet share the Message; `seq` orders them.
+///
+/// Flits carry a raw pointer, not a shared_ptr: copying a refcount per flit
+/// per hop is pure atomic churn on the hottest path (and cache-line
+/// ping-pong under the sharded engine). Ownership is pinned exactly once at
+/// head-flit injection in a MessagePool and released at tail-flit ejection
+/// (see noc/message_pool.hpp), so the Message outlives every flit that
+/// references it.
 struct Flit {
-  MsgPtr msg;
+  Message* msg = nullptr;
   int seq = 0;
   VNet vnet = VNet::Request;
   int vc = 0;          ///< VC within the VN, updated hop by hop

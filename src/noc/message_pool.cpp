@@ -1,0 +1,48 @@
+#include "noc/message_pool.hpp"
+
+#include <string>
+
+namespace rc {
+
+MessagePool::MessagePool(int num_nodes)
+    : buckets_(static_cast<std::size_t>(num_nodes > 0 ? num_nodes : 1)) {}
+
+MessagePool::Bucket& MessagePool::bucket_of(const Message* msg) {
+  const NodeId src = msg->src;
+  RC_ASSERT(src >= 0 && static_cast<std::size_t>(src) < buckets_.size(),
+            "message source outside the pool's mesh");
+  return buckets_[static_cast<std::size_t>(src)];
+}
+
+void MessagePool::pin(const MsgPtr& msg) {
+  Bucket& b = bucket_of(msg.get());
+  std::lock_guard<std::mutex> lock(b.mu);
+  auto [it, inserted] = b.pinned.emplace(msg.get(), msg);
+  if (!inserted)
+    fatal("MessagePool: message " + std::to_string(msg->id) + " (" +
+          to_string(msg->type) + ") pinned twice — double injection");
+}
+
+MsgPtr MessagePool::release(const Message* msg) {
+  Bucket& b = bucket_of(msg);
+  std::lock_guard<std::mutex> lock(b.mu);
+  auto it = b.pinned.find(msg);
+  if (it == b.pinned.end())
+    fatal("MessagePool: message " + std::to_string(msg->id) + " (" +
+          to_string(msg->type) +
+          ") released but not pinned — reuse after release");
+  MsgPtr owner = std::move(it->second);
+  b.pinned.erase(it);
+  return owner;
+}
+
+std::size_t MessagePool::pinned() const {
+  std::size_t n = 0;
+  for (const auto& b : buckets_) {
+    std::lock_guard<std::mutex> lock(b.mu);
+    n += b.pinned.size();
+  }
+  return n;
+}
+
+}  // namespace rc

@@ -1,0 +1,54 @@
+// Ownership pinning for in-flight messages.
+//
+// Flits carry raw Message pointers (see noc/message.hpp); the pool holds the
+// owning shared_ptr from head-flit injection until tail-flit ejection, so a
+// producer may drop its reference the moment the packet is queued. Pins and
+// releases happen on different shard threads when source and destination
+// live in different shards, so the table is bucketed by source node with a
+// mutex per bucket — two uncontended locks per *message* (not per flit per
+// hop), which is the point of the exercise.
+//
+// Pinning doubles as a lifecycle checker: pinning a message twice or
+// releasing one that is not pinned (a reuse-after-release) is an invariant
+// violation and fatal()s with the message identity.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/message.hpp"
+
+namespace rc {
+
+class MessagePool {
+ public:
+  explicit MessagePool(int num_nodes);
+
+  /// Pin ownership at head-flit injection. The message must not already be
+  /// pinned (a scrounger's onward leg re-pins only after its intermediate
+  /// release).
+  void pin(const MsgPtr& msg);
+
+  /// Release at tail-flit ejection; returns the owning pointer so the NI can
+  /// hand the message to the delivery path. Releasing an unpinned message is
+  /// fatal — that is what catches use-after-release of a recycled Message.
+  MsgPtr release(const Message* msg);
+
+  /// Messages currently pinned (drain checks in tests).
+  std::size_t pinned() const;
+
+ private:
+  struct Bucket {
+    mutable std::mutex mu;
+    std::unordered_map<const Message*, MsgPtr> pinned;
+  };
+
+  Bucket& bucket_of(const Message* msg);
+
+  std::vector<Bucket> buckets_;  ///< by source node
+};
+
+}  // namespace rc

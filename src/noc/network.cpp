@@ -2,6 +2,7 @@
 
 #include <array>
 #include <map>
+#include <utility>
 
 #include "noc/observer.hpp"
 
@@ -9,13 +10,17 @@ namespace rc {
 
 Network::Network(const NocConfig& cfg)
     : cfg_(cfg), topo_(cfg.mesh_w, cfg.mesh_h), lat_(cfg),
-      mode_(effective_tick_mode(cfg.tick)) {
+      mode_(effective_tick_mode(cfg.tick)), pool_(topo_.num_nodes()) {
   const int n = topo_.num_nodes();
+  // Sized once, before any component captures a pointer; never resized.
+  node_stats_.resize(static_cast<std::size_t>(n));
   routers_.reserve(n);
   nis_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
-    routers_.push_back(std::make_unique<Router>(i, cfg_, &topo_, &stats_));
-    nis_.push_back(std::make_unique<NetworkInterface>(i, cfg_, &topo_, &stats_));
+    routers_.push_back(
+        std::make_unique<Router>(i, cfg_, &topo_, &node_stats_[i]));
+    nis_.push_back(std::make_unique<NetworkInterface>(i, cfg_, &topo_,
+                                                      &node_stats_[i], &pool_));
     local_pipes_.emplace_back(cfg_.local_latency);
   }
 
@@ -35,6 +40,12 @@ Network::Network(const NocConfig& cfg)
       credit_pipes_.emplace_back(1);
       credit_pipes_.back().set_waker(routers_[a].get());  // a pops its credits
       links[{a, b}] = {&flit_pipes_.back(), &credit_pipes_.back()};
+      // Link records for configure_shards. The data pipe of link a->b is
+      // pushed only by router a; its credit pipe only by router b (credits
+      // travel upstream). These are the only pipes that can span shards —
+      // NI<->router pipes have both ends on one tile.
+      flit_links_.push_back({a, b, &flit_pipes_.back()});
+      credit_links_.push_back({b, a, &credit_pipes_.back()});
     }
   }
   for (NodeId a = 0; a < n; ++a) {
@@ -72,6 +83,7 @@ Network::Network(const NocConfig& cfg)
     routers_[a]->wire(Dir::Local, w);
     nis_[a]->wire(inject, inj_credits, eject, undo);
   }
+  ranges_.push_back({0, static_cast<NodeId>(n)});
 }
 
 void Network::send(const MsgPtr& msg, Cycle now) {
@@ -80,7 +92,7 @@ void Network::send(const MsgPtr& msg, Cycle now) {
   RC_ASSERT(msg->dest >= 0 && msg->dest < topo_.num_nodes(), "bad dest");
   if (msg->src == msg->dest) {
     msg->created = msg->injected = now;
-    ++stats_.counter("msg_local");
+    ++node_stats_[msg->src].counter("msg_local");
     local_pipes_[msg->src].push(msg, now);
     return;
   }
@@ -113,23 +125,95 @@ void Network::set_observer(NocObserver* obs) {
   for (auto& ni : nis_) ni->set_observer(obs);
 }
 
-void Network::tick(Cycle now) {
+void Network::drain_local(NodeId n, Cycle now) {
   // Same-tile bypass pipes are drained unconditionally: they feed the
   // deliver callback directly (no Ticker on the consuming end), and the
   // empty() guard makes the quiescent case a single branch per node.
-  for (std::size_t i = 0; i < local_pipes_.size(); ++i) {
-    if (local_pipes_[i].empty()) continue;
-    while (auto m = local_pipes_[i].pop_ready(now)) {
-      (*m)->delivered = now;
-      if (deliver_) deliver_(static_cast<NodeId>(i), *m);
-    }
+  auto& p = local_pipes_[n];
+  if (p.empty()) return;
+  while (auto m = p.pop_ready(now)) {
+    (*m)->delivered = now;
+    if (deliver_) deliver_(n, *m);
   }
+}
+
+void Network::tick(Cycle now) {
+  RC_ASSERT(ranges_.size() <= 1,
+            "Network::tick on a sharded network — use tick_shard/finish_cycle");
+  const NodeId n = static_cast<NodeId>(nis_.size());
+  for (NodeId i = 0; i < n; ++i) drain_local(i, now);
   // Fixed scan order (all NIs, then all routers, in node order) regardless
   // of mode: activity scheduling skips quiescent components in place, so
   // the components that do tick run in exactly the always-tick order.
   for (auto& ni : nis_) tick_scheduled(*ni, now, mode_, "network interface");
   for (auto& r : routers_) tick_scheduled(*r, now, mode_, "router");
   if (obs_) obs_->on_network_cycle(now);
+}
+
+void Network::configure_shards(const std::vector<ShardRange>& ranges) {
+  const int n = topo_.num_nodes();
+  RC_ASSERT(!ranges.empty(), "configure_shards: no ranges");
+  RC_ASSERT(ranges.front().begin == 0 && ranges.back().end == n,
+            "configure_shards: ranges must cover [0, num_nodes)");
+  for (std::size_t k = 1; k < ranges.size(); ++k)
+    RC_ASSERT(ranges[k].begin == ranges[k - 1].end,
+              "configure_shards: ranges must be contiguous");
+
+  std::vector<int> shard_of(static_cast<std::size_t>(n), 0);
+  for (std::size_t k = 0; k < ranges.size(); ++k)
+    for (NodeId i = ranges[k].begin; i < ranges[k].end; ++i)
+      shard_of[static_cast<std::size_t>(i)] = static_cast<int>(k);
+
+  // Reconfigurable: pipes that no longer cross a boundary drop back to
+  // immediate pushes. set_deferred asserts the mailbox is empty, so this
+  // must happen between cycles (construction or after a finish_cycle).
+  deferred_flit_pipes_.clear();
+  deferred_credit_pipes_.clear();
+  for (const auto& l : flit_links_) {
+    const bool cross = shard_of[static_cast<std::size_t>(l.producer)] !=
+                       shard_of[static_cast<std::size_t>(l.consumer)];
+    l.pipe->set_deferred(cross);
+    if (cross) deferred_flit_pipes_.push_back(l.pipe);
+  }
+  for (const auto& l : credit_links_) {
+    const bool cross = shard_of[static_cast<std::size_t>(l.producer)] !=
+                       shard_of[static_cast<std::size_t>(l.consumer)];
+    l.pipe->set_deferred(cross);
+    if (cross) deferred_credit_pipes_.push_back(l.pipe);
+  }
+  ranges_ = ranges;
+}
+
+void Network::tick_shard(int shard, Cycle now) {
+  RC_ASSERT(shard >= 0 && shard < static_cast<int>(ranges_.size()),
+            "tick_shard: bad shard index");
+  const ShardRange r = ranges_[static_cast<std::size_t>(shard)];
+  // Same in-node order as the serial tick: bypasses, NIs, routers.
+  for (NodeId i = r.begin; i < r.end; ++i) drain_local(i, now);
+  for (NodeId i = r.begin; i < r.end; ++i)
+    tick_scheduled(*nis_[i], now, mode_, "network interface");
+  for (NodeId i = r.begin; i < r.end; ++i)
+    tick_scheduled(*routers_[i], now, mode_, "router");
+}
+
+void Network::finish_cycle(Cycle now) {
+  // Single-threaded (barrier completion): move every cross-shard push into
+  // its ring, waking the consuming Tickers for next cycle. Everything an
+  // observer scans afterwards is the same global state a serial tick leaves.
+  for (Pipe<Flit>* p : deferred_flit_pipes_) p->flush_deferred();
+  for (Pipe<Credit>* p : deferred_credit_pipes_) p->flush_deferred();
+  if (obs_) obs_->on_network_cycle(now);
+}
+
+StatSet Network::merged_stats() const {
+  StatSet out;
+  for (const auto& s : node_stats_) out.merge(s);
+  return out;
+}
+
+void Network::reset_stats() {
+  // In-place zeroing keeps the routers' cached hot-counter pointers valid.
+  for (auto& s : node_stats_) s.reset();
 }
 
 bool Network::idle() const {

@@ -4,6 +4,15 @@
 // destination node's deliver callback. Messages between controllers of the
 // same tile bypass the network (they never reach the router), matching the
 // paper's accounting, which only counts messages that traverse the NoC.
+//
+// Execution models:
+//  * serial — tick(now) advances every node, exactly as before;
+//  * sharded — configure_shards() splits the nodes into contiguous ranges
+//    (see common/shard.hpp); each worker calls tick_shard(k, now) for its
+//    range and the barrier completion calls finish_cycle(now), which flushes
+//    the deferred cross-shard pipes and fires the observer's global scan.
+//    Statistics are per node and merged on demand, so results are
+//    bit-identical for any shard count.
 #pragma once
 
 #include <deque>
@@ -13,7 +22,9 @@
 
 #include "common/config.hpp"
 #include "common/pipe.hpp"
+#include "common/shard.hpp"
 #include "common/stats.hpp"
+#include "noc/message_pool.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
@@ -24,7 +35,8 @@ class Network {
  public:
   explicit Network(const NocConfig& cfg);
 
-  /// Inject a message at its source node (or deliver locally).
+  /// Inject a message at its source node (or deliver locally). Safe to call
+  /// from the shard that owns msg->src.
   void send(const MsgPtr& msg, Cycle now);
 
   /// Observe every message handed to the fabric (tracing, liveness checks).
@@ -35,7 +47,8 @@ class Network {
   /// Attach a passive fabric observer to every router, NI and circuit table
   /// (see noc/observer.hpp). Pass nullptr to detach. The observed network
   /// additionally fires NocObserver::on_network_cycle at the end of every
-  /// tick.
+  /// tick (serial) or from finish_cycle (sharded) — either way with a
+  /// consistent global view.
   void set_observer(NocObserver* obs);
   NocObserver* observer() const { return obs_; }
 
@@ -44,7 +57,24 @@ class Network {
   /// §4.6 hook: reply head injected, with circuit usage flag.
   void set_reply_injected(std::function<void(NodeId, const MsgPtr&, bool)> cb);
 
+  /// Serial tick: advance every node one cycle. Only valid when at most one
+  /// shard is configured (the default).
   void tick(Cycle now);
+
+  // ---- sharded execution (see common/shard.hpp) ----
+  /// Partition the fabric. Pipes whose producer and consumer routers live in
+  /// different shards switch to deferred (mailbox) pushes. One range (the
+  /// default) restores fully serial behaviour.
+  void configure_shards(const std::vector<ShardRange>& ranges);
+  int num_shards() const { return static_cast<int>(ranges_.size()); }
+  const std::vector<ShardRange>& shard_ranges_of() const { return ranges_; }
+  /// Advance shard k's nodes one cycle: drain their same-tile bypasses, tick
+  /// their NIs, then their routers — the same in-node order as tick().
+  void tick_shard(int shard, Cycle now);
+  /// Barrier completion: flush every deferred cross-shard pipe into place
+  /// (waking the consuming Tickers), then fire the observer's global scan.
+  /// Single-threaded by contract — all workers are parked.
+  void finish_cycle(Cycle now);
 
   const Topology& topo() const { return topo_; }
   const NocConfig& config() const { return cfg_; }
@@ -53,18 +83,28 @@ class Network {
   TickMode tick_mode() const { return mode_; }
   Router& router(NodeId n) { return *routers_[n]; }
   NetworkInterface& ni(NodeId n) { return *nis_[n]; }
-  StatSet& stats() { return stats_; }
-  const StatSet& stats() const { return stats_; }
+  MessagePool& pool() { return pool_; }
+
+  /// All node statistics merged in fixed node order (bit-identical for any
+  /// shard count). This walks every node's maps — cache the result, don't
+  /// call it per cycle.
+  StatSet merged_stats() const;
+  /// One node's statistics (routers, NI and fabric counters of that tile).
+  StatSet& node_stats(NodeId n) { return node_stats_[n]; }
+  void reset_stats();
 
   /// Flits still queued anywhere (for drain checks in tests).
   bool idle() const;
 
  private:
+  void drain_local(NodeId n, Cycle now);
+
   NocConfig cfg_;
   Topology topo_;
-  StatSet stats_;
+  std::vector<StatSet> node_stats_;  ///< sized before components; stable
   LatencyModel lat_;
   TickMode mode_;
+  MessagePool pool_;
 
   // Stable-address pipe storage.
   std::deque<Pipe<Flit>> flit_pipes_;
@@ -72,6 +112,24 @@ class Network {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::deque<Pipe<MsgPtr>> local_pipes_;  ///< same-tile bypass, one per node
+
+  /// Inter-router link endpoints, recorded at wiring time so
+  /// configure_shards can tell which pipes cross a shard boundary.
+  /// (NI<->router pipes never cross: both ends are the same tile.)
+  struct FlitLink {
+    NodeId producer, consumer;
+    Pipe<Flit>* pipe;
+  };
+  struct CreditLink {
+    NodeId producer, consumer;
+    Pipe<Credit>* pipe;
+  };
+  std::vector<FlitLink> flit_links_;
+  std::vector<CreditLink> credit_links_;
+
+  std::vector<ShardRange> ranges_;
+  std::vector<Pipe<Flit>*> deferred_flit_pipes_;
+  std::vector<Pipe<Credit>*> deferred_credit_pipes_;
 
   std::function<void(NodeId, const MsgPtr&)> deliver_;
   std::function<void(const MsgPtr&, Cycle)> send_observer_;

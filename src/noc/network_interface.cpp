@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "noc/message_pool.hpp"
 #include "noc/observer.hpp"
 #include "noc/router.hpp"
 #include "noc/topology.hpp"
@@ -9,8 +10,10 @@
 namespace rc {
 
 NetworkInterface::NetworkInterface(NodeId id, const NocConfig& cfg,
-                                   const Topology* topo, StatSet* stats)
-    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), lat_(cfg) {
+                                   const Topology* topo, StatSet* stats,
+                                   MessagePool* pool)
+    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), pool_(pool), lat_(cfg) {
+  RC_ASSERT(pool_ != nullptr, "NI needs a message pool");
   inject_flits_ = &stats_->counter("ni_inject_flit");
 }
 
@@ -79,10 +82,11 @@ void NetworkInterface::tick(Cycle now) {
       if (out > 0) --out;
     }
   }
-  // 2. Ejection.
+  // 2. Ejection. The tail flit releases the pool pin taken at injection;
+  //    the returned owner keeps the message alive through delivery.
   if (eject_) {
     while (auto f = eject_->pop_ready(now)) {
-      if (f->is_tail()) finish_delivery(f->msg, now);
+      if (f->is_tail()) finish_delivery(pool_->release(f->msg), now);
     }
   }
   // 3. Injection: refill idle streams, then push at most one flit onto the
@@ -247,12 +251,13 @@ bool NetworkInterface::pick_free_vc(VNet vn, bool circuit_class,
 void NetworkInterface::inject_flit(Stream& s, Cycle now) {
   const MsgPtr& msg = s.msg;
   Flit f;
-  f.msg = msg;
+  f.msg = msg.get();
   f.seq = s.next_seq++;
   f.vnet = msg->is_reply() ? VNet::Reply : VNet::Request;
   f.vc = s.vc;
   f.on_circuit = s.on_circuit;
   if (f.is_head()) {
+    pool_->pin(msg);  // flits carry raw pointers; the pool owns until tail eject
     msg->injected = now;
     if (obs_) obs_->on_message_injected(id_, *msg, now);
     stats_->acc(msg->is_reply() ? "q_lat_reply" : "q_lat_req")

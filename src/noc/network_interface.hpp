@@ -30,13 +30,17 @@
 
 namespace rc {
 
+class MessagePool;
 class NocObserver;
 class Topology;
 
 class NetworkInterface : public Ticker {
  public:
+  /// `pool` pins message ownership while flits (which carry raw pointers)
+  /// are in the fabric: pinned at head-flit injection here, released at
+  /// tail-flit ejection at the destination NI.
   NetworkInterface(NodeId id, const NocConfig& cfg, const Topology* topo,
-                   StatSet* stats);
+                   StatSet* stats, MessagePool* pool);
 
   /// Wire the four local pipes: flits we inject, credits coming back for the
   /// router's local input buffers, flits ejected to us, and the credit wire
@@ -131,6 +135,7 @@ class NetworkInterface : public Ticker {
   NocConfig cfg_;
   const Topology* topo_;
   StatSet* stats_;
+  MessagePool* pool_;
   LatencyModel lat_;
 
   Pipe<Flit>* inject_ = nullptr;

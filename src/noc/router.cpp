@@ -138,7 +138,7 @@ void Router::handle_undo(Port p, const UndoRecord& rec, Cycle now) {
 
 Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
                                             Cycle now) {
-  const MsgPtr& msg = flit.msg;
+  Message* msg = flit.msg;
   CircuitEntry* entry =
       circuits_.match(in_port, msg->circuit_dest, msg->circuit_addr, msg->id,
                       flit.is_head(), now);
@@ -273,7 +273,7 @@ void Router::try_start_packet(Port p, int vc_idx, Cycle now) {
                    static_cast<unsigned long long>(f.msg->id), f.seq, f.vc);
   }
   RC_ASSERT(head.is_head(), "packet must start with a head flit");
-  const MsgPtr& msg = head.msg;
+  const Message* msg = head.msg;
   bool yx = head.vnet == VNet::Reply && cfg_.replies_yx;
   Dir out = route_dor(coord_, topo_->coord_of(msg->dest), yx);
   ivc.out_port = port_of(out);
@@ -405,7 +405,7 @@ void Router::stage_va(Cycle now) {
       ivc.stage_ready = now + 1 + (cfg_.router_stages - 4);
       ovc.busy = true;
       ++*hot_.va_ops;
-      const MsgPtr& msg = ivc.buf.front().msg;
+      Message* msg = ivc.buf.front().msg;
       if (ivc.buf.front().vnet == VNet::Request && msg->build_circuit &&
           circuits_.enabled()) {
         maybe_build_circuit(msg, static_cast<Port>(i), ivc.out_port, now);
@@ -414,7 +414,7 @@ void Router::stage_va(Cycle now) {
   }
 }
 
-void Router::maybe_build_circuit(const MsgPtr& msg, Port req_in, Port req_out,
+void Router::maybe_build_circuit(Message* msg, Port req_in, Port req_out,
                                  Cycle now) {
   if (!msg->circuit_ok) return;  // a previous router already aborted it
 

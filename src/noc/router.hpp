@@ -148,7 +148,7 @@ class Router : public Ticker {
 
   /// Build-Circuit module (§4.1/§4.7), run in parallel with a request head's
   /// VC allocation.
-  void maybe_build_circuit(const MsgPtr& msg, Port req_in, Port req_out,
+  void maybe_build_circuit(Message* msg, Port req_in, Port req_out,
                            Cycle now);
 
   /// Apply and forward a credit-carried undo arriving at output side `p`.

@@ -37,8 +37,8 @@ RunResult run_config(SystemConfig cfg, const std::string& label) {
   r.retired = sys.total_retired();
   r.ipc = static_cast<double>(r.retired) /
           (static_cast<double>(r.cycles) * r.cores);
-  r.net = sys.network().stats();
-  r.sys = sys.sys_stats();
+  r.net = sys.network().merged_stats();
+  r.sys = sys.merged_sys_stats();
   r.noc = cfg.noc;
   r.energy_per_instr = EnergyModel::energy_per_instruction(
       cfg.noc, r.net, r.cycles, r.retired);
@@ -86,11 +86,19 @@ std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
   const int n = std::min<int>(jobs, static_cast<int>(cfgs.size()));
   for (int t = 0; t < n; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+  // Report every failed configuration, not just the first — a sweep that
+  // dies on config 3 of 40 would otherwise hide failures 4..40 until the
+  // next rerun.
+  std::size_t failures = 0;
+  std::string detail;
   for (std::size_t i = 0; i < out.size(); ++i) {
-    if (out[i].failed)
-      throw FatalError("run_many: configuration '" + labels[i] +
-                       "' failed: " + out[i].error);
+    if (!out[i].failed) continue;
+    ++failures;
+    detail += "\n  '" + labels[i] + "': " + out[i].error;
   }
+  if (failures > 0)
+    throw FatalError("run_many: " + std::to_string(failures) +
+                     " configuration(s) failed:" + detail);
   return out;
 }
 

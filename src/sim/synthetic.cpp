@@ -7,62 +7,94 @@ namespace rc {
 SyntheticTraffic::~SyntheticTraffic() = default;
 
 SyntheticTraffic::SyntheticTraffic(const NocConfig& cfg, double rate,
-                                   int service_cycles, std::uint64_t seed)
-    : cfg_(cfg), rate_(rate), service_(service_cycles), rng_(seed) {
+                                   int service_cycles, std::uint64_t seed,
+                                   int shards)
+    : cfg_(cfg), rate_(rate), service_(service_cycles) {
   net_ = std::make_unique<Network>(cfg_);
   validator_ = Validator::maybe_attach(net_.get());
-  net_->set_deliver([this](NodeId n, const MsgPtr& m) {
+  const int n = cfg_.num_nodes();
+  shards_ = effective_shards(shards, n);
+  if (shards_ > 1) net_->configure_shards(shard_ranges(n, shards_));
+  Rng root(seed);
+  nodes_.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) nodes_[i].rng = root.fork(i + 1);
+  net_->set_deliver([this](NodeId node, const MsgPtr& m) {
+    // Runs on the shard that owns `node`; touches only that node's state.
+    NodeState& st = nodes_[node];
     if (m->type == MsgType::GetS) {
       // Echo a data reply after the service time (like an L2 hit).
       auto rep = std::make_shared<Message>();
-      rep->id = ++next_id_;
+      // Node-tagged ids keep ids unique and shard-invariant.
+      rep->id = (static_cast<std::uint64_t>(node) << 40) | ++st.next_id;
       rep->type = MsgType::L2Reply;
-      rep->src = n;
+      rep->src = node;
       rep->dest = m->src;
       rep->addr = m->addr;
       rep->size_flits = 5;
-      pending_replies_.emplace(m->delivered + service_, rep);
+      st.pending_replies.emplace(m->delivered + service_, rep);
     } else {
-      ++replies_done_;
+      ++st.replies_done;
     }
   });
 }
 
-void SyntheticTraffic::tick() {
-  while (!pending_replies_.empty() &&
-         pending_replies_.begin()->first <= clock_) {
-    net_->send(pending_replies_.begin()->second, clock_);
-    pending_replies_.erase(pending_replies_.begin());
+void SyntheticTraffic::tick_node(NodeId i, Cycle now) {
+  NodeState& st = nodes_[i];
+  while (!st.pending_replies.empty() &&
+         st.pending_replies.begin()->first <= now) {
+    net_->send(st.pending_replies.begin()->second, now);
+    st.pending_replies.erase(st.pending_replies.begin());
   }
   const int n = cfg_.num_nodes();
-  for (NodeId i = 0; i < n; ++i) {
-    if (!rng_.chance(rate_)) continue;
-    NodeId dest = static_cast<NodeId>(rng_.next_below(n));
-    if (dest == i) continue;
-    auto req = std::make_shared<Message>();
-    req->id = ++next_id_;
-    req->type = MsgType::GetS;
-    req->src = i;
-    req->dest = dest;
-    // Unique line per transaction keeps circuit identities distinct.
-    req->addr = (++next_addr_) * kLineBytes;
-    req->size_flits = 1;
-    net_->send(req, clock_);
-    ++requests_done_;
+  if (!st.rng.chance(rate_)) return;
+  NodeId dest = static_cast<NodeId>(st.rng.next_below(n));
+  if (dest == i) return;
+  auto req = std::make_shared<Message>();
+  req->id = (static_cast<std::uint64_t>(i) << 40) | ++st.next_id;
+  req->type = MsgType::GetS;
+  req->src = i;
+  req->dest = dest;
+  // Unique line per transaction (node-tagged) keeps circuit identities
+  // distinct.
+  req->addr = ((static_cast<Addr>(i) << 32) + ++st.next_addr) * kLineBytes;
+  req->size_flits = 1;
+  net_->send(req, now);
+  ++st.requests_done;
+}
+
+void SyntheticTraffic::run_cycles(Cycle n) {
+  const int nodes = cfg_.num_nodes();
+  const Cycle end = clock_ + n;
+  if (shards_ <= 1) {
+    for (; clock_ < end; ++clock_) {
+      for (NodeId i = 0; i < nodes; ++i) tick_node(i, clock_);
+      net_->tick(clock_);
+    }
+  } else if (n > 0) {
+    run_sharded(
+        shards_, clock_, end,
+        [this](int shard, Cycle c) {
+          const ShardRange r = net_->shard_ranges_of()[shard];
+          for (NodeId i = r.begin; i < r.end; ++i) tick_node(i, c);
+          net_->tick_shard(shard, c);
+        },
+        [this](Cycle c) {
+          net_->finish_cycle(c);
+          clock_ = c + 1;
+        });
   }
-  net_->tick(clock_++);
 }
 
 SyntheticResult SyntheticTraffic::run(Cycle warmup, Cycle measure) {
-  for (Cycle i = 0; i < warmup; ++i) tick();
-  net_->stats().reset();
-  requests_done_ = 0;
-  for (Cycle i = 0; i < measure; ++i) tick();
+  run_cycles(warmup);
+  net_->reset_stats();
+  for (NodeState& st : nodes_) st.requests_done = 0;
+  run_cycles(measure);
 
   SyntheticResult r;
   r.offered_load = rate_ * 100.0;
-  r.requests_done = requests_done_;
-  r.net = net_->stats();
+  for (const NodeState& st : nodes_) r.requests_done += st.requests_done;
+  r.net = net_->merged_stats();
   auto mean = [&](const char* k) {
     const Accumulator* a = r.net.find_acc(k);
     return a && a->count() ? a->mean() : 0.0;

@@ -8,10 +8,15 @@
 // prevent complete circuits from being built... timed circuits reduce the
 // time circuits keep virtual channels occupied, thus rising the threshold
 // over which the network would be too congested."
+//
+// All driver state (RNG, id/address counters, pending echoes, counters) is
+// per node, so the driver shards exactly like the fabric (common/shard.hpp)
+// and its traffic is bit-identical for any shard count.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/rng.hpp"
@@ -34,31 +39,44 @@ struct SyntheticResult {
 class SyntheticTraffic {
  public:
   /// `rate` = probability a node injects a request in a given cycle.
+  /// `shards` follows SystemConfig::shards semantics: 0 defers to RC_SHARDS,
+  /// > 0 is explicit; clamped to [1, num_nodes].
   SyntheticTraffic(const NocConfig& cfg, double rate, int service_cycles,
-                   std::uint64_t seed = 1);
+                   std::uint64_t seed = 1, int shards = 0);
   ~SyntheticTraffic();
 
   /// Run warm-up + measurement; returns aggregated metrics.
   SyntheticResult run(Cycle warmup, Cycle measure);
 
+  /// Effective worker-shard count (1 = serial).
+  int shards() const { return shards_; }
+
   /// Invariant checker attached when RC_CHECK=1, else nullptr.
   Validator* validator() { return validator_.get(); }
 
  private:
-  void tick();
+  /// One node's per-cycle work: release due echo replies, maybe inject a
+  /// request. Touches only that node's state — safe from its shard worker.
+  void tick_node(NodeId i, Cycle now);
+  void run_cycles(Cycle n);
+
+  struct NodeState {
+    Rng rng;
+    std::uint64_t next_id = 0;
+    std::uint64_t next_addr = 0;
+    std::uint64_t requests_done = 0;
+    std::uint64_t replies_done = 0;
+    std::multimap<Cycle, MsgPtr> pending_replies;
+  };
 
   NocConfig cfg_;
   double rate_;
   int service_;
-  Rng rng_;
+  int shards_ = 1;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Validator> validator_;
   Cycle clock_ = 0;
-  std::uint64_t next_id_ = 0;
-  std::uint64_t next_addr_ = 0;
-  std::uint64_t replies_done_ = 0;
-  std::uint64_t requests_done_ = 0;
-  std::multimap<Cycle, MsgPtr> pending_replies_;
+  std::vector<NodeState> nodes_;
 };
 
 }  // namespace rc

@@ -17,6 +17,10 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   amap_ = std::make_unique<AddressMap>(&net_->topo(), cfg_.partition_side);
 
   const int n = cfg_.noc.num_nodes();
+  shards_ = effective_shards(cfg_.shards, n);
+  if (shards_ > 1) net_->configure_shards(shard_ranges(n, shards_));
+  // Sized once, before any controller captures a pointer; never resized.
+  node_sys_stats_.resize(static_cast<std::size_t>(n));
   Rng root(cfg_.seed);
   // workload "none" builds the full memory system without cores; tests
   // drive the L1s directly.
@@ -26,15 +30,15 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   mcs_.resize(n);
   for (NodeId node : net_->topo().memory_controller_nodes()) {
     if (!mcs_[node])
-      mcs_[node] = std::make_unique<MemoryController>(node, cfg_.cache,
-                                                      net_.get(), &sys_stats_);
+      mcs_[node] = std::make_unique<MemoryController>(
+          node, cfg_.cache, net_.get(), &node_sys_stats_[node]);
   }
   for (NodeId i = 0; i < n; ++i) {
     l1s_.push_back(std::make_unique<L1Cache>(i, cfg_.cache, net_.get(),
-                                             amap_.get(), &sys_stats_));
+                                             amap_.get(), &node_sys_stats_[i]));
     l2s_.push_back(std::make_unique<L2Bank>(i, cfg_.cache, cfg_.noc.circuit,
                                             net_.get(), amap_.get(),
-                                            &sys_stats_));
+                                            &node_sys_stats_[i]));
     if (with_cores) {
       auto gen = std::make_unique<WorkloadGen>(core_profs_[i], i, n,
                                                root.fork(i + 1));
@@ -51,7 +55,7 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
       }
       cores_.push_back(
           std::make_unique<Core>(i, std::move(gen), l1s_.back().get(),
-                                 &sys_stats_));
+                                 &node_sys_stats_[i]));
     }
   }
 
@@ -92,13 +96,40 @@ void System::deliver(NodeId node, const MsgPtr& msg) {
 void System::run_cycles(Cycle n) {
   const TickMode mode = net_->tick_mode();
   const Cycle end = now_ + n;
-  for (; now_ < end; ++now_) {
-    for (auto& c : cores_) tick_scheduled(*c, now_, mode, "core");
-    for (auto& l1 : l1s_) tick_scheduled(*l1, now_, mode, "L1 cache");
-    for (auto& l2 : l2s_) tick_scheduled(*l2, now_, mode, "L2 bank");
-    for (auto& mc : mcs_)
-      if (mc) tick_scheduled(*mc, now_, mode, "memory controller");
-    net_->tick(now_);
+  if (shards_ <= 1) {
+    for (; now_ < end; ++now_) {
+      for (auto& c : cores_) tick_scheduled(*c, now_, mode, "core");
+      for (auto& l1 : l1s_) tick_scheduled(*l1, now_, mode, "L1 cache");
+      for (auto& l2 : l2s_) tick_scheduled(*l2, now_, mode, "L2 bank");
+      for (auto& mc : mcs_)
+        if (mc) tick_scheduled(*mc, now_, mode, "memory controller");
+      net_->tick(now_);
+    }
+  } else if (n > 0) {
+    // Each shard advances its own tiles (cores, caches, MC, NI, router) in
+    // the serial per-node order; cross-shard traffic parks in the deferred
+    // link pipes until the barrier completion flushes it (finish_cycle).
+    // now_ is only written there, with all workers parked, so controllers
+    // reading it mid-cycle always see the current cycle.
+    run_sharded(
+        shards_, now_, end,
+        [this, mode](int shard, Cycle c) {
+          const ShardRange r = net_->shard_ranges_of()[shard];
+          for (NodeId i = r.begin; i < r.end; ++i)
+            if (i < static_cast<NodeId>(cores_.size()))
+              tick_scheduled(*cores_[i], c, mode, "core");
+          for (NodeId i = r.begin; i < r.end; ++i)
+            tick_scheduled(*l1s_[i], c, mode, "L1 cache");
+          for (NodeId i = r.begin; i < r.end; ++i)
+            tick_scheduled(*l2s_[i], c, mode, "L2 bank");
+          for (NodeId i = r.begin; i < r.end; ++i)
+            if (mcs_[i]) tick_scheduled(*mcs_[i], c, mode, "memory controller");
+          net_->tick_shard(shard, c);
+        },
+        [this](Cycle c) {
+          net_->finish_cycle(c);
+          now_ = c + 1;
+        });
   }
   // Stall accounting is batched (cores skip ticks while blocked on the
   // memory system); fold everything up to the last simulated cycle in so
@@ -108,9 +139,15 @@ void System::run_cycles(Cycle n) {
 }
 
 void System::reset_stats() {
-  sys_stats_.reset();
-  net_->stats().reset();
+  for (auto& s : node_sys_stats_) s.reset();
+  net_->reset_stats();
   for (auto& c : cores_) c->reset_retired();
+}
+
+StatSet System::merged_sys_stats() const {
+  StatSet out;
+  for (const auto& s : node_sys_stats_) out.merge(s);
+  return out;
 }
 
 void System::prewarm() {

@@ -47,8 +47,15 @@ class System {
   Network& network() { return *net_; }
   /// Invariant checker attached when RC_CHECK=1, else nullptr.
   Validator* validator() { return validator_.get(); }
-  StatSet& sys_stats() { return sys_stats_; }
-  const StatSet& sys_stats() const { return sys_stats_; }
+  /// Effective worker-shard count (cfg.shards / RC_SHARDS, resolved and
+  /// clamped at construction; 1 = serial tick loop).
+  int shards() const { return shards_; }
+  /// Controller statistics of every node merged in fixed node order
+  /// (bit-identical for any shard count). Walks every node's maps — cache
+  /// the result rather than calling per cycle.
+  StatSet merged_sys_stats() const;
+  /// One node's controller statistics (core, L1, L2 bank, MC of that tile).
+  StatSet& node_sys_stats(NodeId n) { return node_sys_stats_[n]; }
 
   std::uint64_t total_retired() const;
   std::uint64_t retired_of(int core) const { return cores_[core]->retired(); }
@@ -69,7 +76,11 @@ class System {
   SystemConfig cfg_;
   Cycle now_ = 0;
   bool prewarmed_ = false;
-  StatSet sys_stats_;
+  int shards_ = 1;
+  /// Sized to num_nodes before any controller captures a pointer; each
+  /// tile's controllers write only their own entry, so shard workers never
+  /// share a StatSet.
+  std::vector<StatSet> node_sys_stats_;
   std::function<void(NodeId, const MsgPtr&)> observer_;
 
   std::unique_ptr<Network> net_;

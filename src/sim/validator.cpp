@@ -59,6 +59,7 @@ void Validator::record(std::uint64_t msg_id, const char* what, NodeId node,
 }
 
 void Validator::on_message_injected(NodeId node, const Message& m, Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   Flight f;
   f.type = m.type;
   f.src = node;
@@ -74,6 +75,7 @@ void Validator::on_message_injected(NodeId node, const Message& m, Cycle now) {
 
 void Validator::on_message_delivered(NodeId node, const Message& m,
                                      Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = flights_.find(m.id);
   if (it == flights_.end())
     fail("message " + std::to_string(m.id) +
@@ -85,11 +87,13 @@ void Validator::on_message_delivered(NodeId node, const Message& m,
 
 void Validator::on_flit_buffered(NodeId node, Port in_port, const Flit& f,
                                  Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   record(f.msg->id, "buffered", node, in_port, now);
 }
 
 void Validator::on_circuit_forwarded(NodeId node, Port in_port, const Flit& f,
                                      Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   record(f.msg->id, "circuit-forwarded", node, in_port, now);
   stalls_[static_cast<std::uint32_t>(node) * kNumDirs + in_port] =
       StallState{now, kNeverCycle, 0};
@@ -97,6 +101,7 @@ void Validator::on_circuit_forwarded(NodeId node, Port in_port, const Flit& f,
 
 void Validator::on_circuit_blocked(NodeId node, Port in_port, const Flit& f,
                                    Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   record(f.msg->id, "circuit-blocked", node, in_port, now);
   StallState& s =
       stalls_[static_cast<std::uint32_t>(node) * kNumDirs + in_port];
@@ -122,6 +127,7 @@ void Validator::on_circuit_blocked(NodeId node, Port in_port, const Flit& f,
 
 void Validator::on_undo_launched(NodeId node, NodeId circuit_dest, Addr addr,
                                  std::uint64_t owner_req, Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (recent_undos_.size() >= kUndoLogCap) recent_undos_.pop_front();
   recent_undos_.push_back(UndoEvent{now, node, circuit_dest, addr, owner_req});
 }
@@ -131,6 +137,7 @@ void Validator::on_undo_launched(NodeId node, NodeId circuit_dest, Addr addr,
 
 void Validator::on_circuit_reclaimed(NodeId node, Port port,
                                      const CircuitEntry& e, Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!e.expired(now))
     fail("router " + std::to_string(node) + " port " +
              to_string(dir_of(port)) + ": reclaimed a non-expired entry " +
@@ -142,6 +149,7 @@ void Validator::on_circuit_reclaimed(NodeId node, Port port,
 void Validator::on_circuit_released(NodeId node, Port port,
                                     const CircuitEntry& e,
                                     std::uint64_t msg_id, Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (msg_id == 0 && e.bound_msg != 0)
     fail("router " + std::to_string(node) + " port " +
              to_string(dir_of(port)) +
@@ -153,6 +161,7 @@ void Validator::on_circuit_released(NodeId node, Port port,
 void Validator::on_circuit_undone(NodeId node, Port port,
                                   const CircuitEntry& e,
                                   std::uint64_t owner_req, Cycle now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (e.bound_msg != 0)
     fail("router " + std::to_string(node) + " port " +
              to_string(dir_of(port)) + ": undo of owner_req " +
@@ -165,6 +174,9 @@ void Validator::on_circuit_undone(NodeId node, Port port,
 // End-of-cycle scans.
 
 void Validator::on_network_cycle(Cycle now) {
+  // Runs single-threaded (serial tick, or the sharded barrier completion
+  // with all workers parked); the lock only orders it against stragglers.
+  std::lock_guard<std::mutex> lock(mu_);
   ++cycles_checked_;
   scan_tables(now);
   scan_credits(now);
@@ -359,6 +371,7 @@ void Validator::scan_watchdog(Cycle now) {
 }
 
 void Validator::check_idle(Cycle now) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!flights_.empty()) {
     const auto& [id, f] = *flights_.begin();
     fail(std::to_string(flights_.size()) +

@@ -34,6 +34,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/types.hpp"
@@ -130,6 +131,12 @@ class Validator final : public NocObserver {
   void dump_flight(const Flight& f) const;
   void dump_circuits(Cycle now) const;
 
+  /// Event hooks fire from shard worker threads when the network runs
+  /// sharded (common/shard.hpp); one lock serialises all bookkeeping. The
+  /// global scans run from the barrier completion (single-threaded, workers
+  /// parked), so the state they read is always a consistent end-of-cycle
+  /// view. Uncontended in the serial (1-shard) configuration.
+  mutable std::mutex mu_;
   Network* net_;
   Cycle hang_cycles_;
   std::uint64_t cycles_checked_ = 0;

@@ -102,7 +102,7 @@ TEST(CompleteCircuits, ReplyRidesAtTwoCyclesPerHop) {
   EXPECT_TRUE(rep->on_circuit);
   // Head: NI->router (2), 3 circuit hops (2 each), ejection (2); tail +4.
   EXPECT_EQ(rep->delivered - rep->injected, Cycle(2 + 3 * 2 + 2 + 4));
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 TEST(CompleteCircuits, TailReleasesEveryEntry) {
@@ -219,7 +219,7 @@ TEST(CompleteCircuits, SameSourceRuleRejectsSecondSource) {
   h.net.send(rb, h.clock);
   h.run_until_delivered(3);
   EXPECT_FALSE(rb->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_failed"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_failed"), 1u);
 }
 
 TEST(FragmentedCircuits, PartialPathStillHelps) {
@@ -242,7 +242,7 @@ TEST(FragmentedCircuits, PartialPathStillHelps) {
   h.net.send(rep, h.clock);
   h.run_until_delivered(4);
   EXPECT_TRUE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_partial"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_partial"), 1u);
 }
 
 TEST(FragmentedCircuits, FullyReservedCountsAsUsed) {
@@ -254,7 +254,7 @@ TEST(FragmentedCircuits, FullyReservedCountsAsUsed) {
   auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
   h.net.send(rep, h.clock);
   h.run_until_delivered(2);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 TEST(Scroungers, RideAndReinject) {
@@ -271,15 +271,15 @@ TEST(Scroungers, RideAndReinject) {
   h.run_until_delivered(2);
   ASSERT_EQ(h.delivered.size(), 2u);
   EXPECT_EQ(h.delivered[1].node, 4);
-  EXPECT_EQ(h.net.stats().counter_value("scrounge_rides"), 1u);
-  EXPECT_EQ(h.net.stats().counter_value("reply_scrounged"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("scrounge_rides"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_scrounged"), 1u);
   // The circuit is still intact for its owner afterwards.
   EXPECT_EQ(entries_on_path(h, 0, 3, 0, 0x1000), 4);
   auto rep = h.make(MsgType::L2Reply, 3, 0, 0x1000, 5);
   h.net.send(rep, h.clock);
   h.run_until_delivered(3);
   EXPECT_TRUE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 TEST(Scroungers, NoRideWhenNotCloser) {
@@ -292,7 +292,7 @@ TEST(Scroungers, NoRideWhenNotCloser) {
   auto ack = h.make(MsgType::L1InvAck, 3, 2, 0x9000, 1);
   h.net.send(ack, h.clock);
   h.run_until_delivered(2);
-  EXPECT_EQ(h.net.stats().counter_value("scrounge_rides"), 0u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("scrounge_rides"), 0u);
 }
 
 TEST(IdealCircuits, EverythingRides) {
@@ -311,8 +311,8 @@ TEST(IdealCircuits, EverythingRides) {
     h.net.send(rep, h.clock);
   }
   h.run_until_delivered(12);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 6u);
-  EXPECT_EQ(h.net.stats().counter_value("reply_failed"), 0u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 6u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_failed"), 0u);
 }
 
 TEST(Baseline, NoCircuitMachinery) {
@@ -326,7 +326,7 @@ TEST(Baseline, NoCircuitMachinery) {
   h.net.send(rep, h.clock);
   h.run_until_delivered(2);
   EXPECT_FALSE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_eligible_nocirc"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_eligible_nocirc"), 1u);
 }
 
 }  // namespace

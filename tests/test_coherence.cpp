@@ -36,9 +36,9 @@ struct ProtoHarness {
   void drain(int cycles = 120) { sys.run_cycles(cycles); }
 
   std::uint64_t net(const char* k) {
-    return sys.network().stats().counter_value(k);
+    return sys.network().merged_stats().counter_value(k);
   }
-  std::uint64_t ctl(const char* k) { return sys.sys_stats().counter_value(k); }
+  std::uint64_t ctl(const char* k) { return sys.merged_sys_stats().counter_value(k); }
 
   System sys;
 };

@@ -132,6 +132,30 @@ TEST(RunMany, WorkerFailurePropagatesAfterJoin) {
   }
 }
 
+TEST(RunMany, ReportsEveryFailedConfiguration) {
+  // Two poison pills among three configs: the error must name both (big
+  // sweeps used to surface only the first failure, hiding correlated
+  // breakage behind reruns).
+  std::vector<SystemConfig> cfgs = {
+      small_config("Baseline", TickMode::Activity),
+      small_config("Baseline", TickMode::Activity),
+      small_config("Baseline", TickMode::Activity),
+  };
+  cfgs[0].measure_cycles = 0;
+  cfgs[2].noc.mesh_w = 0;
+  cfgs[2].noc.mesh_h = 0;
+  try {
+    run_many(cfgs, {"first-bad", "good", "second-bad"}, /*jobs=*/2);
+    FAIL() << "run_many should have rethrown the worker failures";
+  } catch (const FatalError& e) {
+    const std::string w = e.what();
+    EXPECT_NE(w.find("2 configuration(s) failed"), std::string::npos) << w;
+    EXPECT_NE(w.find("'first-bad'"), std::string::npos) << w;
+    EXPECT_NE(w.find("'second-bad'"), std::string::npos) << w;
+    EXPECT_EQ(w.find("'good'"), std::string::npos) << w;
+  }
+}
+
 TEST(RunMany, ShardingIsDeterministic) {
   std::vector<SystemConfig> cfgs;
   std::vector<std::string> labels;

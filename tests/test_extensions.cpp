@@ -180,9 +180,9 @@ TEST(Intermediary, ReadRecallKeepsOwnerShared) {
   h.access(1, a, false);  // recall: L2 supplies, owner downgrades to S
   EXPECT_EQ(h.sys->l1(0).state_of(a), L1State::S);
   EXPECT_EQ(h.sys->l1(1).state_of(a), L1State::S);
-  EXPECT_EQ(h.sys->network().stats().counter_value("msg_L1ToL1"), 0u);
-  EXPECT_EQ(h.sys->network().stats().counter_value("msg_FwdGetS"), 0u);
-  EXPECT_EQ(h.sys->sys_stats().counter_value("l2_recalls"), 1u);
+  EXPECT_EQ(h.sys->network().merged_stats().counter_value("msg_L1ToL1"), 0u);
+  EXPECT_EQ(h.sys->network().merged_stats().counter_value("msg_FwdGetS"), 0u);
+  EXPECT_EQ(h.sys->merged_sys_stats().counter_value("l2_recalls"), 1u);
 }
 
 TEST(Intermediary, WriteRecallInvalidatesOwner) {
@@ -192,7 +192,7 @@ TEST(Intermediary, WriteRecallInvalidatesOwner) {
   h.access(1, a, true);
   EXPECT_EQ(h.sys->l1(0).state_of(a), L1State::I);
   EXPECT_EQ(h.sys->l1(1).state_of(a), L1State::M);
-  EXPECT_EQ(h.sys->network().stats().counter_value("msg_FwdGetX"), 0u);
+  EXPECT_EQ(h.sys->network().merged_stats().counter_value("msg_FwdGetX"), 0u);
 }
 
 TEST(Intermediary, SameStatesAsDirectProtocol) {

@@ -70,7 +70,8 @@ TEST(NetworkInterfaceTest, QueueingLatencyGrowsUnderBackpressure) {
   h.run_until_delivered(8, 5000);
   EXPECT_EQ(h.delivered.size(), 8u);
   EXPECT_GT(batch.back()->injected - batch.back()->created, 20u);
-  const auto* q = h.net.stats().find_acc("q_lat_req");
+  const auto s = h.net.merged_stats();
+  const auto* q = s.find_acc("q_lat_req");
   ASSERT_NE(q, nullptr);
   EXPECT_GT(q->max(), 20.0);
 }
@@ -81,7 +82,7 @@ TEST(NetworkInterfaceTest, LatencyClassesSeparated) {
   h.net.send(h.make(MsgType::L2Reply, 3, 0, 0x40, 5), h.clock);     // eligible
   h.net.send(h.make(MsgType::L1InvAck, 5, 6, 0x80, 1), h.clock);    // not elig.
   h.run_until_delivered(3);
-  auto& s = h.net.stats();
+  auto s = h.net.merged_stats();
   EXPECT_EQ(s.find_acc("lat_net_req")->count(), 1u);
   EXPECT_EQ(s.find_acc("lat_net_rep_circ")->count(), 1u);
   EXPECT_EQ(s.find_acc("lat_net_rep_nocirc")->count(), 1u);
@@ -93,7 +94,7 @@ TEST(NetworkInterfaceTest, Table1MessageMixCounted) {
   h.net.send(h.make(MsgType::L2Reply, 3, 0, 0x40, 5), h.clock);
   h.net.send(h.make(MsgType::MemData, 2, 9, 0x80, 5), h.clock);
   h.run_until_delivered(3);
-  auto& s = h.net.stats();
+  auto s = h.net.merged_stats();
   EXPECT_EQ(s.counter_value("msg_GetS"), 1u);
   EXPECT_EQ(s.counter_value("msg_L2Reply"), 1u);
   EXPECT_EQ(s.counter_value("msg_MemData"), 1u);
@@ -103,7 +104,8 @@ TEST(NetworkInterfaceTest, CircuitSetupLatencyRecorded) {
   Harness h(cfg_for("Complete"));
   h.net.send(h.make(MsgType::GetS, 0, 3, 0x40, 1), h.clock);
   h.run_until_delivered(1);
-  const auto* acc = h.net.stats().find_acc("lat_circuit_setup");
+  const auto s = h.net.merged_stats();
+  const auto* acc = s.find_acc("lat_circuit_setup");
   ASSERT_NE(acc, nullptr);
   EXPECT_EQ(acc->count(), 1u);
   // Uncontended: setup completes when the request is delivered, 7 + 5H.
@@ -121,7 +123,7 @@ TEST(NetworkInterfaceTest, DoubleUndoOnlyFiresOnce) {
   h.run_until_delivered(1);
   EXPECT_TRUE(h.net.ni(3).undo_circuit(0, 0x40, h.clock, false));
   EXPECT_FALSE(h.net.ni(3).undo_circuit(0, 0x40, h.clock, false));
-  EXPECT_EQ(h.net.stats().counter_value("circ_origin_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("circ_origin_undone"), 1u);
 }
 
 TEST(NetworkInterfaceTest, DuplicateCircuitIdentityTornDown) {
@@ -133,7 +135,7 @@ TEST(NetworkInterfaceTest, DuplicateCircuitIdentityTornDown) {
   h.run_until_delivered(1);
   h.net.send(h.make(MsgType::WbData, 0, 3, 0x40, 5), h.clock);
   h.run_until_delivered(2);
-  EXPECT_EQ(h.net.stats().counter_value("circ_origin_duplicate"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("circ_origin_duplicate"), 1u);
   h.tick(40);  // let the duplicate's undo crawl home
   auto rep = h.make(MsgType::L2Reply, 3, 0, 0x40, 5);
   h.net.send(rep, h.clock);

@@ -25,10 +25,10 @@ struct ProtoHarness {
     return sys->now() - start;
   }
   std::uint64_t net(const char* k) {
-    return sys->network().stats().counter_value(k);
+    return sys->network().merged_stats().counter_value(k);
   }
   std::uint64_t ctl(const char* k) {
-    return sys->sys_stats().counter_value(k);
+    return sys->merged_sys_stats().counter_value(k);
   }
   std::unique_ptr<System> sys;
 };

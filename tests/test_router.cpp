@@ -191,9 +191,9 @@ TEST(RouterPipeline, LocalMessagesBypassNetwork) {
   h.run_until_delivered(1, 10);
   ASSERT_EQ(h.deliveries.size(), 1u);
   EXPECT_EQ(h.deliveries[0].node, 3);
-  EXPECT_EQ(h.net.stats().counter_value("msg_local"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("msg_local"), 1u);
   // No flits ever entered the fabric.
-  EXPECT_EQ(h.net.stats().counter_value("ni_inject_flit"), 0u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("ni_inject_flit"), 0u);
 }
 
 TEST(RouterPipeline, RepliesUseReplyVnStats) {
@@ -201,8 +201,8 @@ TEST(RouterPipeline, RepliesUseReplyVnStats) {
   auto m = h.make(MsgType::L1DataAck, 0, 5, 0x40, 1);
   h.net.send(m, h.clock);
   h.run_until_delivered(1);
-  EXPECT_EQ(h.net.stats().counter_value("msg_L1DataAck"), 1u);
-  EXPECT_EQ(h.net.stats().counter_value("reply_not_eligible"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("msg_L1DataAck"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_not_eligible"), 1u);
 }
 
 TEST(RouterPipeline, EnergyCountersTrackActivity) {
@@ -210,7 +210,7 @@ TEST(RouterPipeline, EnergyCountersTrackActivity) {
   auto m = h.make(MsgType::GetS, 0, 3, 0x40, 1);
   h.net.send(m, h.clock);
   h.run_until_delivered(1);
-  auto& s = h.net.stats();
+  auto s = h.net.merged_stats();
   // 1 flit through 4 routers: one buffer write/read + one xbar per router.
   EXPECT_EQ(s.counter_value("buf_write"), 4u);
   EXPECT_EQ(s.counter_value("buf_read"), 4u);

@@ -77,7 +77,7 @@ TEST(TimedCircuits, ExactModeHitsSlotInIdleNetwork) {
   ASSERT_EQ(h.delivered.size(), 2u);
   const MsgPtr& rep = h.delivered[1].msg;
   EXPECT_TRUE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
   // Reply left exactly at the estimated departure cycle.
   LatencyModel lat(h.cfg);
   Cycle tau = req->injected + lat.request_total(req->path_hops) +
@@ -93,8 +93,8 @@ TEST(TimedCircuits, ExactModeUndoneWhenServiceIsLate) {
   h.run_until_delivered(2);
   const MsgPtr& rep = h.delivered[1].msg;
   EXPECT_FALSE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_undone"), 1u);
-  EXPECT_EQ(h.net.stats().counter_value("circ_origin_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("circ_origin_undone"), 1u);
 }
 
 TEST(TimedCircuits, SlackAbsorbsServiceJitter) {
@@ -105,7 +105,7 @@ TEST(TimedCircuits, SlackAbsorbsServiceJitter) {
   h.net.send(req, h.clock);
   h.run_until_delivered(2);
   EXPECT_TRUE(h.delivered[1].msg->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 TEST(TimedCircuits, SlackExhaustedStillUndone) {
@@ -115,7 +115,7 @@ TEST(TimedCircuits, SlackExhaustedStillUndone) {
   h.net.send(req, h.clock);
   h.run_until_delivered(2);
   EXPECT_FALSE(h.delivered[1].msg->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_undone"), 1u);
 }
 
 TEST(TimedCircuits, PostponedDelaysEvenReadyReplies) {

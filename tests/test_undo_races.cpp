@@ -76,7 +76,7 @@ TEST(UndoRaces, DeferredUndoNeverCatchesAScrounger) {
   // ...and the deferred undo then clears every entry.
   h.tick(60);
   EXPECT_EQ(h.entries(0, 0x1000), 0);
-  EXPECT_EQ(h.net.stats().counter_value("circ_origin_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("circ_origin_undone"), 1u);
 }
 
 TEST(UndoRaces, UndoAfterOwnerInjectionIsRefused) {
@@ -90,7 +90,7 @@ TEST(UndoRaces, UndoAfterOwnerInjectionIsRefused) {
   EXPECT_FALSE(h.net.ni(3).undo_circuit(0, 0x1000, h.clock, false));
   h.run_until(2);
   EXPECT_TRUE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 TEST(UndoRaces, InstanceTagsKeepDuplicatesApart) {
@@ -103,7 +103,7 @@ TEST(UndoRaces, InstanceTagsKeepDuplicatesApart) {
   auto b = h.make(MsgType::WbData, 0, 3, 0x1000, 5);
   h.net.send(b, h.clock);
   h.run_until(2);
-  EXPECT_EQ(h.net.stats().counter_value("circ_origin_duplicate"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("circ_origin_duplicate"), 1u);
   // The duplicate's undo is instance-tagged: exactly one entry per router
   // remains for the reply that will ride.
   h.tick(60);
@@ -131,7 +131,7 @@ TEST(UndoRaces, ExpectReplyKeepsUndoneTombstone) {
   h.net.send(rep, h.clock);
   h.run_until(2);
   EXPECT_FALSE(rep->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_undone"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_undone"), 1u);
 }
 
 TEST(UndoRaces, BuildFailureUndoLeavesRiddenCircuitAlone) {
@@ -152,7 +152,7 @@ TEST(UndoRaces, BuildFailureUndoLeavesRiddenCircuitAlone) {
   h.run_until(3, 4000);
   EXPECT_FALSE(b->circuit_ok);
   EXPECT_TRUE(ra->on_circuit);
-  EXPECT_EQ(h.net.stats().counter_value("reply_used"), 1u);
+  EXPECT_EQ(h.net.merged_stats().counter_value("reply_used"), 1u);
 }
 
 }  // namespace

@@ -81,7 +81,7 @@ struct ProtoHarness {
     for (int i = 0; i < 4000 && !done; ++i) sys->run_cycles(1);
     ASSERT_TRUE(done);
   }
-  std::uint64_t ctl(const char* k) { return sys->sys_stats().counter_value(k); }
+  std::uint64_t ctl(const char* k) { return sys->merged_sys_stats().counter_value(k); }
   std::unique_ptr<System> sys;
 };
 
@@ -134,10 +134,10 @@ TEST(L2Paths, InclusiveEvictionRecallsL1Copies) {
   };
   for (int i = 0; i < 200; ++i) access(0, (5 + 16 * i) * kLineBytes);
   sys.run_cycles(1000);
-  EXPECT_GT(sys.sys_stats().counter_value("l2_evictions"), 50u);
-  EXPECT_GT(sys.sys_stats().counter_value("l2_invs_sent"), 10u);
+  EXPECT_GT(sys.merged_sys_stats().counter_value("l2_evictions"), 50u);
+  EXPECT_GT(sys.merged_sys_stats().counter_value("l2_invs_sent"), 10u);
   // Dirty victims are written back to memory.
-  EXPECT_GT(sys.sys_stats().counter_value("mem_reads"), 150u);
+  EXPECT_GT(sys.merged_sys_stats().counter_value("mem_reads"), 150u);
 }
 
 // ----------------------------------------------------------------- memory
@@ -168,9 +168,9 @@ TEST(MemoryTiming, WritebacksAcked) {
   // Thrash forces L2 evictions of dirty lines -> MemWb -> MemAck.
   for (int i = 0; i < 120; ++i) access((5 + 16 * i) * kLineBytes, false);
   sys.run_cycles(2000);
-  EXPECT_GT(sys.sys_stats().counter_value("mem_writebacks"), 10u);
-  EXPECT_EQ(sys.sys_stats().counter_value("mem_writebacks"),
-            sys.sys_stats().counter_value("l2_wb_to_mem_acked"));
+  EXPECT_GT(sys.merged_sys_stats().counter_value("mem_writebacks"), 10u);
+  EXPECT_EQ(sys.merged_sys_stats().counter_value("mem_writebacks"),
+            sys.merged_sys_stats().counter_value("l2_wb_to_mem_acked"));
 }
 
 // ------------------------------------------------------------------ cores
@@ -192,7 +192,7 @@ TEST(CoreModel, StallCyclesAccounted) {
   System sys(cfg);
   sys.prewarm();
   sys.run_cycles(2'000);
-  std::uint64_t stalls = sys.sys_stats().counter_value("core_stall_cycles");
+  std::uint64_t stalls = sys.merged_sys_stats().counter_value("core_stall_cycles");
   std::uint64_t retired = sys.total_retired();
   EXPECT_GT(stalls, 0u);
   // Each core does exactly one of {stall, retire-a-gap-instruction, issue}
@@ -242,7 +242,7 @@ TEST(IdealMode, ConflictingCircuitFlitsAreBufferedNotLost) {
   ASSERT_EQ(delivered, 4);
   EXPECT_TRUE(ra->on_circuit);
   EXPECT_TRUE(rb->on_circuit);
-  EXPECT_EQ(net.stats().counter_value("reply_used"), 2u);
+  EXPECT_EQ(net.merged_stats().counter_value("reply_used"), 2u);
 }
 
 // ------------------------------------------------- fragmented claim cycle

@@ -112,14 +112,14 @@ TEST(Validator, ObservationIsPassive) {
     System sys(cfg);
     sys.run();
     retired_plain = sys.total_retired();
-    flits_plain = sys.network().stats().counter_value("ni_inject_flit");
+    flits_plain = sys.network().merged_stats().counter_value("ni_inject_flit");
   }
   EnvGuard on("RC_CHECK", "1");
   System sys(cfg);
   ASSERT_NE(sys.validator(), nullptr);
   sys.run();
   EXPECT_EQ(sys.total_retired(), retired_plain);
-  EXPECT_EQ(sys.network().stats().counter_value("ni_inject_flit"),
+  EXPECT_EQ(sys.network().merged_stats().counter_value("ni_inject_flit"),
             flits_plain);
 }
 

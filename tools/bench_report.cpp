@@ -1,0 +1,210 @@
+// bench-report: record the perf trajectory of the simulator.
+//
+// Runs the fixed workload set below (the single-run hot paths behind
+// bench_loadsweep and bench_micro_router, plus one full-system run) with
+// pinned cycle counts, and emits BENCH_<date>.json next to the current
+// working directory: wall-clock, simulated cycles/sec, shard count and host
+// CPU count per entry. Compare against BENCH_baseline.json (seeded from the
+// pre-sharding serial engine) to spot regressions or wins.
+//
+// Usage: bench-report [shards...]   e.g. `bench-report 1 4` runs the whole
+// set once per shard count and tags each result entry with it; with no
+// arguments the shard count comes from RC_SHARDS (default 1).
+//
+// Knobs:
+//   RC_SHARDS           worker shards when no argv given (default 1;
+//                       "auto" = hw concurrency) — recorded per entry
+//   RC_MEASURE_CYCLES   override each workload's measured cycles (default:
+//                       the fixed per-workload counts BENCH_baseline.json
+//                       was recorded with — leave unset for comparability)
+//   RC_BENCH_COMMIT     free-form build identifier recorded in the JSON
+//   RC_BENCH_NOTE       free-form caveat recorded in the JSON (e.g. host
+//                       topology remarks)
+//   RC_BENCH_OUT        output path (default BENCH_<yyyy-mm-dd>.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "common/shard.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+#include "sim/synthetic.hpp"
+
+using namespace rc;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  double wall_s = 0;
+  Cycle cycles = 0;
+  int shards = 1;
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Entry bench_loadsweep(double rate, Cycle measure, int shards) {
+  NocConfig cfg = make_system_config(64, "SlackDelay1_NoAck", "fft").noc;
+  SyntheticTraffic t(cfg, rate, /*service=*/7, /*seed=*/1, shards);
+  const Cycle warmup = 3'000;
+  const double t0 = now_s();
+  SyntheticResult r = t.run(warmup, measure);
+  const double t1 = now_s();
+  if (r.requests_done == 0) fatal("bench-report: load sweep injected nothing");
+  char name[64];
+  std::snprintf(name, sizeof name, "loadsweep_8x8_rate%.2f", rate);
+  return Entry{name, t1 - t0, warmup + measure};
+}
+
+// Mirrors bench_micro_router's BM_LoadedNetworkTick at mesh 8: a raw fabric
+// with one 1-flit request injected every 4th cycle. The injection schedule
+// is pre-generated from one RNG so the offered traffic is identical for any
+// shard count, then each shard injects the messages whose source it owns.
+Entry bench_micro_router(Cycle cycles, int shards) {
+  NocConfig cfg;
+  cfg.mesh_w = cfg.mesh_h = 8;
+  Network net(cfg);
+  net.set_deliver([](NodeId, const MsgPtr&) {});
+
+  struct Inj {
+    Cycle at;
+    MsgPtr msg;
+  };
+  std::vector<Inj> plan;
+  Rng rng(7);
+  std::uint64_t id = 0;
+  for (Cycle c = 0; c < cycles; c += 4) {
+    auto m = std::make_shared<Message>();
+    m->id = ++id;
+    m->type = MsgType::GetS;
+    m->src = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+    m->dest = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+    m->addr = 64 * id;
+    m->size_flits = 1;
+    if (m->src != m->dest) plan.push_back(Inj{c, std::move(m)});
+  }
+
+  const double t0 = now_s();
+  if (shards <= 1) {
+    std::size_t next = 0;
+    for (Cycle c = 0; c < cycles; ++c) {
+      while (next < plan.size() && plan[next].at == c)
+        net.send(plan[next++].msg, c);
+      net.tick(c);
+    }
+  } else {
+    const auto ranges = shard_ranges(cfg.num_nodes(), shards);
+    net.configure_shards(ranges);
+    // Per-shard cursors into the shared, read-only plan; each shard only
+    // sends the messages whose source node it owns.
+    std::vector<std::size_t> cursor(ranges.size(), 0);
+    run_sharded(
+        static_cast<int>(ranges.size()), 0, cycles,
+        [&](int shard, Cycle c) {
+          const ShardRange r = ranges[static_cast<std::size_t>(shard)];
+          std::size_t& i = cursor[static_cast<std::size_t>(shard)];
+          while (i < plan.size() && plan[i].at <= c) {
+            if (plan[i].at == c && r.contains(plan[i].msg->src))
+              net.send(plan[i].msg, c);
+            ++i;
+          }
+          net.tick_shard(shard, c);
+        },
+        [&](Cycle c) { net.finish_cycle(c); });
+  }
+  const double t1 = now_s();
+  return Entry{"micro_router_loaded_8x8", t1 - t0, cycles};
+}
+
+Entry bench_system(Cycle measure, int shards) {
+  SystemConfig cfg = make_system_config(64, "SlackDelay1_NoAck", "fft", 1);
+  const Cycle warmup = 5'000;
+  cfg.warmup_cycles = warmup;
+  cfg.measure_cycles = measure;
+  cfg.shards = shards;
+  const double t0 = now_s();
+  RunResult r = run_config(cfg, "SlackDelay1_NoAck");
+  const double t1 = now_s();
+  if (r.retired == 0) fatal("bench-report: system run retired nothing");
+  return Entry{"system_8x8_fft", t1 - t0, warmup + measure};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int host_cpus =
+      static_cast<int>(std::thread::hardware_concurrency());
+  // 64-node workloads throughout; with no argv, resolve RC_SHARDS the way
+  // the simulation runs do.
+  std::vector<int> shard_counts;
+  for (int i = 1; i < argc; ++i) {
+    const auto v = parse_ll(argv[i]);
+    if (!v || *v < 1 || *v > 64)
+      fatal("bench-report: bad shard count '" + std::string(argv[i]) + "'");
+    shard_counts.push_back(static_cast<int>(*v));
+  }
+  if (shard_counts.empty()) shard_counts.push_back(effective_shards(0, 64));
+
+  std::vector<Entry> results;
+  for (int shards : shard_counts) {
+    auto add = [&](Entry e) {
+      e.shards = shards;
+      results.push_back(std::move(e));
+    };
+    add(bench_loadsweep(0.04, env_measure_cycles(12'000), shards));
+    add(bench_loadsweep(0.08, env_measure_cycles(12'000), shards));
+    add(bench_micro_router(env_measure_cycles(200'000), shards));
+    add(bench_system(env_measure_cycles(20'000), shards));
+  }
+
+  char date[32] = "unknown";
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  if (localtime_r(&t, &tm) != nullptr)
+    std::strftime(date, sizeof date, "%Y-%m-%d", &tm);
+
+  const char* commit = std::getenv("RC_BENCH_COMMIT");
+  const char* out_env = std::getenv("RC_BENCH_OUT");
+  const std::string out_path =
+      out_env ? out_env : ("BENCH_" + std::string(date) + ".json");
+
+  std::string json = "{\n";
+  json += "  \"date\": \"" + std::string(date) + "\",\n";
+  json += "  \"commit\": \"" + std::string(commit ? commit : "unknown") +
+          "\",\n";
+  json += "  \"host_cpus\": " + std::to_string(host_cpus) + ",\n";
+  if (const char* note = std::getenv("RC_BENCH_NOTE"))
+    json += "  \"note\": \"" + std::string(note) + "\",\n";
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Entry& e = results[i];
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"name\": \"%s\", \"shards\": %d, \"wall_s\": %.4f, "
+                  "\"cycles\": %llu, \"cycles_per_sec\": %.0f}%s\n",
+                  e.name.c_str(), e.shards, e.wall_s,
+                  static_cast<unsigned long long>(e.cycles),
+                  static_cast<double>(e.cycles) / e.wall_s,
+                  i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) fatal("bench-report: cannot write " + out_path);
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fputs(json.c_str(), stdout);
+  std::fprintf(stdout, "wrote %s\n", out_path.c_str());
+  return 0;
+}
