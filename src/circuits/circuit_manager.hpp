@@ -78,6 +78,13 @@ class CircuitManager {
   CircuitTable& table(Port p) { return tables_[p]; }
   const CircuitTable& table(Port p) const { return tables_[p]; }
 
+  /// Live reservations across all input ports (telemetry sampling).
+  int live_circuits(Cycle now) const {
+    int n = 0;
+    for (const auto& t : tables_) n += t.live_count(now);
+    return n;
+  }
+
   /// Attach a lifecycle observer to every table, identified as belonging to
   /// router `node` (ports keep their own indices).
   void set_observer(CircuitTableObserver* obs, NodeId node) {

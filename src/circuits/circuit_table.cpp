@@ -72,6 +72,7 @@ CircuitEntry* CircuitTable::find(NodeId dest, Addr addr, std::uint64_t msg_id,
   }
   if (unbound && bind_new) {
     unbound->bound_msg = msg_id;
+    if (obs_) obs_->on_circuit_bound(node_, port_, *unbound, msg_id, now);
     return unbound;
   }
   return nullptr;

@@ -57,6 +57,10 @@ class CircuitTableObserver {
   virtual void on_circuit_inserted(NodeId, Port, const CircuitEntry&, Cycle) {}
   /// insert() reclaimed the slot of an expired timed entry (§4.7).
   virtual void on_circuit_reclaimed(NodeId, Port, const CircuitEntry&, Cycle) {}
+  /// find() bound an unbound entry to a reply head flit (`msg_id`); the
+  /// entry is reported after binding, so entry.bound_msg == msg_id.
+  virtual void on_circuit_bound(NodeId, Port, const CircuitEntry&,
+                                std::uint64_t /*msg_id*/, Cycle) {}
   /// release() freed an entry; `msg_id` is the releasing message (0 = an
   /// identity-keyed tear-down rather than a tail release).
   virtual void on_circuit_released(NodeId, Port, const CircuitEntry&,

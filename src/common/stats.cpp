@@ -7,8 +7,11 @@ namespace rc {
 
 double Accumulator::variance() const {
   if (n_ < 2) return 0.0;
-  double m = mean();
-  double v = (sum2_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+  // Moments are kept about shift_ (the first sample), so the two terms are
+  // the same magnitude as the spread itself — no cancellation at large means.
+  const double n = static_cast<double>(n_);
+  const double md = sumd_ / n;
+  const double v = (sumd2_ - n * md * md) / (n - 1.0);
   return v > 0 ? v : 0.0;
 }
 
@@ -26,9 +29,13 @@ void Accumulator::merge(const Accumulator& o) {
   }
   if (o.min_ < min_) min_ = o.min_;
   if (o.max_ > max_) max_ = o.max_;
+  // Rebase o's shifted moments onto our shift: (v - s) = (v - so) + (so - s).
+  const double d = o.shift_ - shift_;
+  const double on = static_cast<double>(o.n_);
+  sumd_ += o.sumd_ + on * d;
+  sumd2_ += o.sumd2_ + 2.0 * d * o.sumd_ + on * d * d;
   n_ += o.n_;
   sum_ += o.sum_;
-  sum2_ += o.sum2_;
 }
 
 void Histogram::add(double v) {
@@ -47,17 +54,23 @@ void Histogram::add(double v) {
 }
 
 double Histogram::percentile(double fraction) const {
-  if (n_ == 0) return 0.0;
-  const double target = fraction * static_cast<double>(n_);
+  // Upper edge of bucket i: 0 -> 1, k -> 2^k.
+  const auto edge = [](int i) { return i == 0 ? 1.0 : std::ldexp(1.0, i); };
+  if (n_ == 0 || fraction <= 0.0) return 0.0;
+  const double target =
+      fraction >= 1.0 ? static_cast<double>(n_)
+                      : fraction * static_cast<double>(n_);
   double seen = 0;
+  int last_nonempty = 0;
   for (int i = 0; i < kBuckets; ++i) {
+    if (b_[i] == 0) continue;  // never answer with an empty bucket's edge
+    last_nonempty = i;
     seen += static_cast<double>(b_[i]);
-    if (seen >= target) {
-      // Upper edge of bucket i: 0 -> 1, k -> 2^k.
-      return i == 0 ? 1.0 : std::ldexp(1.0, i);
-    }
+    if (seen >= target) return edge(i);
   }
-  return std::ldexp(1.0, kBuckets - 1);
+  // Only reachable through floating-point shortfall at fraction ~ 1: fall
+  // back to the true top occupied bucket rather than the table's last edge.
+  return edge(last_nonempty);
 }
 
 void Histogram::reset() {

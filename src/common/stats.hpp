@@ -18,7 +18,13 @@ class Accumulator {
   void add(double v) {
     ++n_;
     sum_ += v;
-    sum2_ += v * v;
+    if (n_ == 1) shift_ = v;
+    // Second moment about the first sample, not about zero: for samples
+    // clustered far from zero (latencies offset by a large epoch, addresses)
+    // the naive sum-of-squares form cancels catastrophically in variance().
+    const double d = v - shift_;
+    sumd_ += d;
+    sumd2_ += d * d;
     if (v < min_ || n_ == 1) min_ = v;
     if (v > max_ || n_ == 1) max_ = v;
   }
@@ -43,7 +49,12 @@ class Accumulator {
 
  private:
   std::uint64_t n_ = 0;
-  double sum_ = 0, sum2_ = 0, min_ = 0, max_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+  // Shifted second moment: shift_ is the first sample, sumd_ = sum(v-shift_),
+  // sumd2_ = sum((v-shift_)^2). merge() rebases the other side's moments onto
+  // this shift, so the result depends only on the merge order — which the
+  // sharded engine keeps fixed (node order) for bitwise determinism.
+  double shift_ = 0, sumd_ = 0, sumd2_ = 0;
 };
 
 /// Fixed-bucket histogram with power-of-two-ish bucket edges, cheap enough

@@ -1,5 +1,7 @@
 #include "noc/message.hpp"
 
+#include "common/config.hpp"
+
 namespace rc {
 
 const char* to_string(MsgType t) {
@@ -88,6 +90,51 @@ const char* to_string(CircuitOutcome o) {
     case CircuitOutcome::None: return "None";
   }
   return "?";
+}
+
+const char* to_string(ReplyCategory c) {
+  switch (c) {
+    case ReplyCategory::NotReply: return "not_reply";
+    case ReplyCategory::Used: return "used";
+    case ReplyCategory::Partial: return "partial";
+    case ReplyCategory::Failed: return "failed";
+    case ReplyCategory::Undone: return "undone";
+    case ReplyCategory::Scrounged: return "scrounged";
+    case ReplyCategory::NotEligible: return "not_eligible";
+    case ReplyCategory::EligibleNoCirc: return "eligible_nocirc";
+    case ReplyCategory::ScroungeHop: return "scrounge_hop";
+  }
+  return "?";
+}
+
+const char* reply_counter_name(ReplyCategory c) {
+  switch (c) {
+    case ReplyCategory::Used: return "reply_used";
+    case ReplyCategory::Partial: return "reply_partial";
+    case ReplyCategory::Failed: return "reply_failed";
+    case ReplyCategory::Undone: return "reply_undone";
+    case ReplyCategory::Scrounged: return "reply_scrounged";
+    case ReplyCategory::NotEligible: return "reply_not_eligible";
+    case ReplyCategory::EligibleNoCirc: return "reply_eligible_nocirc";
+    default: return nullptr;
+  }
+}
+
+ReplyCategory classify_reply_category(const Message& m,
+                                      const CircuitConfig& cfg) {
+  if (!m.is_reply()) return ReplyCategory::NotReply;
+  if (m.scrounging) return ReplyCategory::ScroungeHop;
+  if (m.outcome == CircuitOutcome::Scrounged) return ReplyCategory::Scrounged;
+  if (m.undone_marker) return ReplyCategory::Undone;
+  if (!reply_circuit_eligible(m.type)) return ReplyCategory::NotEligible;
+  if (!cfg.uses_circuits()) return ReplyCategory::EligibleNoCirc;
+  if (m.on_circuit)
+    return m.circuit_partial ? ReplyCategory::Partial : ReplyCategory::Used;
+  switch (m.outcome) {
+    case CircuitOutcome::Failed: return ReplyCategory::Failed;
+    case CircuitOutcome::Undone: return ReplyCategory::Undone;
+    default: return ReplyCategory::EligibleNoCirc;
+  }
 }
 
 }  // namespace rc

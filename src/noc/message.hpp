@@ -64,8 +64,41 @@ enum class CircuitOutcome : std::uint8_t {
 
 const char* to_string(CircuitOutcome o);
 
+struct CircuitConfig;  // common/config.hpp
 struct Message;
 using MsgPtr = std::shared_ptr<Message>;
+
+/// Fig. 6 category of a *delivered* message. One shared classifier feeds
+/// both the NI's aggregate counters and the telemetry event trace, so the
+/// two can never drift apart. `NotReply` covers requests; `ScroungeHop` is
+/// a scrounger ejected at its intermediate hop (not a final delivery — the
+/// onward leg is re-injected with the same message id, §4.5).
+enum class ReplyCategory : std::uint8_t {
+  NotReply = 0,
+  Used,
+  Partial,
+  Failed,
+  Undone,
+  Scrounged,
+  NotEligible,
+  EligibleNoCirc,
+  ScroungeHop,
+};
+
+inline constexpr int kNumReplyCategories = 9;
+
+const char* to_string(ReplyCategory c);
+
+/// Aggregate counter the NI bumps for this category ("reply_used", ...), or
+/// nullptr for the categories that have none (NotReply, ScroungeHop).
+const char* reply_counter_name(ReplyCategory c);
+
+/// Classify a delivered message into its Fig. 6 category. Mirrors the
+/// decision order the paper's accounting implies: scrounged beats the undone
+/// marker, eligibility beats mechanism-off, a ridden circuit beats the
+/// recorded outcome.
+ReplyCategory classify_reply_category(const Message& m,
+                                      const CircuitConfig& cfg);
 
 /// One coherence message == one NoC packet.
 struct Message {

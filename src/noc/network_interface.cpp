@@ -376,41 +376,10 @@ void NetworkInterface::classify_delivered(const MsgPtr& msg) {
   stats_->acc(eligible ? "lat_q_rep_circ" : "lat_q_rep_nocirc").add(q_lat);
   stats_->hist(eligible ? "hist_rep_circ" : "hist_rep_nocirc").add(net_lat);
 
-  // Fig. 6 categories.
-  if (msg->outcome == CircuitOutcome::Scrounged) {
-    ++stats_->counter("reply_scrounged");
-    return;
-  }
-  if (msg->undone_marker) {
-    ++stats_->counter("reply_undone");
-    return;
-  }
-  if (!eligible) {
-    ++stats_->counter("reply_not_eligible");
-    return;
-  }
-  if (!cfg_.circuit.uses_circuits()) {
-    ++stats_->counter("reply_eligible_nocirc");
-    return;
-  }
-  if (msg->on_circuit) {
-    if (msg->circuit_partial)
-      ++stats_->counter("reply_partial");
-    else
-      ++stats_->counter("reply_used");
-    return;
-  }
-  switch (msg->outcome) {
-    case CircuitOutcome::Failed:
-      ++stats_->counter("reply_failed");
-      break;
-    case CircuitOutcome::Undone:
-      ++stats_->counter("reply_undone");
-      break;
-    default:
-      ++stats_->counter("reply_eligible_nocirc");
-      break;
-  }
+  // Fig. 6 categories (classifier shared with the telemetry trace).
+  if (const char* c =
+          reply_counter_name(classify_reply_category(*msg, cfg_.circuit)))
+    ++stats_->counter(c);
 }
 
 }  // namespace rc

@@ -78,6 +78,17 @@ class Router : public Ticker {
   const CircuitManager& circuits() const { return circuits_; }
   StatSet& stats() { return *stats_; }
 
+  /// Flits resident in this router's input-side storage (VC buffers plus the
+  /// circuit retry queues) — the telemetry sampler's VC-occupancy scan.
+  int buffered_flits() const {
+    int n = 0;
+    for (const auto& ip : inputs_) {
+      n += static_cast<int>(ip.circ_retry.size());
+      for (const auto& vc : ip.vcs) n += static_cast<int>(vc.buf.size());
+    }
+    return n;
+  }
+
   /// Test access: input VC state at (port, vn, vc-within-vn).
   const InputVC& input_vc(Dir d, VNet vn, int vc) const {
     return inputs_[port_of(d)].vcs[vc_index(vn, vc)];

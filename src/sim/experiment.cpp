@@ -9,7 +9,9 @@
 #include "cpu/apps.hpp"
 #include "power/energy_model.hpp"
 #include "sim/presets.hpp"
+#include "sim/report.hpp"
 #include "sim/system.hpp"
+#include "sim/telemetry.hpp"
 
 namespace rc {
 
@@ -28,6 +30,17 @@ RunResult run_config(SystemConfig cfg, const std::string& label) {
 
   System sys(cfg);
   sys.run();
+
+  // RC_TELEMETRY: flush the trace while the System is still alive and print
+  // its digest next to the run. Concurrent run_many sweeps share one path —
+  // each run rewrites the whole file, so the last finisher's trace survives
+  // intact (no interleaving); tracing is meant for single-run diagnosis.
+  if (Telemetry* t = sys.telemetry()) {
+    if (t->write())
+      print_telemetry_summary(
+          summarize_events(t->events(), t->samples(), /*include_warmup=*/false),
+          "telemetry '" + label + "' -> " + t->path());
+  }
 
   RunResult r;
   r.preset = label;

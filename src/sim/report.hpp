@@ -1,10 +1,28 @@
-// Plain-text table rendering for the bench harnesses.
+// Plain-text table rendering for the bench harnesses, and the telemetry
+// trace export (JSONL / CSV) behind RC_TELEMETRY.
 #pragma once
 
 #include <string>
 #include <vector>
 
 namespace rc {
+
+class Telemetry;
+struct TraceSummary;
+
+/// Serialize a Telemetry accumulation to `path`. A path ending in ".csv"
+/// gets a samples-only CSV (one row per RC_SAMPLE_EVERY window); anything
+/// else gets the full JSONL trace — one header line, then events and
+/// samples interleaved in cycle order. The byte stream is a pure function
+/// of the accumulated data, so shard-identical runs produce identical
+/// files. Returns false with a diagnostic in *err on I/O failure.
+bool write_telemetry_file(const Telemetry& t, const std::string& path,
+                          std::string* err);
+
+/// Print a digest of a trace (event counts, Fig. 6 reply categories,
+/// per-ending circuit lifetimes, undo ratio, time-to-first-bind, sampled
+/// occupancy) as aligned tables on stdout.
+void print_telemetry_summary(const TraceSummary& s, const std::string& title);
 
 class Table {
  public:

@@ -1,5 +1,6 @@
 #include "sim/synthetic.hpp"
 
+#include "sim/telemetry.hpp"
 #include "sim/validator.hpp"
 
 namespace rc {
@@ -12,6 +13,7 @@ SyntheticTraffic::SyntheticTraffic(const NocConfig& cfg, double rate,
     : cfg_(cfg), rate_(rate), service_(service_cycles) {
   net_ = std::make_unique<Network>(cfg_);
   validator_ = Validator::maybe_attach(net_.get());
+  telemetry_ = Telemetry::maybe_attach(net_.get());
   const int n = cfg_.num_nodes();
   shards_ = effective_shards(shards, n);
   if (shards_ > 1) net_->configure_shards(shard_ranges(n, shards_));
@@ -88,6 +90,7 @@ void SyntheticTraffic::run_cycles(Cycle n) {
 SyntheticResult SyntheticTraffic::run(Cycle warmup, Cycle measure) {
   run_cycles(warmup);
   net_->reset_stats();
+  if (telemetry_) telemetry_->note_stats_reset(clock_);
   for (NodeState& st : nodes_) st.requests_done = 0;
   run_cycles(measure);
 

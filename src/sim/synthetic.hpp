@@ -24,6 +24,7 @@
 
 namespace rc {
 
+class Telemetry;
 class Validator;
 
 struct SyntheticResult {
@@ -53,6 +54,8 @@ class SyntheticTraffic {
 
   /// Invariant checker attached when RC_CHECK=1, else nullptr.
   Validator* validator() { return validator_.get(); }
+  /// Trace collector attached when RC_TELEMETRY=path, else nullptr.
+  Telemetry* telemetry() { return telemetry_.get(); }
 
  private:
   /// One node's per-cycle work: release due echo replies, maybe inject a
@@ -75,6 +78,8 @@ class SyntheticTraffic {
   int shards_ = 1;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Validator> validator_;
+  /// Attached after (destroyed before) the validator — see sim/system.hpp.
+  std::unique_ptr<Telemetry> telemetry_;
   Cycle clock_ = 0;
   std::vector<NodeState> nodes_;
 };

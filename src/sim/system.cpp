@@ -3,6 +3,7 @@
 #include <string>
 
 #include "cpu/apps.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/validator.hpp"
 
 namespace rc {
@@ -14,6 +15,7 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   if (!err.empty()) fatal("invalid SystemConfig: " + err);
   net_ = std::make_unique<Network>(cfg_.noc);
   validator_ = Validator::maybe_attach(net_.get());
+  telemetry_ = Telemetry::maybe_attach(net_.get());
   amap_ = std::make_unique<AddressMap>(&net_->topo(), cfg_.partition_side);
 
   const int n = cfg_.noc.num_nodes();
@@ -142,6 +144,9 @@ void System::reset_stats() {
   for (auto& s : node_sys_stats_) s.reset();
   net_->reset_stats();
   for (auto& c : cores_) c->reset_retired();
+  // Mark the reset in the trace so rc-trace can align its default view with
+  // the post-warmup aggregate counters.
+  if (telemetry_) telemetry_->note_stats_reset(now_);
 }
 
 StatSet System::merged_sys_stats() const {

@@ -18,6 +18,7 @@
 
 namespace rc {
 
+class Telemetry;
 class Validator;
 
 class System {
@@ -47,6 +48,8 @@ class System {
   Network& network() { return *net_; }
   /// Invariant checker attached when RC_CHECK=1, else nullptr.
   Validator* validator() { return validator_.get(); }
+  /// Trace collector attached when RC_TELEMETRY=path, else nullptr.
+  Telemetry* telemetry() { return telemetry_.get(); }
   /// Effective worker-shard count (cfg.shards / RC_SHARDS, resolved and
   /// clamped at construction; 1 = serial tick loop).
   int shards() const { return shards_; }
@@ -85,6 +88,9 @@ class System {
 
   std::unique_ptr<Network> net_;
   std::unique_ptr<Validator> validator_;
+  /// Attached after (and destroyed before) the validator, so detaching the
+  /// telemetry chain restores the validator as the network's observer.
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<AddressMap> amap_;
   std::vector<std::unique_ptr<L1Cache>> l1s_;
   std::vector<std::unique_ptr<L2Bank>> l2s_;

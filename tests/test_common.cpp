@@ -91,6 +91,94 @@ TEST(Accumulator, MergeMatchesCombinedStream) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(Accumulator, VarianceStableAtLargeMean) {
+  // Regression: the old sum-of-squares form (sum2 - n*m*m) cancels
+  // catastrophically when samples cluster far from zero — at mean ~1e9 with
+  // unit spread it returned garbage (often 0 or wildly wrong). The shifted
+  // second moment keeps full precision.
+  Accumulator a;
+  const double base = 1e9;
+  for (int i = 0; i < 7; ++i) a.add(base + i);  // 1e9 + {0..6}
+  // True sample variance of {0..6} is 28/6.
+  EXPECT_NEAR(a.variance(), 28.0 / 6.0, 1e-6);
+  EXPECT_NEAR(a.mean(), base + 3.0, 1e-3);
+}
+
+TEST(Accumulator, MergeStableAtLargeMean) {
+  // merge() rebases the other side's shifted moments; that rebase must not
+  // reintroduce the cancellation the shift exists to avoid.
+  Accumulator a, b, all;
+  const double base = 1e9;
+  for (int i = 0; i < 4; ++i) {
+    a.add(base + i);
+    all.add(base + i);
+  }
+  for (int i = 4; i < 7; ++i) {
+    b.add(base + i);
+    all.add(base + i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.variance(), 28.0 / 6.0, 1e-6);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(Accumulator, MergeIsDeterministic) {
+  // The sharded engine relies on fixed-order merges being bit-identical:
+  // the same per-part accumulators merged in the same order must compare
+  // equal with the default (bitwise) operator==.
+  auto build = [] {
+    Accumulator parts[3], merged;
+    for (int p = 0; p < 3; ++p)
+      for (int i = 0; i < 5; ++i) parts[p].add(1e6 + p * 100 + i * 3);
+    for (int p = 0; p < 3; ++p) merged.merge(parts[p]);
+    return merged;
+  };
+  EXPECT_TRUE(build() == build());
+}
+
+TEST(Accumulator, MergeEmptySides) {
+  Accumulator empty, a;
+  a.add(2.0);
+  a.add(4.0);
+  Accumulator m1 = empty;
+  m1.merge(a);  // empty.merge(filled) adopts the other side wholesale
+  EXPECT_TRUE(m1 == a);
+  Accumulator m2 = a;
+  m2.merge(empty);  // filled.merge(empty) is a no-op
+  EXPECT_TRUE(m2 == a);
+}
+
+TEST(Histogram, PercentileZeroFractionIsZero) {
+  // Regression: `seen >= target` fired immediately at target=0, so
+  // percentile(0.0) answered with bucket 0's upper edge (1.0) even when
+  // bucket 0 was empty.
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);  // empty histogram
+  h.add(100.0);                              // lands far above bucket 0
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), 0.0);
+}
+
+TEST(Histogram, PercentileSkipsEmptyLeadingBuckets) {
+  // All mass in the [64,128) bucket: every positive fraction must answer
+  // with that bucket's upper edge, never an empty leading bucket's.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1e-9), 128.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 128.0);
+}
+
+TEST(Histogram, PercentileTopFractionIsTopOccupiedBucket) {
+  Histogram h;
+  h.add(0.5);    // bucket 0 (edge 1)
+  h.add(100.0);  // [64,128) bucket (edge 128)
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 128.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 128.0);  // clamped, not the table edge
+}
+
 TEST(StatSet, CountersAndReset) {
   StatSet s;
   s.counter("x") += 5;

@@ -35,6 +35,7 @@
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
 #include "sim/synthetic.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace rc;
 
@@ -183,6 +184,11 @@ int main(int argc, char** argv) {
   json += "  \"commit\": \"" + std::string(commit ? commit : "unknown") +
           "\",\n";
   json += "  \"host_cpus\": " + std::to_string(host_cpus) + ",\n";
+  // Tracing attaches an observer to every run above; a perf artifact that
+  // silently included that overhead would poison baseline comparisons, so
+  // record whether it was on.
+  json += std::string("  \"telemetry_enabled\": ") +
+          (Telemetry::enabled_by_env() ? "true" : "false") + ",\n";
   if (const char* note = std::getenv("RC_BENCH_NOTE"))
     json += "  \"note\": \"" + std::string(note) + "\",\n";
   json += "  \"results\": [\n";

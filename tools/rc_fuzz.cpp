@@ -34,6 +34,7 @@ struct FuzzCase {
   int slack = -1;
   int vcs_req = 2;
   int vcs_rep = 2;
+  int shards = 1;  ///< worker shards (PR 3's parallel tick engine)
   std::uint64_t seed = 1;
 };
 
@@ -67,6 +68,12 @@ FuzzCase draw_case(Rng& rng) {
   fc.vcs_req = 1 + static_cast<int>(rng.next_below(3));
   const int needed = cc.num_circuit_vcs() + 1;
   fc.vcs_rep = needed + static_cast<int>(rng.next_below(3));
+  // Sharded execution must be invariant-clean too (results are defined to
+  // be bit-identical, so any divergence is a bug the checker should see).
+  // Weighted toward serial, which keeps the checker's single-thread path
+  // covered; clamped to num_nodes by System anyway.
+  static const int kShards[] = {1, 1, 2, 4};
+  fc.shards = kShards[rng.next_below(4)];
   fc.seed = 1 + rng.next_below(1u << 20);
   return fc;
 }
@@ -79,6 +86,7 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
   cfg.noc.vcs_reply_vn = fc.vcs_rep;
   if (fc.circuits >= 0) cfg.noc.circuit.circuits_per_input = fc.circuits;
   if (fc.slack >= 0) cfg.noc.circuit.slack_per_hop = fc.slack;
+  cfg.shards = fc.shards;
   cfg.warmup_cycles = warmup;
   cfg.measure_cycles = cycles;
   return cfg;
@@ -86,7 +94,10 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
 
 std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
                           const char* hang) {
-  std::string cmd = "RC_CHECK=1 RC_HANG_CYCLES=" + std::string(hang) +
+  // rc-sim has no --shards flag; RC_SHARDS drives the engine the same way
+  // (SystemConfig::shards == 0 defers to the environment).
+  std::string cmd = "RC_CHECK=1 RC_SHARDS=" + std::to_string(fc.shards) +
+                    " RC_HANG_CYCLES=" + std::string(hang) +
                     " build/tools/rc-sim --cores 16 --preset " + fc.preset +
                     " --app " + fc.app + " --mesh " +
                     std::to_string(fc.mesh_w) + "x" +
@@ -162,9 +173,9 @@ int main(int argc, char** argv) {
     if (verbose)
       std::fprintf(stderr,
                    "[rc-fuzz] %lld: %s/%s %dx%d circs=%d slack=%d vcs=%d/%d "
-                   "seed=%llu\n",
+                   "shards=%d seed=%llu\n",
                    i, fc.preset.c_str(), fc.app.c_str(), fc.mesh_w, fc.mesh_h,
-                   fc.circuits, fc.slack, fc.vcs_req, fc.vcs_rep,
+                   fc.circuits, fc.slack, fc.vcs_req, fc.vcs_rep, fc.shards,
                    static_cast<unsigned long long>(fc.seed));
     try {
       System sys(cfg);
