@@ -1,12 +1,68 @@
 // Microbenchmarks (google-benchmark): raw simulation-kernel throughput of
 // the main building blocks — router ticks under load, circuit-table
 // operations, reservation policy checks, and whole-system cycles/second.
+//
+// This binary also enforces the allocation-free datapath invariant: a
+// counting operator-new hook plus a steady-state check (run before the timed
+// benchmarks) that drives a loaded 8x8 mesh past warm-up and asserts the
+// per-flit hot path performs ZERO heap allocations per cycle thereafter.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
 
 #include "circuits/circuit_manager.hpp"
 #include "noc/network.hpp"
 #include "sim/presets.hpp"
 #include "sim/system.hpp"
+
+// ---- global allocation counter ------------------------------------------
+// Replaces the global allocation functions for this binary only. Counting is
+// a single relaxed atomic increment, cheap enough to leave on for the timed
+// benchmarks too (it perturbs every candidate build equally).
+
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+static void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+static void* counted_alloc(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (n == 0) n = 1;
+  void* p = std::aligned_alloc(a, (n + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, a);
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace rc {
 namespace {
@@ -137,7 +193,79 @@ void BM_FullSystemCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSystemCycle)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
 
+// Steady-state allocation check: the loaded-mesh scenario of
+// BM_LoadedNetworkTick with the injection plan pre-generated (so message
+// construction is excluded from the measured window). After a warm-up long
+// enough for every ring, pipe, stat key and pool freelist to reach its
+// high-water mark, a further measured window of the same traffic must
+// perform zero heap allocations — the datapath is flat arrays end to end.
+int run_steady_state_alloc_check() {
+  NocConfig cfg;
+  cfg.mesh_w = cfg.mesh_h = 8;
+  Network net(cfg);
+  net.set_deliver([](NodeId, const MsgPtr&) {});
+
+  struct Inj {
+    Cycle at;
+    MsgPtr msg;
+  };
+  const Cycle warmup = 10'000;
+  const Cycle measure = 10'000;
+  std::vector<Inj> plan;
+  Rng rng(7);
+  std::uint64_t id = 0;
+  for (Cycle c = 0; c < warmup + measure; c += 4) {
+    auto m = std::make_shared<Message>();
+    m->id = ++id;
+    m->type = MsgType::GetS;
+    m->src = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+    m->dest = static_cast<NodeId>(rng.next_below(cfg.num_nodes()));
+    m->addr = 64 * id;
+    m->size_flits = 1;
+    if (m->src != m->dest) plan.push_back(Inj{c, std::move(m)});
+  }
+
+  std::size_t next = 0;
+  Cycle c = 0;
+  for (; c < warmup; ++c) {
+    while (next < plan.size() && plan[next].at == c)
+      net.send(plan[next++].msg, c);
+    net.tick(c);
+  }
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (; c < warmup + measure; ++c) {
+    while (next < plan.size() && plan[next].at == c)
+      net.send(plan[next++].msg, c);
+    net.tick(c);
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state alloc check: %llu heap allocations over "
+                 "%llu loaded cycles after warm-up (want 0)\n",
+                 static_cast<unsigned long long>(allocs),
+                 static_cast<unsigned long long>(measure));
+    return 1;
+  }
+  std::printf(
+      "steady-state alloc check: 0 heap allocations over %llu loaded "
+      "cycles after warm-up\n",
+      static_cast<unsigned long long>(measure));
+  return 0;
+}
+
 }  // namespace
 }  // namespace rc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The invariant check runs before (and regardless of) any benchmark
+  // filter, so `bench_micro_router --benchmark_filter=NONE` is a fast
+  // allocation-regression gate for CI.
+  if (const int rc = rc::run_steady_state_alloc_check(); rc != 0) return rc;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

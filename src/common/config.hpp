@@ -31,6 +31,11 @@ enum class TimedMode : std::uint8_t {
 
 const char* to_string(TimedMode m);
 
+/// Default per-VC buffer depth (Table 4: "5-flit buffers, enough for a
+/// whole data message"). Named so the inline flit-ring capacity in
+/// noc/virtual_channel.hpp can be static-assert-checked against it.
+inline constexpr int kDefaultBufferDepthFlits = 5;
+
 /// Full description of one Reactive Circuits variant (one bar in Figs 6-9).
 struct CircuitConfig {
   CircuitMode mode = CircuitMode::None;
@@ -75,7 +80,7 @@ struct NocConfig {
 
   int vcs_request_vn = 2;        ///< VCs in the request VN
   int vcs_reply_vn = 2;          ///< VCs in the reply VN (3 for Fragmented)
-  int buffer_depth_flits = 5;    ///< per-VC buffer, fits a whole data message
+  int buffer_depth_flits = kDefaultBufferDepthFlits;  ///< per-VC buffer, fits a whole data message
   int flit_bytes = 16;           ///< link width
   int link_latency = 1;          ///< cycles per link traversal
   int local_latency = 1;         ///< same-tile controller-to-controller hop

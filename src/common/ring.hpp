@@ -1,0 +1,179 @@
+// Fixed-capacity inline ring buffer for the per-flit datapath.
+//
+// The innermost storage of the simulator — input-VC flit buffers, circuit
+// retry skids, NI injection queues — used to be std::deque, which allocates
+// block maps and churns the heap as packets stream through. InlineRing keeps
+// a power-of-two number of slots inside the object itself, so steady-state
+// push/pop performs zero heap allocations and the flits of a packet sit on
+// the cache lines of their router. When a workload exceeds the inline
+// capacity (deep configured buffers, a pathological retry pile-up) the ring
+// falls back to a one-time heap doubling and keeps that capacity for the
+// rest of the run — growth is a warm-up event, never a per-flit cost.
+//
+// Deque-compatible subset: push_back / pop_front / front / back /
+// operator[] / erase_at / clear / size / empty, plus forward iteration for
+// the validator's read-only buffer walks. Popped and erased slots are reset
+// to T{} so owning payloads (e.g. shared_ptr) release immediately.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+template <typename T, std::size_t kInline>
+class InlineRing {
+  static_assert(kInline >= 2 && (kInline & (kInline - 1)) == 0,
+                "inline ring capacity must be a power of two >= 2");
+  static_assert(std::is_default_constructible_v<T>,
+                "ring slots are default-constructed and reset on pop");
+
+ public:
+  InlineRing() = default;
+
+  InlineRing(const InlineRing& o) { *this = o; }
+  InlineRing& operator=(const InlineRing& o) {
+    if (this == &o) return *this;
+    clear();
+    for (std::size_t i = 0; i < o.count_; ++i) push_back(o[i]);
+    return *this;
+  }
+
+  InlineRing(InlineRing&& o) noexcept
+      : cap_(o.cap_),
+        head_(o.head_),
+        count_(o.count_),
+        inline_(std::move(o.inline_)),
+        heap_(std::move(o.heap_)) {
+    o.reset_to_empty();
+  }
+  InlineRing& operator=(InlineRing&& o) noexcept {
+    if (this == &o) return *this;
+    cap_ = o.cap_;
+    head_ = o.head_;
+    count_ = o.count_;
+    inline_ = std::move(o.inline_);
+    heap_ = std::move(o.heap_);
+    o.reset_to_empty();
+    return *this;
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  /// Current slot count (inline or grown); never shrinks.
+  std::size_t capacity() const { return cap_; }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[count_ - 1]; }
+  const T& back() const { return (*this)[count_ - 1]; }
+
+  T& operator[](std::size_t i) { return data()[(head_ + i) & (cap_ - 1)]; }
+  const T& operator[](std::size_t i) const {
+    return data()[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(T v) {
+    if (count_ == cap_) grow();
+    data()[(head_ + count_) & (cap_ - 1)] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    RC_ASSERT(count_ > 0, "pop_front on empty ring");
+    data()[head_] = T{};
+    head_ = (head_ + 1) & (cap_ - 1);
+    --count_;
+  }
+
+  /// Remove the element at index `i` (0 = front), preserving order. The NI
+  /// injection queue uses this to start a packet from mid-queue; i is
+  /// normally 0 or close to it, so the shift is short.
+  void erase_at(std::size_t i) {
+    RC_ASSERT(i < count_, "erase_at out of range");
+    if (i == 0) {
+      pop_front();
+      return;
+    }
+    for (std::size_t j = i; j + 1 < count_; ++j)
+      (*this)[j] = std::move((*this)[j + 1]);
+    (*this)[count_ - 1] = T{};
+    --count_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) (*this)[i] = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+  class const_iterator {
+   public:
+    using value_type = T;
+    using reference = const T&;
+    using pointer = const T*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const InlineRing* r, std::size_t i) : r_(r), i_(i) {}
+    reference operator*() const { return (*r_)[i_]; }
+    pointer operator->() const { return &(*r_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++i_;
+      return t;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.r_ == b.r_ && a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    const InlineRing* r_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, count_); }
+
+ private:
+  bool on_heap() const { return cap_ > kInline; }
+  T* data() { return on_heap() ? heap_.data() : inline_.data(); }
+  const T* data() const { return on_heap() ? heap_.data() : inline_.data(); }
+
+  void grow() {
+    std::vector<T> next(cap_ * 2);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = std::move((*this)[i]);
+    heap_ = std::move(next);
+    cap_ *= 2;
+    head_ = 0;
+  }
+
+  void reset_to_empty() {
+    cap_ = kInline;
+    head_ = 0;
+    count_ = 0;
+    heap_.clear();
+  }
+
+  std::size_t cap_ = kInline;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::array<T, kInline> inline_{};
+  std::vector<T> heap_;
+};
+
+}  // namespace rc

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <thread>
@@ -33,8 +34,20 @@ int effective_shards(int configured, int num_nodes) {
     if (v == nullptr || v[0] == '\0') {
       n = 1;
     } else if (std::strcmp(v, "auto") == 0) {
-      n = static_cast<int>(std::thread::hardware_concurrency());
-      if (n <= 0) n = 1;
+      // hardware_concurrency() may legitimately report 0 (unknown) or 1
+      // (single-CPU hosts, restrictive cpusets); both resolve to one shard —
+      // a multi-shard engine on one CPU only adds barrier overhead.
+      const int hw = static_cast<int>(std::thread::hardware_concurrency());
+      n = hw <= 1 ? 1 : hw;
+      // One-time log of the resolution so runs are reproducible from their
+      // logs. Systems may be constructed concurrently under run_many, hence
+      // the atomic latch.
+      static std::atomic<bool> logged{false};
+      if (!logged.exchange(true, std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "rc: RC_SHARDS=auto -> %d shard%s "
+                     "(hardware_concurrency=%d)\n",
+                     n, n == 1 ? "" : "s", hw);
     } else {
       n = static_cast<int>(env_positive_ll("RC_SHARDS", 1));
     }

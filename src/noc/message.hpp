@@ -34,6 +34,8 @@ enum class MsgType : std::uint8_t {
   L1ToL1,      ///< direct data transfer between L1s (5 flits)
 };
 
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::L1ToL1) + 1;
+
 const char* to_string(MsgType t);
 
 /// Virtual network a message class travels on.
@@ -137,6 +139,16 @@ struct Message {
   bool undone_marker = false;
 
   CircuitOutcome outcome = CircuitOutcome::None;
+
+  // -- source-NI injection-scan memo (see NetworkInterface) --
+  /// While this matches the owning NI's origin-table generation, the queued
+  /// reply's last failed injection attempt is provably still failing:
+  /// either held for its departure slot until `ni_hold_until`, or (when
+  /// `ni_hold_until` is 0) blocked until a free non-circuit reply VC
+  /// appears. Lets the per-cycle queue scan skip the message exactly,
+  /// without re-running the origin-table lookup. 0 = no memo.
+  std::uint64_t ni_memo_gen = 0;
+  Cycle ni_hold_until = 0;
 
   // -- statistics timestamps --
   Cycle created = 0;    ///< enqueued at the source NI

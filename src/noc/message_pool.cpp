@@ -5,7 +5,23 @@
 namespace rc {
 
 MessagePool::MessagePool(int num_nodes)
-    : buckets_(static_cast<std::size_t>(num_nodes > 0 ? num_nodes : 1)) {}
+    : buckets_(static_cast<std::size_t>(num_nodes > 0 ? num_nodes : 1)) {
+  // Seed each bucket's node freelist (and, via the throwaway inserts, its
+  // hash bucket array) up front: without this, every new concurrent
+  // in-flight high-water mark of a source node costs a hash-node
+  // allocation mid-run, which defeats the allocation-free steady state the
+  // datapath promises. The keys are synthetic non-null values that are
+  // hashed but never dereferenced, and all entries are extracted again
+  // before the pool is used. ~16 nodes x ~56 B per source node is noise.
+  constexpr std::size_t kSeedNodesPerBucket = 16;
+  for (Bucket& b : buckets_) {
+    b.free_nodes.reserve(kSeedNodesPerBucket);
+    for (std::size_t i = 1; i <= kSeedNodesPerBucket; ++i)
+      b.pinned.emplace(reinterpret_cast<const Message*>(i), nullptr);
+    while (!b.pinned.empty())
+      b.free_nodes.push_back(b.pinned.extract(b.pinned.begin()));
+  }
+}
 
 MessagePool::Bucket& MessagePool::bucket_of(const Message* msg) {
   const NodeId src = msg->src;
@@ -17,6 +33,19 @@ MessagePool::Bucket& MessagePool::bucket_of(const Message* msg) {
 void MessagePool::pin(const MsgPtr& msg) {
   Bucket& b = bucket_of(msg.get());
   std::lock_guard<std::mutex> lock(b.mu);
+  if (!b.free_nodes.empty()) {
+    auto node = std::move(b.free_nodes.back());
+    b.free_nodes.pop_back();
+    node.key() = msg.get();
+    node.mapped() = msg;
+    auto res = b.pinned.insert(std::move(node));
+    if (!res.inserted) {
+      b.free_nodes.push_back(std::move(res.node));
+      fatal("MessagePool: message " + std::to_string(msg->id) + " (" +
+            to_string(msg->type) + ") pinned twice — double injection");
+    }
+    return;
+  }
   auto [it, inserted] = b.pinned.emplace(msg.get(), msg);
   if (!inserted)
     fatal("MessagePool: message " + std::to_string(msg->id) + " (" +
@@ -32,7 +61,9 @@ MsgPtr MessagePool::release(const Message* msg) {
           to_string(msg->type) +
           ") released but not pinned — reuse after release");
   MsgPtr owner = std::move(it->second);
-  b.pinned.erase(it);
+  auto node = b.pinned.extract(it);
+  node.mapped().reset();  // drop the moved-from shared_ptr before recycling
+  b.free_nodes.push_back(std::move(node));
   return owner;
 }
 

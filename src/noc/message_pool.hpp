@@ -44,6 +44,10 @@ class MessagePool {
   struct Bucket {
     mutable std::mutex mu;
     std::unordered_map<const Message*, MsgPtr> pinned;
+    /// Hash-map nodes recycled between release and the next pin, so the
+    /// steady-state pin/release cycle performs no heap allocation.
+    std::vector<std::unordered_map<const Message*, MsgPtr>::node_type>
+        free_nodes;
   };
 
   Bucket& bucket_of(const Message* msg);

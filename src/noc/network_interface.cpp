@@ -27,6 +27,7 @@ void NetworkInterface::wire(Pipe<Flit>* inject, Pipe<Credit>* inject_credits,
 
 void NetworkInterface::send(const MsgPtr& msg, Cycle now) {
   msg->created = now;
+  msg->ni_memo_gen = 0;  // any earlier injection-scan memo is stale
   VNet vn = vnet_of(msg->type);
   if (vn == VNet::Request) {
     msg->path_hops = topo_->hops(id_, msg->dest);
@@ -57,6 +58,7 @@ bool NetworkInterface::undo_circuit(NodeId dest, Addr addr, Cycle now,
   Origin& o = it->second;
   bool was_built = o.status == OriginStatus::Built && !o.undo_deferred();
   if (!was_built) return false;
+  ++origins_gen_;
   if (o.riders > 0) {
     // A scrounger is still injecting: defer the tear-down until its tail
     // flit is in the network (it then stays ahead of the undo for good).
@@ -131,16 +133,58 @@ void NetworkInterface::tick(Cycle now) {
 
 bool NetworkInterface::try_start_packet(VNet vn, Cycle now) {
   auto& q = q_[static_cast<int>(vn)];
-  for (auto it = q.begin(); it != q.end(); ++it) {
+  // Requests: prepare_injection is message-independent (a free-VC probe
+  // with no side effects), so the whole queue succeeds or fails together —
+  // probing the front element is exactly equivalent to the full scan.
+  if (vn == VNet::Request) {
+    if (q.empty()) return false;
     int vc = 0;
     bool on_circuit = false;
-    if (!prepare_injection(*it, now, &vc, &on_circuit)) continue;
+    if (!prepare_injection(q.front(), now, &vc, &on_circuit)) return false;
     Stream& s = stream_[static_cast<int>(vn)];
-    s.msg = *it;
+    s.msg = q.front();
     s.next_seq = 0;
     s.vc = vc;
     s.on_circuit = on_circuit;
-    q.erase(it);
+    q.pop_front();
+    return true;
+  }
+  // Replies: per-message state (origin windows) forces a scan, but failed
+  // attempts carry memos (see Message::ni_memo_gen) so a queued reply is
+  // re-examined only when the origin table changed, its departure slot
+  // opened, or the resource it blocked on could now be free. The skip
+  // conditions reproduce the memoized attempt's outcome exactly, so the
+  // injection order — and with it every stat — is unchanged.
+  //
+  // Per-scan constants: nothing a failing prepare_injection touches can
+  // change outstanding_ (credits drain earlier in the tick) and origins_
+  // only shrinks mid-scan, so these snapshots stay conservative.
+  int plain_vc = 0;
+  const bool plain_free = pick_free_vc(VNet::Reply, false, &plain_vc);
+  const bool scrounge_on = cfg_.circuit.reuse &&
+                           cfg_.circuit.mode == CircuitMode::Complete &&
+                           !cfg_.circuit.is_timed();
+  int circ_vc = 0;
+  const bool scrounge_maybe = scrounge_on && !origins_.empty() &&
+                              pick_free_vc(VNet::Reply, true, &circ_vc);
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const Message& m = *q[k];
+    if (m.ni_memo_gen == origins_gen_) {
+      if (m.ni_hold_until != 0) {
+        if (now < m.ni_hold_until) continue;  // still held for its slot
+      } else if (!plain_free && !scrounge_maybe) {
+        continue;  // still blocked on a free non-circuit reply VC
+      }
+    }
+    int vc = 0;
+    bool on_circuit = false;
+    if (!prepare_injection(q[k], now, &vc, &on_circuit)) continue;
+    Stream& s = stream_[static_cast<int>(vn)];
+    s.msg = q[k];
+    s.next_seq = 0;
+    s.vc = vc;
+    s.on_circuit = on_circuit;
+    q.erase_at(k);
     return true;
   }
   return false;
@@ -164,7 +208,14 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
             msg->outcome = CircuitOutcome::Undone;
             break;
           }
-          if (now < o.depart_min) return false;  // hold for the slot (§4.7)
+          if (now < o.depart_min) {
+            // Hold for the slot (§4.7). Until the table changes, retrying
+            // before depart_min reproduces this exact outcome — memoize so
+            // the queue scan can skip the held reply.
+            msg->ni_memo_gen = origins_gen_;
+            msg->ni_hold_until = o.depart_min;
+            return false;
+          }
           if (now > o.depart_max) {
             // Missed the reserved window: tear the circuit down and fall
             // back to the packet-switched pipeline.
@@ -177,10 +228,12 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
           break;
         case OriginStatus::Failed:
           msg->outcome = CircuitOutcome::Failed;
+          ++origins_gen_;
           origins_.erase(it);
           break;
         case OriginStatus::Undone:
           msg->outcome = CircuitOutcome::Undone;
+          ++origins_gen_;
           origins_.erase(it);
           break;
       }
@@ -212,6 +265,7 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
       }
     }
     if (best_key && pick_free_vc(VNet::Reply, true, vc)) {
+      ++origins_gen_;
       ++origins_[*best_key].riders;
       msg->scrounging = true;
       msg->final_dest = msg->dest;
@@ -226,7 +280,16 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
     }
   }
 
-  return pick_free_vc(VNet::Reply, false, vc);
+  if (!pick_free_vc(VNet::Reply, false, vc)) {
+    // Blocked on a free non-circuit reply VC. The path to this point is
+    // free of (non-idempotent) side effects, so while the origin table is
+    // unchanged and no such VC frees up, retrying reproduces this failure
+    // — memoize (ni_hold_until 0 marks the VC-blocked flavour).
+    msg->ni_memo_gen = origins_gen_;
+    msg->ni_hold_until = 0;
+    return false;
+  }
+  return true;
 }
 
 bool NetworkInterface::pick_free_vc(VNet vn, bool circuit_class,
@@ -260,10 +323,13 @@ void NetworkInterface::inject_flit(Stream& s, Cycle now) {
     pool_->pin(msg);  // flits carry raw pointers; the pool owns until tail eject
     msg->injected = now;
     if (obs_) obs_->on_message_injected(id_, *msg, now);
-    stats_->acc(msg->is_reply() ? "q_lat_reply" : "q_lat_req")
-        .add(static_cast<double>(now - msg->created));
+    const int rep = msg->is_reply() ? 1 : 0;
+    if (!q_lat_[rep])
+      q_lat_[rep] = &stats_->acc(rep ? "q_lat_reply" : "q_lat_req");
+    q_lat_[rep]->add(static_cast<double>(now - msg->created));
     if (msg->is_reply()) {
       if (s.on_circuit && !msg->scrounging) {
+        ++origins_gen_;
         origins_.erase({msg->dest, msg->addr});
         ++stats_->counter("circ_origin_used");
       }
@@ -276,6 +342,7 @@ void NetworkInterface::inject_flit(Stream& s, Cycle now) {
   if (f.is_tail()) {
     if (msg->scrounging) {
       auto it = origins_.find({msg->circuit_dest, msg->circuit_addr});
+      if (it != origins_.end() && it->second.riders > 0) ++origins_gen_;
       if (it != origins_.end() && it->second.riders > 0 &&
           --it->second.riders == 0 && it->second.undo_deferred()) {
         Origin& o = it->second;
@@ -326,6 +393,7 @@ void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
     // consume the existing circuit; tear the duplicate instance down.
     if (!msg->circuit_ok) return;  // nothing was built for the new request
     if (it->second.riders > 0) {
+      ++origins_gen_;
       it->second.deferred_undo_owners.push_back(msg->id);
     } else {
       launch_undo(msg->src, msg->addr, msg->id, now);
@@ -334,6 +402,7 @@ void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
     return;
   }
   o.req_id = msg->id;
+  ++origins_gen_;
   origins_[key] = o;
   if (msg->circuit_ok) {
     stats_->acc("lat_circuit_setup")
@@ -351,6 +420,7 @@ void NetworkInterface::finish_delivery(const MsgPtr& msg, Cycle now) {
     msg->scrounging = false;
     msg->on_circuit = false;
     msg->circuit_dest = kInvalidNode;
+    msg->ni_memo_gen = 0;  // new destination: any scan memo is stale
     q_[static_cast<int>(VNet::Reply)].push_back(msg);
     return;
   }
@@ -361,25 +431,46 @@ void NetworkInterface::finish_delivery(const MsgPtr& msg, Cycle now) {
 }
 
 void NetworkInterface::classify_delivered(const MsgPtr& msg) {
-  ++stats_->counter(std::string("msg_") + to_string(msg->type));
+  // Per-delivery stat lookups go through lazily filled pointer caches: a
+  // key is still created in the StatSet on its first occurrence (so the
+  // reported key set is unchanged), but the steady-state path is a pointer
+  // chase instead of a string-keyed map walk per message.
+  const int ti = static_cast<int>(msg->type);
+  if (!msg_counter_[ti])
+    msg_counter_[ti] =
+        &stats_->counter(std::string("msg_") + to_string(msg->type));
+  ++*msg_counter_[ti];
   const double net_lat = static_cast<double>(msg->delivered - msg->injected);
   const double q_lat = static_cast<double>(msg->injected - msg->created);
   if (!msg->is_reply()) {
-    stats_->acc("lat_net_req").add(net_lat);
-    stats_->acc("lat_q_req").add(q_lat);
-    stats_->hist("hist_req").add(net_lat);
+    if (!del_req_.lat_net) {
+      del_req_.lat_net = &stats_->acc("lat_net_req");
+      del_req_.lat_q = &stats_->acc("lat_q_req");
+      del_req_.hist = &stats_->hist("hist_req");
+    }
+    del_req_.lat_net->add(net_lat);
+    del_req_.lat_q->add(q_lat);
+    del_req_.hist->add(net_lat);
     return;
   }
   const bool eligible = reply_circuit_eligible(msg->type);
-  stats_->acc(eligible ? "lat_net_rep_circ" : "lat_net_rep_nocirc")
-      .add(net_lat);
-  stats_->acc(eligible ? "lat_q_rep_circ" : "lat_q_rep_nocirc").add(q_lat);
-  stats_->hist(eligible ? "hist_rep_circ" : "hist_rep_nocirc").add(net_lat);
+  DeliveredStats& d = del_rep_[eligible ? 1 : 0];
+  if (!d.lat_net) {
+    d.lat_net = &stats_->acc(eligible ? "lat_net_rep_circ" : "lat_net_rep_nocirc");
+    d.lat_q = &stats_->acc(eligible ? "lat_q_rep_circ" : "lat_q_rep_nocirc");
+    d.hist = &stats_->hist(eligible ? "hist_rep_circ" : "hist_rep_nocirc");
+  }
+  d.lat_net->add(net_lat);
+  d.lat_q->add(q_lat);
+  d.hist->add(net_lat);
 
   // Fig. 6 categories (classifier shared with the telemetry trace).
-  if (const char* c =
-          reply_counter_name(classify_reply_category(*msg, cfg_.circuit)))
-    ++stats_->counter(c);
+  const ReplyCategory cat = classify_reply_category(*msg, cfg_.circuit);
+  if (const char* c = reply_counter_name(cat)) {
+    const int ci = static_cast<int>(cat);
+    if (!reply_counter_[ci]) reply_counter_[ci] = &stats_->counter(c);
+    ++*reply_counter_[ci];
+  }
 }
 
 }  // namespace rc

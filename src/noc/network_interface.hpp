@@ -14,7 +14,6 @@
 
 #include <algorithm>
 #include <array>
-#include <deque>
 #include <functional>
 #include <map>
 #include <utility>
@@ -22,6 +21,7 @@
 
 #include "common/config.hpp"
 #include "common/pipe.hpp"
+#include "common/ring.hpp"
 #include "common/schedule.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -147,7 +147,10 @@ class NetworkInterface : public Ticker {
   std::function<void(const MsgPtr&, bool)> reply_injected_;
   NocObserver* obs_ = nullptr;
 
-  std::deque<MsgPtr> q_[kNumVNets];
+  /// Injection queues: inline rings so the steady-state enqueue/dequeue of
+  /// messages performs no heap allocation (deep backlogs grow once and keep
+  /// the capacity).
+  InlineRing<MsgPtr, 8> q_[kNumVNets];
   Stream stream_[kNumVNets];
   int rr_vn_ = 0;  ///< round-robin over VN streams for the 1 flit/cycle link
 
@@ -157,7 +160,29 @@ class NetworkInterface : public Ticker {
   int out_idx(int vn, int vc) const { return vn * 8 + vc; }
   std::uint64_t* inject_flits_ = nullptr;
 
+  // Lazily cached pointers into the string-keyed StatSet for the
+  // per-message hot paths (injection latency accumulators, delivery
+  // classification). Each cache slot is filled on a stat's first use, so
+  // the set of keys ever created — and with it the reported stats — is
+  // byte-identical to the uncached lookups it replaces.
+  struct DeliveredStats {
+    Accumulator* lat_net = nullptr;
+    Accumulator* lat_q = nullptr;
+    Histogram* hist = nullptr;
+  };
+  Accumulator* q_lat_[2] = {nullptr, nullptr};  ///< [is_reply]
+  std::uint64_t* msg_counter_[kNumMsgTypes] = {};
+  DeliveredStats del_req_;        ///< requests
+  DeliveredStats del_rep_[2];     ///< replies, [circuit-eligible]
+  std::uint64_t* reply_counter_[kNumReplyCategories] = {};
+
   std::map<std::pair<NodeId, Addr>, Origin> origins_;
+  /// Bumped on every origins_ mutation (insert/erase/field change); queued
+  /// replies carry failure memos stamped with this generation so the
+  /// injection scan can skip them while the table is provably unchanged
+  /// (see try_start_packet). Starts at 1 so a fresh Message (gen 0) never
+  /// matches.
+  std::uint64_t origins_gen_ = 1;
 };
 
 }  // namespace rc

@@ -43,6 +43,7 @@ Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
   hot_.circ_check = &stats_->counter("circ_check");
   hot_.circ_fwd = &stats_->counter("circ_fwd");
   const int nvcs = total_vcs();
+  RC_ASSERT(kNumDirs * nvcs <= 64, "VA request masks hold 64 bits");
   for (auto& ip : inputs_) {
     ip.vcs.assign(nvcs, InputVC{});
     ip.sa_input_arb.resize(nvcs);
@@ -51,6 +52,18 @@ Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
     op.vcs.assign(nvcs, OutputVC{});
     op.sa_output_arb.resize(kNumDirs);
     op.va_arb.assign(nvcs, RoundRobinArbiter(kNumDirs * nvcs));
+  }
+  // Flat-VC-index lookup tables and the static set of VA-allocatable output
+  // VCs: buffered and not dedicated to circuits (complete mode's circuit VC
+  // is bufferless; fragmented claims its circuit VCs at reservation time).
+  for (int v = 0; v < nvcs; ++v) {
+    const VNet vn = v < cfg_.vcs_request_vn ? VNet::Request : VNet::Reply;
+    const int within = vn == VNet::Request ? v : v - cfg_.vcs_request_vn;
+    vcidx_vnet_[v] = vn;
+    vcidx_within_[v] = within;
+    if (vc_has_buffer(vn, within) &&
+        !(vn == VNet::Reply && is_circuit_vc(vn, within)))
+      va_allocatable_mask_ |= std::uint64_t{1} << v;
   }
 }
 
@@ -125,7 +138,7 @@ void Router::handle_undo(Port p, const UndoRecord& rec, Cycle now) {
   auto e = circuits_.undo(p, rec, now);
   if (e && cfg_.circuit.mode == CircuitMode::Fragmented) {
     // Release the output circuit VC the reservation had claimed.
-    outputs_[e->out_port].vcs[vc_index(VNet::Reply, e->vc)].busy = false;
+    outputs_[e->out_port].clear_busy(vc_index(VNet::Reply, e->vc));
   }
   // Forward toward the circuit destination along the reply (YX) path; the
   // undo travels on the credit wires of the link the reply would have used,
@@ -167,7 +180,7 @@ Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
       // The owner's tail clears the B bit and, for Fragmented, releases the
       // claimed output circuit VC.
       if (fragmented)
-        outputs_[out].vcs[vc_index(VNet::Reply, entry->vc)].busy = false;
+        outputs_[out].clear_busy(vc_index(VNet::Reply, entry->vc));
       circuits_.release(in_port, msg->circuit_dest, msg->circuit_addr,
                         msg->id, now);
     } else {
@@ -251,6 +264,7 @@ void Router::buffer_flit(const Flit& flit, Port p, Cycle now) {
     RC_ASSERT(false, "input buffer overflow");
   }
   ivc.buf.push_back(flit);
+  inputs_[p].occ_mask |= std::uint64_t{1} << idx;
   ++*hot_.buf_write;
   if (obs_) obs_->on_flit_buffered(id_, p, flit, now);
   if (ivc.state == VCState::Idle) try_start_packet(p, idx, now);
@@ -278,6 +292,7 @@ void Router::try_start_packet(Port p, int vc_idx, Cycle now) {
   Dir out = route_dor(coord_, topo_->coord_of(msg->dest), yx);
   ivc.out_port = port_of(out);
   ivc.state = VCState::WaitVA;
+  inputs_[p].waitva_mask |= std::uint64_t{1} << vc_idx;
   ivc.stage_ready = now + 1;
   ++n_waitva_;
 }
@@ -295,53 +310,50 @@ void Router::stage_st(Cycle now) {
 void Router::stage_sa(Cycle now) {
   if (n_active_ == 0) return;
   // Input-first separable allocation: each input port nominates one VC,
-  // then each output port picks one input.
+  // then each output port picks one input. Only VCs in Active state (the
+  // per-port active_mask) are scanned; each input's out_port is unique, so
+  // the nominations translate directly into per-output request masks.
   std::array<int, kNumDirs> nominee{};  // vc index or -1
   nominee.fill(-1);
-  const int nvcs = total_vcs();
+  std::array<std::uint64_t, kNumDirs> out_req{};  // bit i: input i requests o
   for (int i = 0; i < kNumDirs; ++i) {
     std::uint64_t req = 0;
-    for (int v = 0; v < nvcs; ++v) {
+    for (std::uint64_t m = inputs_[i].active_mask; m; m &= m - 1) {
+      const int v = std::countr_zero(m);
       auto& ivc = inputs_[i].vcs[v];
-      if (ivc.state != VCState::Active || ivc.stage_ready > now ||
-          ivc.buf.empty())
-        continue;
+      if (ivc.stage_ready > now || ivc.buf.empty()) continue;
       auto& op = outputs_[ivc.out_port];
       if (op.st_latch) continue;  // traversal register still occupied
-      const Flit& f = ivc.buf.front();
-      auto& ovc = op.vcs[vc_index(f.vnet, ivc.out_vc)];
-      if (ovc.credits <= 0) continue;
+      if (op.vcs[ivc.out_vc_index].credits <= 0) continue;
       req |= std::uint64_t{1} << v;
     }
-    nominee[i] = req ? inputs_[i].sa_input_arb.grant(req) : -1;
+    if (!req) continue;
+    nominee[i] = inputs_[i].sa_input_arb.grant(req);
+    out_req[inputs_[i].vcs[nominee[i]].out_port] |= std::uint64_t{1} << i;
   }
   for (int o = 0; o < kNumDirs; ++o) {
-    std::uint64_t req = 0;
-    for (int i = 0; i < kNumDirs; ++i)
-      if (nominee[i] >= 0 &&
-          inputs_[i].vcs[nominee[i]].out_port == static_cast<Port>(o))
-        req |= std::uint64_t{1} << i;
-    int win = req ? outputs_[o].sa_output_arb.grant(req) : -1;
+    if (!out_req[o]) continue;
+    const int win = outputs_[o].sa_output_arb.grant(out_req[o]);
     if (win < 0) continue;
     const int vc_idx = nominee[win];
-    nominee[win] = -1;  // one grant per input per cycle (crossbar port)
     auto& ivc = inputs_[win].vcs[vc_idx];
     Flit f = ivc.buf.front();
     ivc.buf.pop_front();
+    if (ivc.buf.empty())
+      inputs_[win].occ_mask &= ~(std::uint64_t{1} << vc_idx);
     ++*hot_.buf_read;
     ++*hot_.sa_ops;
-    int within_vn_vc =
-        vc_idx - (f.vnet == VNet::Reply ? cfg_.vcs_request_vn : 0);
-    send_credit(static_cast<Port>(win), f.vnet, within_vn_vc, now);
+    send_credit(static_cast<Port>(win), f.vnet, vcidx_within_[vc_idx], now);
     f.vc = ivc.out_vc;
     auto& op = outputs_[o];
-    auto& ovc = op.vcs[vc_index(f.vnet, ivc.out_vc)];
+    auto& ovc = op.vcs[ivc.out_vc_index];
     --ovc.credits;
     op.st_latch = f;
     op.st_ready = now + 1;
     if (f.is_tail()) {
-      ovc.busy = false;
+      op.clear_busy(ivc.out_vc_index);
       ivc.state = VCState::Idle;
+      inputs_[win].active_mask &= ~(std::uint64_t{1} << vc_idx);
       --n_active_;
       try_start_packet(static_cast<Port>(win), vc_idx, now);
     } else {
@@ -353,24 +365,23 @@ void Router::stage_sa(Cycle now) {
 void Router::stage_va(Cycle now) {
   if (n_waitva_ == 0) return;
   const int nvcs = total_vcs();
-  // Requests from input VCs in WaitVA, pre-grouped per output port into
-  // three allocation classes: request VN, reply-circuit, reply-non-circuit.
-  // Each free output VC then round-robins over the matching mask. An input
-  // VC takes at most one grant per cycle.
-  std::uint64_t mask[kNumDirs][3] = {};
+  // Requests from input VCs in WaitVA (the per-port waitva_mask),
+  // pre-grouped per output port into two allocation classes: request VN and
+  // reply (non-circuit). Each free output VC then round-robins over the
+  // matching mask. An input VC takes at most one grant per cycle.
+  std::uint64_t mask[kNumDirs][2] = {};
   bool any = false;
   for (int i = 0; i < kNumDirs; ++i) {
-    for (int v = 0; v < nvcs; ++v) {
+    for (std::uint64_t m = inputs_[i].waitva_mask; m; m &= m - 1) {
+      const int v = std::countr_zero(m);
       auto& ivc = inputs_[i].vcs[v];
-      if (ivc.state != VCState::WaitVA || ivc.stage_ready > now ||
-          ivc.buf.empty())
-        continue;
+      if (ivc.stage_ready > now || ivc.buf.empty()) continue;
       const Flit& head = ivc.buf.front();
       // Circuit VCs are never VC-allocated: complete mode's is bufferless,
       // and fragmented claims them at reservation time. A circuit packet
       // pipelining through an unreserved hop travels in a normal VC and
       // re-enters its circuit VCs via the per-hop circuit check.
-      int cls = head.vnet == VNet::Request ? 0 : 2;
+      int cls = head.vnet == VNet::Request ? 0 : 1;
       mask[ivc.out_port][cls] |= std::uint64_t{1} << (i * nvcs + v);
       any = true;
     }
@@ -379,17 +390,15 @@ void Router::stage_va(Cycle now) {
   std::uint64_t granted = 0;
   for (int o = 0; o < kNumDirs; ++o) {
     auto& op = outputs_[o];
-    if (!(mask[o][0] | mask[o][1] | mask[o][2])) continue;
-    for (int ov = 0; ov < nvcs; ++ov) {
-      auto& ovc = op.vcs[ov];
-      if (ovc.busy) continue;
-      VNet ovn = ov < cfg_.vcs_request_vn ? VNet::Request : VNet::Reply;
-      int within = ovn == VNet::Request ? ov : ov - cfg_.vcs_request_vn;
-      // Complete circuits: the bufferless circuit VC is never allocated.
-      if (!vc_has_buffer(ovn, within)) continue;
-      if (ovn == VNet::Reply && is_circuit_vc(ovn, within)) continue;
-      std::uint64_t req = ovn == VNet::Request ? mask[o][0] : mask[o][2];
-      req &= ~granted;
+    if (!(mask[o][0] | mask[o][1])) continue;
+    // Free allocatable output VCs: the static eligibility mask (buffered,
+    // non-circuit) minus the currently claimed ones.
+    for (std::uint64_t avail = va_allocatable_mask_ & ~op.busy_mask; avail;
+         avail &= avail - 1) {
+      const int ov = std::countr_zero(avail);
+      const VNet ovn = vcidx_vnet_[ov];
+      std::uint64_t req =
+          (ovn == VNet::Request ? mask[o][0] : mask[o][1]) & ~granted;
       if (!req) continue;
       int win = op.va_arb[ov].grant(req);
       if (win < 0) continue;
@@ -397,13 +406,16 @@ void Router::stage_va(Cycle now) {
       int i = win / nvcs, v = win % nvcs;
       auto& ivc = inputs_[i].vcs[v];
       ivc.state = VCState::Active;
+      inputs_[i].waitva_mask &= ~(std::uint64_t{1} << v);
+      inputs_[i].active_mask |= std::uint64_t{1} << v;
       --n_waitva_;
       ++n_active_;
-      ivc.out_vc = within;
+      ivc.out_vc = vcidx_within_[ov];
+      ivc.out_vc_index = ov;
       // Pipelines deeper than the paper's 4 stages spend the extra cycles
       // between VC allocation and switch allocation.
       ivc.stage_ready = now + 1 + (cfg_.router_stages - 4);
-      ovc.busy = true;
+      op.set_busy(ov);
       ++*hot_.va_ops;
       Message* msg = ivc.buf.front().msg;
       if (ivc.buf.front().vnet == VNet::Request && msg->build_circuit &&
@@ -484,8 +496,7 @@ void Router::maybe_build_circuit(Message* msg, Port req_in, Port req_out,
       msg->used_delay += res.extra_delay;
       if (res.claimed_vc >= 0) {
         // Fragmented: the reservation pre-allocates the output circuit VC.
-        outputs_[r.out_port].vcs[vc_index(VNet::Reply, res.claimed_vc)].busy =
-            true;
+        outputs_[r.out_port].set_busy(vc_index(VNet::Reply, res.claimed_vc));
       }
       return;
     }

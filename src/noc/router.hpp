@@ -15,7 +15,7 @@
 #pragma once
 
 #include <array>
-#include <deque>
+#include <bit>
 #include <optional>
 #include <vector>
 
@@ -63,13 +63,11 @@ class Router : public Ticker {
   std::uint64_t flits_routed() const { return flits_routed_; }
 
   /// Any packet resident in this router (buffers, latches, retry queues)?
+  /// Occupancy bitmaps make this a handful of word tests.
   bool busy() const {
     if (n_waitva_ > 0 || n_active_ > 0) return true;
-    for (const auto& ip : inputs_) {
-      if (!ip.circ_retry.empty()) return true;
-      for (const auto& vc : ip.vcs)
-        if (!vc.buf.empty()) return true;
-    }
+    for (const auto& ip : inputs_)
+      if (ip.occ_mask != 0 || !ip.circ_retry.empty()) return true;
     for (const auto& op : outputs_)
       if (op.st_latch) return true;
     return false;
@@ -79,12 +77,14 @@ class Router : public Ticker {
   StatSet& stats() { return *stats_; }
 
   /// Flits resident in this router's input-side storage (VC buffers plus the
-  /// circuit retry queues) — the telemetry sampler's VC-occupancy scan.
+  /// circuit retry queues) — the telemetry sampler's VC-occupancy scan. Only
+  /// occupied VCs (occ_mask bits) are visited.
   int buffered_flits() const {
     int n = 0;
     for (const auto& ip : inputs_) {
       n += static_cast<int>(ip.circ_retry.size());
-      for (const auto& vc : ip.vcs) n += static_cast<int>(vc.buf.size());
+      for (std::uint64_t m = ip.occ_mask; m; m &= m - 1)
+        n += static_cast<int>(ip.vcs[std::countr_zero(m)].buf.size());
     }
     return n;
   }
@@ -126,7 +126,7 @@ class Router : public Ticker {
   }
   /// Blocked circuit flits of one input port awaiting retry (their upstream
   /// credits are still held).
-  const std::deque<Flit>& circuit_retry(Dir d) const {
+  const InlineRing<Flit, kRetryRingInlineFlits>& circuit_retry(Dir d) const {
     return inputs_[port_of(d)].circ_retry;
   }
 
@@ -134,7 +134,14 @@ class Router : public Ticker {
   struct InputPort {
     std::vector<InputVC> vcs;
     RoundRobinArbiter sa_input_arb;  ///< picks one VC of this port per cycle
-    std::deque<Flit> circ_retry;     ///< Fragmented/Ideal: blocked circuit flits
+    /// Fragmented/Ideal: blocked circuit flits awaiting retry.
+    InlineRing<Flit, kRetryRingInlineFlits> circ_retry;
+    // Occupancy bitmaps, maintained incrementally at every push/pop and
+    // state transition so the allocation loops bit-scan occupied VCs
+    // instead of dense kNumDirs x total_vcs sweeps.
+    std::uint64_t occ_mask = 0;     ///< bit v: vcs[v].buf non-empty
+    std::uint64_t waitva_mask = 0;  ///< bit v: vcs[v].state == WaitVA
+    std::uint64_t active_mask = 0;  ///< bit v: vcs[v].state == Active
   };
   struct OutputPort {
     std::vector<OutputVC> vcs;
@@ -143,6 +150,18 @@ class Router : public Ticker {
     std::optional<Flit> st_latch;     ///< switch-traversal register
     Cycle st_ready = 0;
     bool taken_by_circuit = false;    ///< crossbar priority marker, per cycle
+    std::uint64_t busy_mask = 0;      ///< bit v: vcs[v].busy (VA skips them)
+
+    // The bool in OutputVC stays authoritative for test accessors; these
+    // keep the bitmap in lockstep.
+    void set_busy(int v) {
+      vcs[static_cast<std::size_t>(v)].busy = true;
+      busy_mask |= std::uint64_t{1} << v;
+    }
+    void clear_busy(int v) {
+      vcs[static_cast<std::size_t>(v)].busy = false;
+      busy_mask &= ~(std::uint64_t{1} << v);
+    }
   };
 
   void process_credits(Cycle now);
@@ -177,6 +196,12 @@ class Router : public Ticker {
   // Fast-path occupancy counters: lightly loaded routers skip whole stages.
   int n_waitva_ = 0;
   int n_active_ = 0;
+  // Static per-flat-VC-index lookups (avoid re-deriving VN / within-VN VC
+  // per flit) and the set of output VCs VA may ever allocate (buffered,
+  // non-circuit); both fixed at construction.
+  std::array<VNet, 64> vcidx_vnet_{};
+  std::array<int, 64> vcidx_within_{};
+  std::uint64_t va_allocatable_mask_ = 0;
   std::uint64_t flits_routed_ = 0;
   // Cached hot-path statistic counters (StatSet lookups are string-keyed).
   struct HotCounters {

@@ -2,12 +2,24 @@
 // Figure 2). All behaviour lives in Router; these are plain state records.
 #pragma once
 
-#include <deque>
-
+#include "common/config.hpp"
+#include "common/ring.hpp"
 #include "common/types.hpp"
 #include "noc/message.hpp"
 
 namespace rc {
+
+/// Inline slot count of the per-VC flit ring: must cover the default
+/// configured buffer depth (a whole data message) without heap storage.
+/// Deeper configured buffers still work — the ring grows once and keeps the
+/// capacity — but the common configurations stay allocation-free per hop.
+inline constexpr std::size_t kVcRingInlineFlits = 8;
+static_assert(kVcRingInlineFlits >= kDefaultBufferDepthFlits,
+              "inline VC ring must hold the default buffer depth");
+
+/// Inline slot count of the per-port circuit retry skid (normally holds at
+/// most a flit or two of a blocked circuit packet).
+inline constexpr std::size_t kRetryRingInlineFlits = 4;
 
 /// Global state of an input VC.
 enum class VCState : std::uint8_t {
@@ -18,10 +30,14 @@ enum class VCState : std::uint8_t {
 
 struct InputVC {
   VCState state = VCState::Idle;
-  std::deque<Flit> buf;   ///< flit buffer (depth enforced by Router)
+  InlineRing<Flit, kVcRingInlineFlits> buf;  ///< flit buffer (depth enforced by Router)
   Port out_port = 0;      ///< R: route computed for the resident packet
   int out_vc = 0;         ///< O: output VC granted by VA
   Cycle stage_ready = 0;  ///< earliest cycle the next pipeline stage may run
+  /// Cached flat output-VC index of the resident packet
+  /// (vc_index(vnet, out_vc)), set at VA grant so body/tail flits index the
+  /// output VC directly instead of recomputing it per switch traversal.
+  int out_vc_index = 0;
 };
 
 struct OutputVC {

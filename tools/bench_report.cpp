@@ -11,6 +11,11 @@
 // set once per shard count and tags each result entry with it; with no
 // arguments the shard count comes from RC_SHARDS (default 1).
 //
+//        bench-report --compare old.json new.json
+// prints the per-benchmark speedup (new cycles/sec over old) for every
+// (name, shards) pair present in both files and exits non-zero when any
+// matched pair regressed by more than 10%.
+//
 // Knobs:
 //   RC_SHARDS           worker shards when no argv given (default 1;
 //                       "auto" = hw concurrency) — recorded per entry
@@ -140,9 +145,81 @@ Entry bench_system(Cycle measure, int shards) {
   return Entry{"system_8x8_fft", t1 - t0, warmup + measure};
 }
 
+// ---- --compare mode ------------------------------------------------------
+
+struct CmpEntry {
+  std::string name;
+  int shards = 1;
+  double cps = 0;  ///< cycles per second
+};
+
+/// Parse the result lines of a bench-report JSON file. This reads only the
+/// format this tool itself writes (one result object per line), so a
+/// line-oriented sscanf is sufficient — no JSON library in the toolchain.
+std::vector<CmpEntry> load_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) fatal("bench-report: cannot read " + path);
+  std::vector<CmpEntry> out;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    char name[128];
+    int shards = 0;
+    double wall = 0;
+    unsigned long long cycles = 0;
+    double cps = 0;
+    if (std::sscanf(line,
+                    " {\"name\": \"%127[^\"]\", \"shards\": %d, "
+                    "\"wall_s\": %lf, \"cycles\": %llu, "
+                    "\"cycles_per_sec\": %lf}",
+                    name, &shards, &wall, &cycles, &cps) == 5)
+      out.push_back(CmpEntry{name, shards, cps});
+  }
+  std::fclose(f);
+  if (out.empty())
+    fatal("bench-report: no result entries in " + path);
+  return out;
+}
+
+int run_compare(const std::string& old_path, const std::string& new_path) {
+  const auto olds = load_report(old_path);
+  const auto news = load_report(new_path);
+  std::printf("%-28s %7s %12s %12s %9s\n", "benchmark", "shards",
+              "old cyc/s", "new cyc/s", "speedup");
+  bool regressed = false;
+  int matched = 0;
+  for (const CmpEntry& o : olds) {
+    for (const CmpEntry& n : news) {
+      if (n.name != o.name || n.shards != o.shards) continue;
+      ++matched;
+      const double speedup = o.cps > 0 ? n.cps / o.cps : 0;
+      // A >10% drop in simulated cycles/sec at the same shard count is a
+      // regression; anything milder is host noise territory.
+      const bool bad = speedup < 0.90;
+      if (bad) regressed = true;
+      std::printf("%-28s %7d %12.0f %12.0f %8.2fx%s\n", o.name.c_str(),
+                  o.shards, o.cps, n.cps, speedup,
+                  bad ? "  REGRESSION" : "");
+      break;
+    }
+  }
+  if (matched == 0)
+    fatal("bench-report: no (name, shards) pair present in both files");
+  if (regressed) {
+    std::fprintf(stderr,
+                 "bench-report: at least one benchmark regressed by >10%%\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--compare") {
+    if (argc != 4)
+      fatal("usage: bench-report --compare old.json new.json");
+    return run_compare(argv[2], argv[3]);
+  }
   const int host_cpus =
       static_cast<int>(std::thread::hardware_concurrency());
   // 64-node workloads throughout; with no argv, resolve RC_SHARDS the way

@@ -32,6 +32,7 @@ struct FuzzCase {
   int mesh_w = 4, mesh_h = 4;
   int circuits = -1;  ///< -1 = preset default
   int slack = -1;
+  int depth = -1;  ///< per-VC buffer depth in flits; -1 = config default
   int vcs_req = 2;
   int vcs_rep = 2;
   int shards = 1;  ///< worker shards (PR 3's parallel tick engine)
@@ -65,6 +66,12 @@ FuzzCase draw_case(Rng& rng) {
   }
   if (cc.slack_per_hop > 0 && rng.chance(0.5))
     fc.slack = 1 + static_cast<int>(rng.next_below(4));
+  // Minimum-depth buffers (1 or 2 flits) force the VC rings through their
+  // wraparound/full/empty edges on every packet: a 5-flit data message
+  // through a 1-flit buffer is a continuous stall-and-drain exercise. Keep
+  // most cases at the default depth so the common configuration stays the
+  // bulk of the coverage.
+  if (rng.chance(0.25)) fc.depth = 1 + static_cast<int>(rng.next_below(2));
   fc.vcs_req = 1 + static_cast<int>(rng.next_below(3));
   const int needed = cc.num_circuit_vcs() + 1;
   fc.vcs_rep = needed + static_cast<int>(rng.next_below(3));
@@ -86,6 +93,7 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
   cfg.noc.vcs_reply_vn = fc.vcs_rep;
   if (fc.circuits >= 0) cfg.noc.circuit.circuits_per_input = fc.circuits;
   if (fc.slack >= 0) cfg.noc.circuit.slack_per_hop = fc.slack;
+  if (fc.depth >= 1) cfg.noc.buffer_depth_flits = fc.depth;
   cfg.shards = fc.shards;
   cfg.warmup_cycles = warmup;
   cfg.measure_cycles = cycles;
@@ -106,6 +114,7 @@ std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
                     std::to_string(fc.vcs_rep);
   if (fc.circuits >= 0) cmd += " --circuits " + std::to_string(fc.circuits);
   if (fc.slack >= 0) cmd += " --slack " + std::to_string(fc.slack);
+  if (fc.depth >= 1) cmd += " --buf-depth " + std::to_string(fc.depth);
   cmd += " --seed " + std::to_string(fc.seed) + " --warmup " +
          std::to_string(warmup) + " --cycles " + std::to_string(cycles);
   return cmd;
@@ -172,11 +181,11 @@ int main(int argc, char** argv) {
     }
     if (verbose)
       std::fprintf(stderr,
-                   "[rc-fuzz] %lld: %s/%s %dx%d circs=%d slack=%d vcs=%d/%d "
-                   "shards=%d seed=%llu\n",
+                   "[rc-fuzz] %lld: %s/%s %dx%d circs=%d slack=%d depth=%d "
+                   "vcs=%d/%d shards=%d seed=%llu\n",
                    i, fc.preset.c_str(), fc.app.c_str(), fc.mesh_w, fc.mesh_h,
-                   fc.circuits, fc.slack, fc.vcs_req, fc.vcs_rep, fc.shards,
-                   static_cast<unsigned long long>(fc.seed));
+                   fc.circuits, fc.slack, fc.depth, fc.vcs_req, fc.vcs_rep,
+                   fc.shards, static_cast<unsigned long long>(fc.seed));
     try {
       System sys(cfg);
       sys.run();

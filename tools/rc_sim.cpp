@@ -10,6 +10,7 @@
 //     --partition N       partition side, 0 = off      (default 0)
 //     --circuits N        circuits per input port override
 //     --slack N           slack cycles/hop override
+//     --buf-depth N       per-VC buffer depth in flits override
 //     --no-l1tol1         L2-intermediary protocol variant
 //     --csv               machine-readable one-line-per-run output
 //     --list              list presets and workloads, then exit
@@ -41,6 +42,7 @@ struct Options {
   int partition = 0;
   int circuits = -1;
   int slack = -1;
+  int buf_depth = -1;  ///< per-VC buffer depth (rc-fuzz min-depth repros)
   int vcs_req = -1;  ///< VC-count overrides (rc-fuzz repro commands use them)
   int vcs_rep = -1;
   bool no_l1tol1 = false;
@@ -54,7 +56,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--cores N] [--preset NAME|all] [--app NAME|all]\n"
                "          [--warmup N] [--cycles N] [--seed N] [--partition N]\n"
-               "          [--circuits N] [--slack N] [--no-l1tol1] [--csv]\n"
+               "          [--circuits N] [--slack N] [--buf-depth N]\n"
+               "          [--no-l1tol1] [--csv]\n"
                "          [--trace FILE.json] [--heatmap] [--mesh WxH]\n"
                "          [--vcs-req N] [--vcs-rep N] [--list]\n",
                argv0);
@@ -98,6 +101,7 @@ RunResult run(const Options& o, const std::string& preset,
   cfg.partition_side = o.partition;
   if (o.circuits >= 0) cfg.noc.circuit.circuits_per_input = o.circuits;
   if (o.slack >= 0) cfg.noc.circuit.slack_per_hop = o.slack;
+  if (o.buf_depth >= 1) cfg.noc.buffer_depth_flits = o.buf_depth;
   if (o.vcs_req > 0) cfg.noc.vcs_request_vn = o.vcs_req;
   if (o.vcs_rep > 0) cfg.noc.vcs_reply_vn = o.vcs_rep;
   cfg.cache.direct_l1_transfers = !o.no_l1tol1;
@@ -222,6 +226,8 @@ int main(int argc, char** argv) {
       o.circuits = static_cast<int>(need_int("--circuits", 0));
     else if (!std::strcmp(argv[i], "--slack"))
       o.slack = static_cast<int>(need_int("--slack", 0));
+    else if (!std::strcmp(argv[i], "--buf-depth"))
+      o.buf_depth = static_cast<int>(need_int("--buf-depth", 1));
     else if (!std::strcmp(argv[i], "--vcs-req"))
       o.vcs_req = static_cast<int>(need_int("--vcs-req", 1));
     else if (!std::strcmp(argv[i], "--vcs-rep"))
