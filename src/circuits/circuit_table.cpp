@@ -78,6 +78,16 @@ CircuitEntry* CircuitTable::find(NodeId dest, Addr addr, std::uint64_t msg_id,
   return nullptr;
 }
 
+bool CircuitTable::could_match(NodeId dest, Addr addr, std::uint64_t msg_id,
+                               bool is_head, Cycle now) const {
+  for (const auto& e : slots_) {
+    if (!e.live(now) || e.dest != dest || e.addr != addr) continue;
+    if (e.bound_msg == msg_id) return true;
+    if (e.bound_msg == 0 && is_head) return true;
+  }
+  return false;
+}
+
 const CircuitEntry* CircuitTable::conflicting_output(Port out_port, Cycle s,
                                                      Cycle e, Cycle now) const {
   for (const auto& ent : slots_)

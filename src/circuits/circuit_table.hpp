@@ -88,6 +88,11 @@ class CircuitTable {
   CircuitEntry* find(NodeId dest, Addr addr, std::uint64_t msg_id,
                      bool bind_new, Cycle now);
 
+  /// Whether find() with the same arguments would return an entry. Pure
+  /// query: never binds and emits no observer event.
+  bool could_match(NodeId dest, Addr addr, std::uint64_t msg_id,
+                   bool is_head, Cycle now) const;
+
   /// Any live entry whose slot overlaps [s, e] and leaves via `out_port`.
   const CircuitEntry* conflicting_output(Port out_port, Cycle s, Cycle e,
                                          Cycle now) const;

@@ -6,10 +6,6 @@
 
 namespace rc {
 
-namespace {
-std::uint64_t bit(NodeId n) { return 1ull << static_cast<unsigned>(n); }
-}  // namespace
-
 L2Bank::L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
                Network* net, const AddressMap* amap, StatSet* stats)
     : node_(node), cfg_(cfg), circ_(circ), net_(net), amap_(amap),
@@ -56,7 +52,7 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
     case MsgType::WbData: {
       if (auto* line = array_.find(addr)) {
         if (line->meta.owner == msg->src) line->meta.owner = kInvalidNode;
-        line->meta.sharers &= ~bit(msg->src);
+        line->meta.sharers.remove(msg->src);
         line->meta.dirty = true;
       }
       // Acknowledge regardless; a WB racing our own eviction-invalidate is
@@ -86,13 +82,13 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
         if (t.pending->type == MsgType::GetS) {
           // L2-intermediary recall for a read: the old owner kept an S
           // copy; the requestor joins it as a sharer.
-          line->meta.sharers |= bit(t.pending->src);
+          line->meta.sharers.add(t.pending->src);
           line->meta.owner = kInvalidNode;
           t.st = TxnState::WaitDataAck;
           send_data_reply(t.pending, /*exclusive=*/false, now);
         } else {
           // All sharers gone: grant the writer exclusive data.
-          line->meta.sharers = 0;
+          line->meta.sharers.clear();
           line->meta.owner = t.pending->src;
           t.st = TxnState::WaitDataAck;
           send_data_reply(t.pending, /*exclusive=*/true, now);
@@ -162,7 +158,7 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
       auto rec = make(MsgType::Inv, m.owner, msg->addr, 1);
       rec->downgrade = true;
       send_later(std::move(rec), now + cfg_.l2_hit_latency);
-      m.sharers = bit(m.owner);
+      m.sharers.assign_only(m.owner);
       m.owner = kInvalidNode;
       m.dirty = true;
       txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, 1, 0, {}};
@@ -175,15 +171,16 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
       fwd->fwd_requestor = req;
       fwd->undone_marker = undone;
       send_later(std::move(fwd), now + cfg_.l2_hit_latency);
-      m.sharers |= bit(m.owner) | bit(req);
+      m.sharers.add(m.owner);
+      m.sharers.add(req);
       m.owner = kInvalidNode;
       txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
       ++stats_->counter("l2_fwd_gets");
     } else {
-      bool exclusive = m.sharers == 0;
-      m.sharers |= bit(req);
+      bool exclusive = m.sharers.none();
+      m.sharers.add(req);
       if (exclusive) {
-        m.sharers = 0;
+        m.sharers.clear();
         m.owner = req;  // MESI E grant is tracked as an owner
       }
       txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
@@ -196,7 +193,7 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
   if (m.owner != kInvalidNode && !cfg_.direct_l1_transfers) {
     int ninv = send_invalidations(*line, req, now);
     m.owner = kInvalidNode;
-    m.sharers = 0;
+    m.sharers.clear();
     m.dirty = true;
     txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, ninv, 0, {}};
     ++stats_->counter("l2_recalls");
@@ -209,20 +206,19 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
     fwd->undone_marker = undone;
     send_later(std::move(fwd), now + cfg_.l2_hit_latency);
     m.owner = req;
-    m.sharers = 0;
+    m.sharers.clear();
     m.dirty = true;
     txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
     ++stats_->counter("l2_fwd_getx");
     return;
   }
-  std::uint64_t others = m.sharers & ~bit(req);
-  if (others != 0) {
+  if (m.sharers.any_besides(req)) {
     int n = send_invalidations(*line, req, now);
     m.dirty = true;
     txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, n, 0, {}};
     ++stats_->counter("l2_invalidation_rounds");
   } else {
-    m.sharers = 0;
+    m.sharers.clear();
     m.owner = req;
     m.dirty = true;
     txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
@@ -232,11 +228,11 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
 
 int L2Bank::send_invalidations(const Line& line, NodeId except, Cycle now) {
   int n = 0;
-  for (NodeId s = 0; s < 64; ++s) {
-    if (!(line.meta.sharers & bit(s)) || s == except) continue;
+  line.meta.sharers.for_each([&](NodeId s) {
+    if (s == except) return;
     send_later(make(MsgType::Inv, s, line.tag, 1), now + cfg_.l2_hit_latency);
     ++n;
-  }
+  });
   if (line.meta.owner != kInvalidNode && line.meta.owner != except) {
     send_later(make(MsgType::Inv, line.meta.owner, line.tag, 1),
                now + cfg_.l2_hit_latency);
@@ -274,7 +270,7 @@ void L2Bank::start_miss(const MsgPtr& msg, Cycle now) {
     ++stats_->counter("l2_victim_stall");
     return;
   }
-  if (victim->meta.owner != kInvalidNode || victim->meta.sharers != 0) {
+  if (victim->meta.owner != kInvalidNode || victim->meta.sharers.any()) {
     // Inclusive L2: recall/invalidate the L1 copies first (write-or-
     // replacement invalidation of Table 3).
     int n = send_invalidations(*victim, kInvalidNode, now);

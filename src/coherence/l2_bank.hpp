@@ -14,6 +14,7 @@
 
 #include "coherence/address_map.hpp"
 #include "coherence/cache_array.hpp"
+#include "coherence/sharer_set.hpp"
 #include "common/config.hpp"
 #include "common/schedule.hpp"
 #include "common/stats.hpp"
@@ -59,7 +60,7 @@ class L2Bank : public Ticker {
     bool dirty = false;
     bool fetching = false;  ///< MemRead outstanding, data not yet here
     NodeId owner = kInvalidNode;
-    std::uint64_t sharers = 0;
+    SharerSet sharers;
   };
   enum class TxnState : std::uint8_t {
     WaitDataAck,  ///< reply sent, line blocked until L1DataAck (or elision)

@@ -1,0 +1,88 @@
+// Directory sharer vector that scales past 64 nodes.
+//
+// The common case (every shipped preset up to 8x8) fits in one inline word;
+// larger fabrics (16x16, 32x32) spill into a heap vector of extra words.
+// Default construction is the empty set, so CacheArray's `meta = Meta{}`
+// reset on install clears the directory entry as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rc {
+
+class SharerSet {
+ public:
+  void add(NodeId n) { word(n) |= bit(n); }
+  void remove(NodeId n) {
+    if (index(n) == 0)
+      low_ &= ~bit(n);
+    else if (index(n) <= high_.size())
+      high_[index(n) - 1] &= ~bit(n);
+  }
+  bool test(NodeId n) const {
+    if (index(n) == 0) return (low_ & bit(n)) != 0;
+    if (index(n) <= high_.size()) return (high_[index(n) - 1] & bit(n)) != 0;
+    return false;
+  }
+  void clear() {
+    low_ = 0;
+    high_.clear();
+  }
+  /// Make `n` the only member (recall paths: the old owner becomes the
+  /// single S-state sharer).
+  void assign_only(NodeId n) {
+    clear();
+    add(n);
+  }
+  bool none() const {
+    if (low_ != 0) return false;
+    for (std::uint64_t w : high_)
+      if (w != 0) return false;
+    return true;
+  }
+  bool any() const { return !none(); }
+  /// True when a member other than `n` exists (§ write invalidation: does
+  /// the GetX need an invalidation round beyond the requestor itself?).
+  bool any_besides(NodeId n) const {
+    for (std::size_t i = 0; i <= high_.size(); ++i) {
+      std::uint64_t w = i == 0 ? low_ : high_[i - 1];
+      if (index(n) == i) w &= ~bit(n);
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  /// Visit members in ascending NodeId order (deterministic invalidation
+  /// send order — message ids and stats must not depend on set internals).
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i <= high_.size(); ++i) {
+      std::uint64_t w = i == 0 ? low_ : high_[i - 1];
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        w &= w - 1;
+        fn(static_cast<NodeId>(i * 64 + static_cast<std::size_t>(b)));
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t bit(NodeId n) {
+    return 1ull << (static_cast<unsigned>(n) % 64u);
+  }
+  static std::size_t index(NodeId n) {
+    return static_cast<std::size_t>(n) / 64u;
+  }
+  std::uint64_t& word(NodeId n) {
+    if (index(n) == 0) return low_;
+    if (index(n) > high_.size()) high_.resize(index(n), 0);
+    return high_[index(n) - 1];
+  }
+
+  std::uint64_t low_ = 0;
+  std::vector<std::uint64_t> high_;  ///< words for nodes 64 and up
+};
+
+}  // namespace rc

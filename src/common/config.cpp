@@ -23,11 +23,70 @@ const char* to_string(TimedMode m) {
   return "?";
 }
 
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Mesh: return "mesh";
+    case TopologyKind::Torus: return "torus";
+    case TopologyKind::Ring: return "ring";
+    case TopologyKind::CMesh: return "cmesh";
+  }
+  return "?";
+}
+
+bool topology_from_string(const std::string& s, TopologyKind* out) {
+  for (TopologyKind k : {TopologyKind::Mesh, TopologyKind::Torus,
+                         TopologyKind::Ring, TopologyKind::CMesh}) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(McPlacement p) {
+  switch (p) {
+    case McPlacement::EdgeMiddle: return "edge-middle";
+    case McPlacement::Corner: return "corner";
+    case McPlacement::Diagonal: return "diagonal";
+  }
+  return "?";
+}
+
+bool mc_placement_from_string(const std::string& s, McPlacement* out) {
+  for (McPlacement p : {McPlacement::EdgeMiddle, McPlacement::Corner,
+                        McPlacement::Diagonal}) {
+    if (s == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string SystemConfig::validate() const {
-  if (noc.mesh_w < 2 || noc.mesh_h < 2)
-    return "mesh must be at least 2x2";
-  if (noc.num_nodes() > 64)
-    return "directory sharer bitmask supports at most 64 nodes";
+  // Dimension checks come first: everything below (and the Topology
+  // constructor itself) divides and mods by them.
+  if (noc.mesh_w < 1 || noc.mesh_h < 1)
+    return "mesh dimensions must be positive";
+  if (noc.mesh_w > 64 || noc.mesh_h > 64)
+    return "mesh dimensions are capped at 64 (up to 4096 nodes)";
+  switch (noc.topology) {
+    case TopologyKind::Mesh:
+      break;  // degenerate 1xN meshes are legal (and dedup their MCs)
+    case TopologyKind::Torus:
+      if (noc.mesh_w < 2 || noc.mesh_h < 2)
+        return "torus must be at least 2x2 (1-wide wrap is a self-loop)";
+      break;
+    case TopologyKind::Ring:
+      if (noc.num_nodes() < 2) return "ring needs at least 2 nodes";
+      break;
+    case TopologyKind::CMesh:
+      if (noc.mesh_w < 2 || noc.mesh_h < 2 || noc.mesh_w % 2 != 0 ||
+          noc.mesh_h % 2 != 0)
+        return "cmesh needs even dimensions, at least 2x2 (2x2 node quads)";
+      break;
+  }
   if (noc.vcs_request_vn < 1 || noc.vcs_reply_vn < 1)
     return "each virtual network needs at least one VC";
   if (noc.buffer_depth_flits < 1) return "buffers must hold at least 1 flit";
@@ -66,6 +125,9 @@ std::string SystemConfig::validate() const {
 
   if (shards < 0) return "shards must be >= 0 (0 defers to RC_SHARDS)";
   if (partition_side > 0) {
+    if (noc.topology != TopologyKind::Mesh)
+      return "partitioned operation (§5.5) is defined on the mesh only: "
+             "wraparound/concentrated routes cross partition boundaries";
     if (noc.mesh_w % partition_side != 0 || noc.mesh_h % partition_side != 0)
       return "partition side must divide both mesh dimensions";
   }

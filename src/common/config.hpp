@@ -31,6 +31,31 @@ enum class TimedMode : std::uint8_t {
 
 const char* to_string(TimedMode m);
 
+/// Fabric shape. All four are link structures over the same radix-5 router
+/// (4 directional ports + local); the topology layer owns the connectivity
+/// tables and the matching routing function (see noc/topology.hpp).
+enum class TopologyKind : std::uint8_t {
+  Mesh,   ///< W x H mesh, XY/YX DOR (the paper's fabric, Table 4)
+  Torus,  ///< W x H torus: wraparound links, minimal-direction DOR
+  Ring,   ///< bidirectional ring over all W*H nodes in row-major order
+  CMesh,  ///< concentrated mesh (4:1): 2x2 quads, single inter-quad channels
+};
+
+const char* to_string(TopologyKind k);
+/// Parse "mesh" / "torus" / "ring" / "cmesh"; false on an unknown name.
+bool topology_from_string(const std::string& s, TopologyKind* out);
+
+/// Placement policy for the four memory controllers.
+enum class McPlacement : std::uint8_t {
+  EdgeMiddle,  ///< middle of each chip edge (paper Table 2)
+  Corner,      ///< the four corners
+  Diagonal,    ///< spread along the main diagonal
+};
+
+const char* to_string(McPlacement p);
+/// Parse "edge-middle" / "corner" / "diagonal"; false on an unknown name.
+bool mc_placement_from_string(const std::string& s, McPlacement* out);
+
 /// Default per-VC buffer depth (Table 4: "5-flit buffers, enough for a
 /// whole data message"). Named so the inline flit-ring capacity in
 /// noc/virtual_channel.hpp can be static-assert-checked against it.
@@ -77,6 +102,11 @@ struct CircuitConfig {
 struct NocConfig {
   int mesh_w = 4;
   int mesh_h = 4;
+
+  /// Fabric shape over the mesh_w x mesh_h node grid (Ring flattens it to
+  /// one row-major cycle) and where the four memory controllers sit.
+  TopologyKind topology = TopologyKind::Mesh;
+  McPlacement mc_placement = McPlacement::EdgeMiddle;
 
   int vcs_request_vn = 2;        ///< VCs in the request VN
   int vcs_reply_vn = 2;          ///< VCs in the reply VN (3 for Fragmented)

@@ -9,7 +9,7 @@
 namespace rc {
 
 Network::Network(const NocConfig& cfg)
-    : cfg_(cfg), topo_(cfg.mesh_w, cfg.mesh_h), lat_(cfg),
+    : cfg_(cfg), topo_(cfg_), lat_(cfg_),
       mode_(effective_tick_mode(cfg.tick)), pool_(topo_.num_nodes()) {
   const int n = topo_.num_nodes();
   // Sized once, before any component captures a pointer; never resized.
@@ -25,11 +25,14 @@ Network::Network(const NocConfig& cfg)
   }
 
   // Directed inter-router links: data (ST -> next BW) and credit wires.
+  // Keyed by the *outgoing* (node, port) pair, not (node, node): a 2-wide
+  // torus dimension or a 2-node ring has two parallel links between the
+  // same node pair, distinct only by port.
   struct LinkPipes {
     Pipe<Flit>* data;
     Pipe<Credit>* credit;
   };
-  std::map<std::pair<NodeId, NodeId>, LinkPipes> links;
+  std::map<std::pair<NodeId, Port>, LinkPipes> links;
   const Cycle data_lat = static_cast<Cycle>(lat_.st_to_arrival());
   for (NodeId a = 0; a < n; ++a) {
     for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
@@ -39,7 +42,7 @@ Network::Network(const NocConfig& cfg)
       flit_pipes_.back().set_waker(routers_[b].get());  // consumer: b's input
       credit_pipes_.emplace_back(1);
       credit_pipes_.back().set_waker(routers_[a].get());  // a pops its credits
-      links[{a, b}] = {&flit_pipes_.back(), &credit_pipes_.back()};
+      links[{a, port_of(d)}] = {&flit_pipes_.back(), &credit_pipes_.back()};
       // Link records for configure_shards. The data pipe of link a->b is
       // pushed only by router a; its credit pipe only by router b (credits
       // travel upstream). These are the only pipes that can span shards —
@@ -52,11 +55,14 @@ Network::Network(const NocConfig& cfg)
     for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
       NodeId b = topo_.neighbour(a, d);
       if (b == kInvalidNode) continue;
+      // The inbound pipes of port d are the outbound pipes of the
+      // neighbour's reverse port (the port whose link leads back here).
+      const Dir rd = topo_.reverse_dir(a, d);
       Router::PortWiring w;
-      w.out_data = links[{a, b}].data;
-      w.out_credits = links[{a, b}].credit;
-      w.in_data = links[{b, a}].data;
-      w.in_credits = links[{b, a}].credit;
+      w.out_data = links[{a, port_of(d)}].data;
+      w.out_credits = links[{a, port_of(d)}].credit;
+      w.in_data = links[{b, port_of(rd)}].data;
+      w.in_credits = links[{b, port_of(rd)}].credit;
       routers_[a]->wire(d, w);
     }
     // Local port: NI <-> router.

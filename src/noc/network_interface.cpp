@@ -12,7 +12,7 @@ namespace rc {
 NetworkInterface::NetworkInterface(NodeId id, const NocConfig& cfg,
                                    const Topology* topo, StatSet* stats,
                                    MessagePool* pool)
-    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), pool_(pool), lat_(cfg) {
+    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), pool_(pool), lat_(cfg_) {
   RC_ASSERT(pool_ != nullptr, "NI needs a message pool");
   inject_flits_ = &stats_->counter("ni_inject_flit");
 }

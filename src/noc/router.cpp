@@ -30,10 +30,9 @@ int estimated_service_cycles(MsgType req, const NocConfig& noc) {
 
 Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
                StatSet* stats)
-    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), lat_(cfg),
+    : id_(id), cfg_(cfg), topo_(topo), stats_(stats), lat_(cfg_),
       circuits_(cfg.circuit, stats) {
   RC_ASSERT(topo_ != nullptr, "router needs a topology");
-  coord_ = topo_->coord_of(id_);
   hot_.buf_write = &stats_->counter("buf_write");
   hot_.buf_read = &stats_->counter("buf_read");
   hot_.xbar = &stats_->counter("xbar");
@@ -143,8 +142,7 @@ void Router::handle_undo(Port p, const UndoRecord& rec, Cycle now) {
   // Forward toward the circuit destination along the reply (YX) path; the
   // undo travels on the credit wires of the link the reply would have used,
   // held one cycle in a latch (see undo_latch_).
-  Dir next = route_dor(coord_, topo_->coord_of(rec.circuit_dest),
-                       /*yx=*/true);
+  Dir next = topo_->route(id_, rec.circuit_dest, /*reverse=*/true);
   if (next == Dir::Local) return;  // reached the requestor's router
   undo_latch_.emplace_back(port_of(next), rec);
 }
@@ -219,7 +217,34 @@ void Router::process_arrivals(Cycle now) {
       if (flit.on_circuit) {
         ++*hot_.circ_check;
         if (!ip.circ_retry.empty()) {
-          ip.circ_retry.push_back(flit);  // stay behind blocked flits
+          // Blocked circuit flits ahead of us. Queue behind them only when
+          // this flit can interact with the circuit machinery here: an
+          // earlier flit of its own packet is queued (its head may bind once
+          // processed, and packet order must hold), its message is bound at
+          // this table, or it is a head that could bind an entry. Any other
+          // flit has no entry and never will — its packet-mates already took
+          // the normal pipeline when the queue was empty, so detaining it
+          // behind an unrelated blocked circuit strands a packet fragment
+          // (the input VC would see a tail with no head); let it fall
+          // through to the buffer as the NoEntry it is. Bufferless circuit
+          // VCs (Complete) cannot fall back and keep strict order.
+          bool same_packet_queued = false;
+          for (const Flit& q : ip.circ_retry)
+            if (q.msg == flit.msg) {
+              same_packet_queued = true;
+              break;
+            }
+          const bool fallback_ok =
+              !cfg_.circuit.bufferless_circuit_vc() && !same_packet_queued &&
+              !circuits_.table(static_cast<Port>(p))
+                   .could_match(flit.msg->circuit_dest, flit.msg->circuit_addr,
+                                flit.msg->id, flit.is_head(), now);
+          if (!fallback_ok) {
+            ip.circ_retry.push_back(flit);  // stay behind blocked flits
+            continue;
+          }
+          if (flit.is_head()) flit.msg->circuit_partial = true;
+          buffer_flit(flit, static_cast<Port>(p), now);
           continue;
         }
         CircFwd r = try_circuit_forward(flit, static_cast<Port>(p), now);
@@ -289,7 +314,7 @@ void Router::try_start_packet(Port p, int vc_idx, Cycle now) {
   RC_ASSERT(head.is_head(), "packet must start with a head flit");
   const Message* msg = head.msg;
   bool yx = head.vnet == VNet::Reply && cfg_.replies_yx;
-  Dir out = route_dor(coord_, topo_->coord_of(msg->dest), yx);
+  Dir out = topo_->route(id_, msg->dest, yx);
   ivc.out_port = port_of(out);
   ivc.state = VCState::WaitVA;
   inputs_[p].waitva_mask |= std::uint64_t{1} << vc_idx;

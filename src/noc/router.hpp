@@ -192,7 +192,6 @@ class Router : public Ticker {
   void send_credit(Port in_port, VNet vn, int vc, Cycle now);
 
   NodeId id_;
-  Coord coord_;
   // Fast-path occupancy counters: lightly loaded routers skip whole stages.
   int n_waitva_ = 0;
   int n_active_ = 0;

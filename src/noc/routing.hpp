@@ -20,20 +20,24 @@ Dir route_dor(Coord cur, Coord dest, bool yx);
 /// and to predict reply passage times for timed reservations.
 class LatencyModel {
  public:
-  explicit LatencyModel(const NocConfig& noc) : noc_(noc) {}
+  /// Holds a reference — the config stays single-sourced, so an edit to the
+  /// owning config after construction can never desynchronize the estimator
+  /// from the pipeline. Callers must pass the config object they own (the
+  /// router/NI/network pass their own member copy, not the ctor argument).
+  explicit LatencyModel(const NocConfig& noc) : noc_(&noc) {}
 
   /// Cycles from a flit's switch-traversal at one router to its arrival
   /// processing (buffer write / circuit check) at the next router: one link
   /// cycle plus the receive latch.
-  int st_to_arrival() const { return noc_.link_latency + 1; }
+  int st_to_arrival() const { return noc_->link_latency + 1; }
 
   /// Packet-switched per-hop latency, arrival to arrival (5 in the paper:
   /// BW, VA, SA, ST + link).
-  int packet_hop() const { return noc_.router_stages + noc_.link_latency; }
+  int packet_hop() const { return noc_->router_stages + noc_->link_latency; }
 
   /// Circuit per-hop latency, arrival to arrival (2: check+ST + link).
   int circuit_hop() const {
-    return noc_.circuit_router_latency + noc_.link_latency;
+    return noc_->circuit_router_latency + noc_->link_latency;
   }
 
   /// Predicted cycles from a request head winning VA at a router that is
@@ -42,7 +46,7 @@ class LatencyModel {
   ///   VA -> SA -> ST is (router_stages - 2) more cycles at this router,
   ///   then packet_hop() per remaining link, then ejection (ST->NI).
   int request_remaining(int links_remaining) const {
-    return (noc_.router_stages - 2) + st_to_arrival()  // this router + eject/link
+    return (noc_->router_stages - 2) + st_to_arrival()  // this router + eject/link
            + links_remaining * packet_hop();
   }
 
@@ -56,7 +60,7 @@ class LatencyModel {
   /// Fixed overhead between message delivery at the destination NI and the
   /// reply being handed to that NI for injection, excluding the cache/memory
   /// service time itself (controller hand-off both ways).
-  int ni_turnaround() const { return noc_.ni_turnaround; }
+  int ni_turnaround() const { return noc_->ni_turnaround; }
 
   /// Total uncontended cycles from request injection at the source NI to
   /// delivery at the destination controller, over `links` links.
@@ -72,7 +76,7 @@ class LatencyModel {
   }
 
  private:
-  NocConfig noc_;
+  const NocConfig* noc_;
 };
 
 }  // namespace rc

@@ -1,38 +1,273 @@
 #include "noc/topology.hpp"
 
+#include <algorithm>
+
+#include "noc/routing.hpp"
+
 namespace rc {
 
-NodeId Topology::neighbour(NodeId n, Dir d) const {
-  Coord c = coord_of(n);
-  switch (d) {
-    case Dir::North: c.y -= 1; break;
-    case Dir::South: c.y += 1; break;
-    case Dir::East: c.x += 1; break;
-    case Dir::West: c.x -= 1; break;
-    case Dir::Local: return n;
+Topology::Topology(int w, int h, TopologyKind kind, McPlacement mc)
+    : kind_(kind), mc_(mc), w_(w), h_(h) {
+  RC_ASSERT(w_ >= 1 && h_ >= 1, "topology dimensions must be positive");
+  switch (kind_) {
+    case TopologyKind::Mesh:
+      break;
+    case TopologyKind::Torus:
+      RC_ASSERT(w_ >= 2 && h_ >= 2, "torus must be at least 2x2");
+      break;
+    case TopologyKind::Ring:
+      RC_ASSERT(num_nodes() >= 2, "ring needs at least 2 nodes");
+      break;
+    case TopologyKind::CMesh:
+      RC_ASSERT(w_ >= 2 && h_ >= 2 && w_ % 2 == 0 && h_ % 2 == 0,
+                "cmesh needs even dimensions, at least 2x2");
+      break;
   }
-  return valid(c) ? node_at(c) : kInvalidNode;
+  nbr_.assign(static_cast<std::size_t>(num_nodes()),
+              {kInvalidNode, kInvalidNode, kInvalidNode, kInvalidNode});
+  rev_.assign(static_cast<std::size_t>(num_nodes()), {0, 0, 0, 0});
+  build_links();
+  build_mcs();
+
+  if (kind_ == TopologyKind::CMesh) {
+    // No closed form for the hierarchical route's length: walk every pair
+    // once. route() is memoryless, so each walked path is minimal for the
+    // routing function and every suffix of it is the route of its own
+    // endpoints — which is exactly the property hops() must deliver.
+    const int n = num_nodes();
+    hop_table_.assign(static_cast<std::size_t>(n) * n, 0);
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        int steps = 0;
+        NodeId cur = a;
+        while (cur != b) {
+          cur = neighbour(cur, route(cur, b, /*reverse=*/false));
+          RC_ASSERT(cur != kInvalidNode, "cmesh route left the fabric");
+          ++steps;
+          RC_ASSERT(steps <= 4 * (w_ + h_), "cmesh route does not terminate");
+        }
+        hop_table_[static_cast<std::size_t>(a) * n + b] =
+            static_cast<std::uint16_t>(steps);
+      }
+    }
+  }
+}
+
+void Topology::connect(NodeId a, Dir da, NodeId b, Dir db) {
+  RC_ASSERT(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+            "connect: node out of range");
+  RC_ASSERT(da != Dir::Local && db != Dir::Local,
+            "connect: local ports are implicit");
+  auto& fa = nbr_[static_cast<std::size_t>(a)][port_of(da)];
+  auto& fb = nbr_[static_cast<std::size_t>(b)][port_of(db)];
+  RC_ASSERT(fa == kInvalidNode && fb == kInvalidNode,
+            "connect: port already wired");
+  fa = b;
+  fb = a;
+  rev_[static_cast<std::size_t>(a)][port_of(da)] = port_of(db);
+  rev_[static_cast<std::size_t>(b)][port_of(db)] = port_of(da);
+}
+
+void Topology::build_links() {
+  switch (kind_) {
+    case TopologyKind::Mesh:
+      for (NodeId n = 0; n < num_nodes(); ++n) {
+        Coord c = coord_of(n);
+        if (c.x + 1 < w_) connect(n, Dir::East, n + 1, Dir::West);
+        if (c.y + 1 < h_) connect(n, Dir::South, n + w_, Dir::North);
+      }
+      break;
+    case TopologyKind::Torus:
+      // Each node owns its East and South link; on a 2-wide dimension this
+      // wires two parallel links between the same node pair (East and West
+      // are then distinct channels, as in a real folded torus).
+      for (NodeId n = 0; n < num_nodes(); ++n) {
+        Coord c = coord_of(n);
+        connect(n, Dir::East, node_at({(c.x + 1) % w_, c.y}), Dir::West);
+        connect(n, Dir::South, node_at({c.x, (c.y + 1) % h_}), Dir::North);
+      }
+      break;
+    case TopologyKind::Ring:
+      for (NodeId n = 0; n < num_nodes(); ++n)
+        connect(n, Dir::East, (n + 1) % num_nodes(), Dir::West);
+      break;
+    case TopologyKind::CMesh:
+      // 2x2 quads fully meshed inside; one channel per quad pair, owned by a
+      // fixed exit member (vertical channels in member column 0, horizontal
+      // in member row 0) so the radix stays 5 and every link joins opposite
+      // ports.
+      for (NodeId n = 0; n < num_nodes(); ++n) {
+        Coord c = coord_of(n);
+        const int mx = c.x % 2, my = c.y % 2;
+        if (mx == 0) connect(n, Dir::East, n + 1, Dir::West);
+        if (my == 0) connect(n, Dir::South, n + w_, Dir::North);
+        if (mx == 1 && my == 0 && c.x + 1 < w_)
+          connect(n, Dir::East, n + 1, Dir::West);
+        if (mx == 0 && my == 1 && c.y + 1 < h_)
+          connect(n, Dir::South, n + w_, Dir::North);
+      }
+      break;
+  }
+}
+
+void Topology::build_mcs() {
+  std::vector<NodeId> picks;
+  if (kind_ == TopologyKind::Ring) {
+    // 1D placement: four evenly spaced controllers, rotated per policy.
+    const int n = num_nodes();
+    int offset = 0;
+    switch (mc_) {
+      case McPlacement::Corner: offset = 0; break;
+      case McPlacement::EdgeMiddle: offset = n / 8; break;
+      case McPlacement::Diagonal: offset = n / 16; break;
+    }
+    for (int k = 0; k < 4; ++k) picks.push_back((offset + k * n / 4) % n);
+  } else {
+    switch (mc_) {
+      case McPlacement::EdgeMiddle:
+        // One MC at the middle of each chip edge (paper Table 2).
+        picks = {
+            node_at({w_ / 2, 0}),       // north edge
+            node_at({w_ / 2, h_ - 1}),  // south edge
+            node_at({0, h_ / 2}),       // west edge
+            node_at({w_ - 1, h_ / 2}),  // east edge
+        };
+        break;
+      case McPlacement::Corner:
+        picks = {
+            node_at({0, 0}),
+            node_at({w_ - 1, 0}),
+            node_at({0, h_ - 1}),
+            node_at({w_ - 1, h_ - 1}),
+        };
+        break;
+      case McPlacement::Diagonal:
+        for (int k = 0; k < 4; ++k)
+          picks.push_back(
+              node_at({(2 * k + 1) * w_ / 8, (2 * k + 1) * h_ / 8}));
+        break;
+    }
+  }
+  // Deduplicate, first occurrence wins: small fabrics land two policy picks
+  // on the same node (a 2x2 mesh puts south-middle and east-middle both on
+  // (1,1)), and mem_ctrl_for must interleave over the *unique* set.
+  for (NodeId p : picks)
+    if (std::find(mcs_.begin(), mcs_.end(), p) == mcs_.end())
+      mcs_.push_back(p);
+}
+
+Dir Topology::route(NodeId cur, NodeId dest, bool reverse) const {
+  switch (kind_) {
+    case TopologyKind::Mesh:
+      return route_mesh(coord_of(cur), coord_of(dest), reverse);
+    case TopologyKind::Torus:
+      return route_torus(coord_of(cur), coord_of(dest), reverse);
+    case TopologyKind::Ring:
+      return route_ring(cur, dest, reverse);
+    case TopologyKind::CMesh:
+      return route_cmesh(coord_of(cur), coord_of(dest), reverse);
+  }
+  return Dir::Local;
+}
+
+Dir Topology::route_mesh(Coord c, Coord t, bool reverse) const {
+  return route_dor(c, t, reverse);
+}
+
+Dir Topology::route_torus(Coord c, Coord t, bool reverse) const {
+  // Minimal-direction DOR. On a half-way tie both directions are minimal;
+  // requests break it positive (East/South) and replies negative
+  // (West/North), so a reply's minimal path is exactly the request's links
+  // backwards — including every intermediate position, because the chosen
+  // direction's remaining distance only shrinks along the way.
+  auto step = [&](int cur, int dst, int dim, Dir pos, Dir neg) -> Dir {
+    int d = dst - cur;  // distance travelling in the positive direction
+    if (d < 0) d += dim;
+    if (2 * d < dim) return pos;
+    if (2 * d > dim) return neg;
+    return reverse ? neg : pos;
+  };
+  if (c == t) return Dir::Local;
+  if (!reverse) {
+    if (c.x != t.x) return step(c.x, t.x, w_, Dir::East, Dir::West);
+    return step(c.y, t.y, h_, Dir::South, Dir::North);
+  }
+  if (c.y != t.y) return step(c.y, t.y, h_, Dir::South, Dir::North);
+  return step(c.x, t.x, w_, Dir::East, Dir::West);
+}
+
+Dir Topology::route_ring(NodeId cur, NodeId dest, bool reverse) const {
+  if (cur == dest) return Dir::Local;
+  const int n = num_nodes();
+  int d = static_cast<int>(dest - cur);  // eastward distance
+  if (d < 0) d += n;
+  if (2 * d < n) return Dir::East;
+  if (2 * d > n) return Dir::West;
+  return reverse ? Dir::West : Dir::East;  // half-way tie, as on the torus
+}
+
+Dir Topology::route_cmesh(Coord c, Coord t, bool reverse) const {
+  if (c == t) return Dir::Local;
+  const int cqx = c.x / 2, cqy = c.y / 2, dqx = t.x / 2, dqy = t.y / 2;
+  const int mx = c.x % 2, my = c.y % 2;
+  // Step toward member (ex, ey) of the current quad — a 2x2 mesh, so plain
+  // XY (requests) / YX (replies) DOR retraces within the quad too.
+  auto intra = [&](int ex, int ey) -> Dir {
+    if (!reverse) {
+      if (mx != ex) return ex > mx ? Dir::East : Dir::West;
+      return ey > my ? Dir::South : Dir::North;
+    }
+    if (my != ey) return ey > my ? Dir::South : Dir::North;
+    return ex > mx ? Dir::East : Dir::West;
+  };
+  // The member that owns the inter-quad channel leaving in direction d
+  // (must mirror build_links' channel endpoints).
+  auto phase = [&](Dir d) -> Dir {
+    int ex = 0, ey = 0;
+    switch (d) {
+      case Dir::North: ex = 0; ey = 0; break;
+      case Dir::South: ex = 0; ey = 1; break;
+      case Dir::East: ex = 1; ey = 0; break;
+      default: ex = 0; ey = 0; break;  // West
+    }
+    if (mx == ex && my == ey) return d;  // at the channel: take it
+    return intra(ex, ey);
+  };
+  // Quad-level DOR: X over quads then Y for requests, Y then X for replies.
+  if (!reverse) {
+    if (cqx != dqx) return phase(dqx > cqx ? Dir::East : Dir::West);
+    if (cqy != dqy) return phase(dqy > cqy ? Dir::South : Dir::North);
+    return intra(t.x % 2, t.y % 2);
+  }
+  if (cqy != dqy) return phase(dqy > cqy ? Dir::South : Dir::North);
+  if (cqx != dqx) return phase(dqx > cqx ? Dir::East : Dir::West);
+  return intra(t.x % 2, t.y % 2);
 }
 
 int Topology::hops(NodeId a, NodeId b) const {
-  Coord ca = coord_of(a), cb = coord_of(b);
-  int dx = ca.x - cb.x, dy = ca.y - cb.y;
-  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
-}
-
-std::vector<NodeId> Topology::memory_controller_nodes() const {
-  // One MC at the middle of each chip edge.
-  return {
-      node_at({w_ / 2, 0}),            // north edge
-      node_at({w_ / 2, h_ - 1}),       // south edge
-      node_at({0, h_ / 2}),            // west edge
-      node_at({w_ - 1, h_ / 2}),       // east edge
-  };
-}
-
-NodeId Topology::mem_ctrl_for(Addr addr) const {
-  auto mcs = memory_controller_nodes();
-  return mcs[(addr / kLineBytes) % mcs.size()];
+  switch (kind_) {
+    case TopologyKind::Mesh: {
+      Coord ca = coord_of(a), cb = coord_of(b);
+      int dx = ca.x - cb.x, dy = ca.y - cb.y;
+      return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+    }
+    case TopologyKind::Torus: {
+      Coord ca = coord_of(a), cb = coord_of(b);
+      int dx = cb.x - ca.x;
+      if (dx < 0) dx += w_;
+      int dy = cb.y - ca.y;
+      if (dy < 0) dy += h_;
+      return std::min(dx, w_ - dx) + std::min(dy, h_ - dy);
+    }
+    case TopologyKind::Ring: {
+      int d = static_cast<int>(b - a);
+      if (d < 0) d += num_nodes();
+      return std::min(d, num_nodes() - d);
+    }
+    case TopologyKind::CMesh:
+      return hop_table_[static_cast<std::size_t>(a) * num_nodes() + b];
+  }
+  return 0;
 }
 
 }  // namespace rc

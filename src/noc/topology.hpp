@@ -1,16 +1,40 @@
-// Mesh topology: node <-> coordinate mapping and neighbourhood.
+// Table-driven topology: per-node port->neighbour connectivity maps plus the
+// matching routing function for each supported fabric.
+//
+// Every fabric is a link structure over the same radix-5 router (N/E/S/W +
+// Local): the connectivity tables are built once by connect() calls (which
+// check both link ends are free, netsim-style), and neighbour() / the
+// reverse-port query are table lookups from then on. Routing is a pure
+// function of (current, destination, reverse-flag) per TopologyKind, chosen
+// so that a reply's path is exactly its request's path reversed (§4.1) and
+// hops() has the suffix property (hops(next, dest) == hops(cur, dest) - 1
+// along every route), which keeps the timed-reservation slot arithmetic
+// (§4.7) exact on every fabric.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/types.hpp"
 
 namespace rc {
 
 class Topology {
  public:
-  Topology(int w, int h) : w_(w), h_(h) {}
+  /// Plain W x H mesh with edge-middle MCs (the paper's chip).
+  Topology(int w, int h)
+      : Topology(w, h, TopologyKind::Mesh, McPlacement::EdgeMiddle) {}
 
+  Topology(int w, int h, TopologyKind kind, McPlacement mc);
+
+  /// Fabric described by a NoC config (kind, dimensions, MC placement).
+  explicit Topology(const NocConfig& cfg)
+      : Topology(cfg.mesh_w, cfg.mesh_h, cfg.topology, cfg.mc_placement) {}
+
+  TopologyKind kind() const { return kind_; }
+  McPlacement mc_placement() const { return mc_; }
   int width() const { return w_; }
   int height() const { return h_; }
   int num_nodes() const { return w_ * h_; }
@@ -24,21 +48,74 @@ class Topology {
     return c.x >= 0 && c.x < w_ && c.y >= 0 && c.y < h_;
   }
 
-  /// Neighbour of `n` in direction `d`, or kInvalidNode at a mesh edge.
-  NodeId neighbour(NodeId n, Dir d) const;
+  /// Neighbour of `n` through port `d`, or kInvalidNode when nothing is
+  /// wired there. Local returns `n` itself.
+  NodeId neighbour(NodeId n, Dir d) const {
+    if (d == Dir::Local) return n;
+    return nbr_[static_cast<std::size_t>(n)][port_of(d)];
+  }
 
-  /// Manhattan distance in links.
+  bool connected(NodeId n, Dir d) const {
+    return neighbour(n, d) != kInvalidNode && d != Dir::Local;
+  }
+
+  /// Invertible reverse-port query: the port on neighbour(n, d) whose link
+  /// leads back to `n`. Invariant (checked by the connectivity tests):
+  ///   neighbour(neighbour(n, d), reverse_dir(n, d)) == n
+  ///   reverse_dir(neighbour(n, d), reverse_dir(n, d)) == d
+  Dir reverse_dir(NodeId n, Dir d) const {
+    RC_ASSERT(connected(n, d), "reverse_dir on an unwired port");
+    return dir_of(rev_[static_cast<std::size_t>(n)][port_of(d)]);
+  }
+
+  /// Next output port from `cur` toward `dest`. reverse == false is the
+  /// request direction (XY-style); reverse == true is the reply direction,
+  /// which retraces the request path backwards on every fabric.
+  Dir route(NodeId cur, NodeId dest, bool reverse) const;
+
+  /// Links on the (minimal) request route from `a` to `b`. Symmetric, and
+  /// exact for the route() paths — reply paths have the same length.
   int hops(NodeId a, NodeId b) const;
 
-  /// The paper places four memory controllers on the chip edges for both
-  /// 16- and 64-node chips (Table 2): middle of each edge.
-  std::vector<NodeId> memory_controller_nodes() const;
+  /// The four memory controllers (deduplicated: small fabrics can place two
+  /// policies' picks on the same node). Order is the placement-policy order,
+  /// first occurrence wins.
+  const std::vector<NodeId>& memory_controller_nodes() const { return mcs_; }
 
-  /// Memory controller that serves `addr` (nearest-from-set by interleave).
-  NodeId mem_ctrl_for(Addr addr) const;
+  /// Memory controller that serves `addr` (line-interleaved over the
+  /// deduplicated MC set).
+  NodeId mem_ctrl_for(Addr addr) const {
+    return mcs_[(addr / kLineBytes) % mcs_.size()];
+  }
 
  private:
+  /// Wire a bidirectional link: a's port `da` <-> b's port `db`. Fails if
+  /// either end is already occupied (runtime connectivity checking).
+  void connect(NodeId a, Dir da, NodeId b, Dir db);
+
+  void build_links();
+  void build_mcs();
+
+  Dir route_mesh(Coord c, Coord t, bool reverse) const;
+  Dir route_torus(Coord c, Coord t, bool reverse) const;
+  Dir route_ring(NodeId cur, NodeId dest, bool reverse) const;
+  Dir route_cmesh(Coord c, Coord t, bool reverse) const;
+
+  TopologyKind kind_;
+  McPlacement mc_;
   int w_, h_;
+
+  /// Per-node port->neighbour table (N/E/S/W; Local is implicit).
+  std::vector<std::array<NodeId, 4>> nbr_;
+  /// Per-node port->reverse-port table: rev_[n][p] is the port on nbr_[n][p]
+  /// whose link leads back to n.
+  std::vector<std::array<Port, 4>> rev_;
+
+  std::vector<NodeId> mcs_;
+
+  /// CMesh hop counts are path-walked once at construction (the hierarchical
+  /// route has no closed form); dense n x n, row = source.
+  std::vector<std::uint16_t> hop_table_;
 };
 
 }  // namespace rc

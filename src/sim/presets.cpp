@@ -76,9 +76,12 @@ CircuitConfig circuit_preset(const std::string& name) {
 
 SystemConfig make_system_config(int cores, const std::string& preset,
                                 const std::string& app, std::uint64_t seed) {
-  RC_ASSERT(cores == 16 || cores == 64, "the paper evaluates 16 and 64 cores");
+  // The paper evaluates 16 and 64 cores; 256 (16x16) and 1024 (32x32) are
+  // scaling presets for the table-driven topologies.
+  RC_ASSERT(cores == 16 || cores == 64 || cores == 256 || cores == 1024,
+            "cores must be 16, 64, 256 or 1024 (a square mesh)");
   SystemConfig cfg;
-  const int side = cores == 16 ? 4 : 8;
+  const int side = cores == 16 ? 4 : cores == 64 ? 8 : cores == 256 ? 16 : 32;
   cfg.noc.mesh_w = cfg.noc.mesh_h = side;
   cfg.noc.circuit = circuit_preset(preset);
   cfg.noc.vcs_reply_vn =

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/config.hpp"
 #include "sim/telemetry.hpp"
 
 namespace rc {
@@ -100,8 +101,19 @@ bool write_telemetry_file(const Telemetry& t, const std::string& path,
                    static_cast<unsigned long long>(s.buffered_flits),
                    static_cast<unsigned long long>(s.live_circuits));
   } else {
-    std::fprintf(f, "{\"e\":\"header\",\"v\":1,\"sample_every\":%llu}\n",
-                 static_cast<unsigned long long>(t.sample_every()));
+    // Non-default fabric labels ride in the header so digests across the
+    // topology axis stay attributable; on the default mesh the line is
+    // byte-identical to what earlier versions wrote.
+    const NocConfig& noc = t.noc_config();
+    std::string labels;
+    if (noc.topology != TopologyKind::Mesh)
+      labels += std::string(",\"topology\":\"") + to_string(noc.topology) +
+                "\"";
+    if (noc.mc_placement != McPlacement::EdgeMiddle)
+      labels += std::string(",\"mc\":\"") + to_string(noc.mc_placement) + "\"";
+    std::fprintf(f, "{\"e\":\"header\",\"v\":1,\"sample_every\":%llu%s}\n",
+                 static_cast<unsigned long long>(t.sample_every()),
+                 labels.c_str());
     // Events and samples interleaved in cycle order; a sample summarizes the
     // window *ending* at its cycle, so on a tie the events come first.
     const auto& evs = t.events();

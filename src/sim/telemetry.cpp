@@ -50,6 +50,8 @@ Telemetry::Telemetry(Network* net, std::string path, Cycle sample_every)
   net_->set_observer(this);
 }
 
+const NocConfig& Telemetry::noc_config() const { return net_->config(); }
+
 Telemetry::~Telemetry() {
   // Restore the displaced observer (the Validator, when RC_CHECK is on) so
   // detaching telemetry never silently detaches validation too.

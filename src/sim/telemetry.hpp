@@ -38,6 +38,7 @@
 namespace rc {
 
 class Network;
+struct NocConfig;
 
 /// One trace record. Which fields are meaningful depends on `kind`; unused
 /// ones keep their defaults (and are omitted from the JSONL line).
@@ -100,6 +101,8 @@ class Telemetry final : public NocObserver {
 
   const std::string& path() const { return path_; }
   Cycle sample_every() const { return sample_every_; }
+  /// Fabric configuration of the observed network (trace-header labels).
+  const NocConfig& noc_config() const;
   const std::vector<TelemetryEvent>& events() const { return events_; }
   const std::vector<TelemetrySample>& samples() const { return samples_; }
 

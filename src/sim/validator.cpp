@@ -313,7 +313,9 @@ void Validator::scan_credits(Cycle now) {
       const Router::PortWiring& w = up.wiring(d);
       if (!w.connected || !w.out_data || !w.out_credits) continue;
       Router& down = net_->router(bn);
-      const Dir rd = opposite(d);
+      // The downstream input port is the topology's reverse port (equal to
+      // opposite(d) on all current fabrics, but the table is authoritative).
+      const Dir rd = topo.reverse_dir(a, d);
       for (int vn = 0; vn < kNumVNets; ++vn) {
         const VNet v = static_cast<VNet>(vn);
         for (int vc = 0; vc < cfg.vcs_in_vn(v); ++vc) {

@@ -54,8 +54,16 @@ TEST(Validate, RejectsBadPartition) {
 }
 
 TEST(Validate, RejectsOversizedMesh) {
+  // The directory sharer set grows with the fabric now (SharerSet), so
+  // 16x8 = 128 nodes is legal; only absurd dimensions are rejected.
   SystemConfig cfg = make_system_config(64, "Baseline", "fft");
-  cfg.noc.mesh_w = 16;  // 16x8 = 128 > 64-node directory mask
+  cfg.noc.mesh_w = 16;
+  EXPECT_EQ(cfg.validate(), "");
+  cfg.noc.mesh_w = 65;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.noc.mesh_w = 0;
+  EXPECT_NE(cfg.validate(), "");
+  cfg.noc.mesh_w = -3;
   EXPECT_NE(cfg.validate(), "");
 }
 

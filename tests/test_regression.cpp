@@ -8,8 +8,11 @@
 // kGolden, and note the behavioural change in your commit message.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
+#include "sim/system.hpp"
 
 namespace rc {
 namespace {
@@ -50,6 +53,32 @@ TEST(Regression, RunManyMatchesSerialRuns) {
               ser.net.counter_value("ni_inject_flit"))
         << labels[i];
   }
+}
+
+TEST(Regression, FragmentedRetryQueueDoesNotSplitPackets) {
+  // Fuzz-found: a flit arriving at a port whose circuit retry queue was
+  // non-empty used to be detained unconditionally, even when it had no
+  // possible circuit entry at that router. Its packet-mates (which arrived
+  // while the queue was empty) took the normal pipeline, so the stranded
+  // tail later landed in an Idle input VC and tripped the "packet must
+  // start with a head flit" invariant. The fix lets a flit that cannot
+  // interact with the circuit machinery fall through to the buffer.
+  setenv("RC_CHECK", "1", 1);
+  SystemConfig cfg = make_system_config(16, "Fragmented", "radiosity", 856246);
+  cfg.noc.mesh_w = 8;
+  cfg.noc.mesh_h = 8;
+  cfg.noc.mc_placement = McPlacement::Corner;
+  cfg.noc.vcs_request_vn = 1;
+  cfg.noc.vcs_reply_vn = 3;
+  cfg.noc.buffer_depth_flits = 2;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 4'000;
+  ASSERT_EQ(cfg.validate(), "");
+  System sys(cfg);
+  ASSERT_NE(sys.validator(), nullptr);
+  EXPECT_NO_THROW(sys.run());
+  EXPECT_GT(sys.total_retired(), 0u);
+  unsetenv("RC_CHECK");
 }
 
 TEST(Regression, RectangularMeshesWork) {

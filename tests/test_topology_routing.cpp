@@ -3,6 +3,8 @@
 // routers of its XY request, in reverse order (§4.1).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "noc/routing.hpp"
@@ -74,6 +76,25 @@ TEST(Topology, MemCtrlMappingIsStable) {
   Topology t(4, 4);
   for (Addr a = 0; a < 64 * 100; a += 64)
     EXPECT_EQ(t.mem_ctrl_for(a), t.mem_ctrl_for(a + 1));
+}
+
+// Regression: on small fabrics several placement picks land on the same
+// node (a 2x2 mesh puts south-middle and east-middle both on (1,1)); the
+// controller list must hold unique nodes and the address interleave must
+// cover exactly that unique set.
+TEST(Topology, SmallMeshControllersAreDeduplicated) {
+  for (auto dims : std::vector<std::pair<int, int>>{{2, 2}, {1, 8}, {3, 1}}) {
+    Topology t(dims.first, dims.second);
+    const auto& mcs = t.memory_controller_nodes();
+    std::set<NodeId> unique(mcs.begin(), mcs.end());
+    EXPECT_EQ(unique.size(), mcs.size())
+        << dims.first << "x" << dims.second << " has duplicate controllers";
+    std::set<NodeId> used;
+    for (Addr a = 0; a < 64 * 256; a += 64) used.insert(t.mem_ctrl_for(a));
+    EXPECT_EQ(used, unique)
+        << dims.first << "x" << dims.second
+        << ": interleave does not cover the unique controller set";
+  }
 }
 
 TEST(Routing, XYGoesHorizontalFirst) {
@@ -154,6 +175,19 @@ TEST(LatencyModel, ReplyTransit) {
   LatencyModel lat(cfg);
   EXPECT_EQ(lat.reply_transit(0), 2);
   EXPECT_EQ(lat.reply_transit(3), 8);
+}
+
+// Regression for the by-value NocConfig copy the model used to hold: the
+// config must stay single-sourced, so an edit to the owning config after
+// construction is visible to the estimator.
+TEST(LatencyModel, TracksConfigEditsAfterConstruction) {
+  NocConfig cfg;
+  LatencyModel lat(cfg);
+  const int hop_before = lat.packet_hop();
+  const int transit_before = lat.reply_transit(3);
+  cfg.link_latency += 2;
+  EXPECT_EQ(lat.packet_hop(), hop_before + 2);
+  EXPECT_EQ(lat.reply_transit(3), transit_before + 2 * 4);  // 3 hops + inject
 }
 
 }  // namespace

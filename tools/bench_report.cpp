@@ -72,6 +72,22 @@ Entry bench_loadsweep(double rate, Cycle measure, int shards) {
   return Entry{name, t1 - t0, warmup + measure};
 }
 
+// 16x16 scaling point (256 nodes): the same synthetic sweep on the larger
+// preset, so datapath regressions that only show past the 8x8 footprint
+// (sharer spill, bigger hop counts, wider stat arrays) are tracked too.
+Entry bench_loadsweep16(double rate, Cycle measure, int shards) {
+  NocConfig cfg = make_system_config(256, "SlackDelay1_NoAck", "fft").noc;
+  SyntheticTraffic t(cfg, rate, /*service=*/7, /*seed=*/1, shards);
+  const Cycle warmup = 3'000;
+  const double t0 = now_s();
+  SyntheticResult r = t.run(warmup, measure);
+  const double t1 = now_s();
+  if (r.requests_done == 0) fatal("bench-report: load sweep injected nothing");
+  char name[64];
+  std::snprintf(name, sizeof name, "loadsweep_16x16_rate%.2f", rate);
+  return Entry{name, t1 - t0, warmup + measure};
+}
+
 // Mirrors bench_micro_router's BM_LoadedNetworkTick at mesh 8: a raw fabric
 // with one 1-flit request injected every 4th cycle. The injection schedule
 // is pre-generated from one RNG so the offered traffic is identical for any
@@ -241,6 +257,7 @@ int main(int argc, char** argv) {
     };
     add(bench_loadsweep(0.04, env_measure_cycles(12'000), shards));
     add(bench_loadsweep(0.08, env_measure_cycles(12'000), shards));
+    add(bench_loadsweep16(0.04, env_measure_cycles(6'000), shards));
     add(bench_micro_router(env_measure_cycles(200'000), shards));
     add(bench_system(env_measure_cycles(20'000), shards));
   }

@@ -36,6 +36,8 @@ struct FuzzCase {
   int vcs_req = 2;
   int vcs_rep = 2;
   int shards = 1;  ///< worker shards (PR 3's parallel tick engine)
+  TopologyKind topology = TopologyKind::Mesh;
+  McPlacement mc = McPlacement::EdgeMiddle;
   std::uint64_t seed = 1;
 };
 
@@ -81,6 +83,16 @@ FuzzCase draw_case(Rng& rng) {
   // covered; clamped to num_nodes by System anyway.
   static const int kShards[] = {1, 1, 2, 4};
   fc.shards = kShards[rng.next_below(4)];
+  // Topology x MC-placement axis. Weighted toward the paper's mesh; every
+  // kMesh size above is even and at least 2x2, so all four kinds accept it.
+  static const TopologyKind kTopo[] = {
+      TopologyKind::Mesh, TopologyKind::Mesh, TopologyKind::Mesh,
+      TopologyKind::Torus, TopologyKind::Ring, TopologyKind::CMesh};
+  fc.topology = kTopo[rng.next_below(6)];
+  static const McPlacement kMc[] = {McPlacement::EdgeMiddle,
+                                    McPlacement::Corner,
+                                    McPlacement::Diagonal};
+  fc.mc = kMc[rng.next_below(3)];
   fc.seed = 1 + rng.next_below(1u << 20);
   return fc;
 }
@@ -89,6 +101,8 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
   SystemConfig cfg = make_system_config(16, fc.preset, fc.app, fc.seed);
   cfg.noc.mesh_w = fc.mesh_w;
   cfg.noc.mesh_h = fc.mesh_h;
+  cfg.noc.topology = fc.topology;
+  cfg.noc.mc_placement = fc.mc;
   cfg.noc.vcs_request_vn = fc.vcs_req;
   cfg.noc.vcs_reply_vn = fc.vcs_rep;
   if (fc.circuits >= 0) cfg.noc.circuit.circuits_per_input = fc.circuits;
@@ -109,7 +123,9 @@ std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
                     " build/tools/rc-sim --cores 16 --preset " + fc.preset +
                     " --app " + fc.app + " --mesh " +
                     std::to_string(fc.mesh_w) + "x" +
-                    std::to_string(fc.mesh_h) + " --vcs-req " +
+                    std::to_string(fc.mesh_h) + " --topology " +
+                    to_string(fc.topology) + " --mc-placement " +
+                    to_string(fc.mc) + " --vcs-req " +
                     std::to_string(fc.vcs_req) + " --vcs-rep " +
                     std::to_string(fc.vcs_rep);
   if (fc.circuits >= 0) cmd += " --circuits " + std::to_string(fc.circuits);
@@ -181,11 +197,12 @@ int main(int argc, char** argv) {
     }
     if (verbose)
       std::fprintf(stderr,
-                   "[rc-fuzz] %lld: %s/%s %dx%d circs=%d slack=%d depth=%d "
-                   "vcs=%d/%d shards=%d seed=%llu\n",
+                   "[rc-fuzz] %lld: %s/%s %dx%d %s/%s circs=%d slack=%d "
+                   "depth=%d vcs=%d/%d shards=%d seed=%llu\n",
                    i, fc.preset.c_str(), fc.app.c_str(), fc.mesh_w, fc.mesh_h,
-                   fc.circuits, fc.slack, fc.depth, fc.vcs_req, fc.vcs_rep,
-                   fc.shards, static_cast<unsigned long long>(fc.seed));
+                   to_string(fc.topology), to_string(fc.mc), fc.circuits,
+                   fc.slack, fc.depth, fc.vcs_req, fc.vcs_rep, fc.shards,
+                   static_cast<unsigned long long>(fc.seed));
     try {
       System sys(cfg);
       sys.run();

@@ -8,6 +8,8 @@
 //     --cycles N          measured cycles              (default 30000)
 //     --seed N            simulation seed              (default 1)
 //     --partition N       partition side, 0 = off      (default 0)
+//     --topology NAME     mesh|torus|ring|cmesh        (default mesh)
+//     --mc-placement NAME edge-middle|corner|diagonal  (default edge-middle)
 //     --circuits N        circuits per input port override
 //     --slack N           slack cycles/hop override
 //     --buf-depth N       per-VC buffer depth in flits override
@@ -49,6 +51,8 @@ struct Options {
   bool csv = false;
   bool heatmap = false;
   int mesh_w = 0, mesh_h = 0;  ///< 0 = derive from --cores
+  TopologyKind topology = TopologyKind::Mesh;
+  McPlacement mc_placement = McPlacement::EdgeMiddle;
   std::string trace_path;
 };
 
@@ -59,6 +63,8 @@ struct Options {
                "          [--circuits N] [--slack N] [--buf-depth N]\n"
                "          [--no-l1tol1] [--csv]\n"
                "          [--trace FILE.json] [--heatmap] [--mesh WxH]\n"
+               "          [--topology mesh|torus|ring|cmesh]\n"
+               "          [--mc-placement edge-middle|corner|diagonal]\n"
                "          [--vcs-req N] [--vcs-rep N] [--list]\n",
                argv0);
   std::exit(2);
@@ -92,10 +98,12 @@ void print_heatmap(System& sys) {
 RunResult run(const Options& o, const std::string& preset,
               const std::string& app) {
   SystemConfig cfg = make_system_config(o.cores, preset, app, o.seed);
-  if (o.mesh_w > 0 && o.mesh_h > 0) {
+  if (o.mesh_w != 0 || o.mesh_h != 0) {
     cfg.noc.mesh_w = o.mesh_w;
     cfg.noc.mesh_h = o.mesh_h;
   }
+  cfg.noc.topology = o.topology;
+  cfg.noc.mc_placement = o.mc_placement;
   cfg.warmup_cycles = o.warmup;
   cfg.measure_cycles = o.cycles;
   cfg.partition_side = o.partition;
@@ -238,6 +246,29 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--mesh")) {
       const char* v = need("--mesh");
       if (std::sscanf(v, "%dx%d", &o.mesh_w, &o.mesh_h) != 2) usage(argv[0]);
+      if (o.mesh_w < 1 || o.mesh_h < 1) {
+        std::fprintf(stderr, "--mesh: dimensions must be positive, got %s\n",
+                     v);
+        std::exit(2);
+      }
+    }
+    else if (!std::strcmp(argv[i], "--topology")) {
+      const char* v = need("--topology");
+      if (!topology_from_string(v, &o.topology)) {
+        std::fprintf(stderr,
+                     "--topology: unknown kind \"%s\" "
+                     "(mesh|torus|ring|cmesh)\n", v);
+        std::exit(2);
+      }
+    }
+    else if (!std::strcmp(argv[i], "--mc-placement")) {
+      const char* v = need("--mc-placement");
+      if (!mc_placement_from_string(v, &o.mc_placement)) {
+        std::fprintf(stderr,
+                     "--mc-placement: unknown policy \"%s\" "
+                     "(edge-middle|corner|diagonal)\n", v);
+        std::exit(2);
+      }
     }
     else if (!std::strcmp(argv[i], "--csv")) o.csv = true;
     else if (!std::strcmp(argv[i], "--list")) list_and_exit();
