@@ -36,6 +36,25 @@ void run_size(int cores, RunCache& cache) {
           std::to_string(cores) + " cores");
 }
 
+// Protocol axis: the same reply breakdown under full-map MESI vs
+// sparse-directory MSI on the sharing-stress generators, whose
+// recall/forward storms are the traffic the circuit layer must absorb.
+void run_protocol_axis() {
+  Table t({"protocol", "app", "circuit", "failed", "undone", "scrounger",
+           "not-eligible", "eliminated", "other"});
+  for (Protocol proto : {Protocol::FullMapMESI, Protocol::SparseMSI}) {
+    for (const char* app : {"producer_consumer", "sharing_heavy"}) {
+      ReplyBreakdown b = reply_breakdown(
+          run_protocol_point(16, "SlackDelay1_NoAck", app, proto));
+      t.add_row({to_string(proto), app, Table::pct(b.used),
+                 Table::pct(b.failed), Table::pct(b.undone),
+                 Table::pct(b.scrounged), Table::pct(b.not_eligible),
+                 Table::pct(b.eliminated), Table::pct(b.other)});
+    }
+  }
+  t.print("Figure 6 protocol axis — 16 cores, SlackDelay1_NoAck");
+}
+
 }  // namespace
 
 int main() {
@@ -47,6 +66,7 @@ int main() {
   cache.prefetch({16, 64}, preset_names(), bench_apps());
   run_size(16, cache);
   run_size(64, cache);
+  run_protocol_axis();
   std::printf(
       "\nShape checks vs. the paper:\n"
       "  * basic Complete at 64 cores rides fewer circuits than at 16\n"

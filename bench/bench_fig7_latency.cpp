@@ -48,6 +48,30 @@ void run_size(int cores, RunCache& cache) {
   t.print("Figure 7 — " + std::to_string(cores) + " cores (cycles)");
 }
 
+// Protocol axis: latency by message class for the sharing-stress apps under
+// both coherence protocols; the sparse directory's recall storms add
+// REQ/INV/ACK rounds whose queueing cost shows up here.
+void run_protocol_axis() {
+  Table t({"protocol", "app", "req net", "req queue", "CircRep net",
+           "CircRep queue", "NoCircRep net", "NoCircRep queue"});
+  for (Protocol proto : {Protocol::FullMapMESI, Protocol::SparseMSI}) {
+    for (const char* app : {"producer_consumer", "sharing_heavy"}) {
+      RunResult r = run_protocol_point(16, "SlackDelay1_NoAck", app, proto);
+      auto lat = [&r](const char* key) {
+        const Accumulator* a = r.net.find_acc(key);
+        return a && a->count() ? a->mean() : 0.0;
+      };
+      t.add_row({to_string(proto), app, Table::num(lat("lat_net_req"), 1),
+                 Table::num(lat("lat_q_req"), 1),
+                 Table::num(lat("lat_net_rep_circ"), 1),
+                 Table::num(lat("lat_q_rep_circ"), 1),
+                 Table::num(lat("lat_net_rep_nocirc"), 1),
+                 Table::num(lat("lat_q_rep_nocirc"), 1)});
+    }
+  }
+  t.print("Figure 7 protocol axis — 16 cores, SlackDelay1_NoAck (cycles)");
+}
+
 }  // namespace
 
 int main() {
@@ -59,5 +83,6 @@ int main() {
   cache.prefetch({16, 64}, preset_names_small(), bench_apps());
   run_size(16, cache);
   run_size(64, cache);
+  run_protocol_axis();
   return 0;
 }

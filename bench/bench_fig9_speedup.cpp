@@ -27,6 +27,24 @@ void run_size(int cores, RunCache& cache) {
   t.print("Figure 9 — " + std::to_string(cores) + " cores");
 }
 
+// Protocol axis: circuit speedup over the baseline NoC, per coherence
+// protocol, on the sharing-stress apps. Each protocol gets its own
+// baseline so the ratio isolates what circuits buy that protocol's
+// traffic, not the protocols' absolute throughput difference.
+void run_protocol_axis() {
+  Table t({"protocol", "app", "speedup"});
+  for (Protocol proto : {Protocol::FullMapMESI, Protocol::SparseMSI}) {
+    for (const char* app : {"producer_consumer", "sharing_heavy"}) {
+      RunResult base = run_protocol_point(16, "Baseline", app, proto);
+      RunResult var =
+          run_protocol_point(16, "SlackDelay1_NoAck", app, proto);
+      t.add_row({to_string(proto), app,
+                 Table::num(var.ipc / base.ipc, 3)});
+    }
+  }
+  t.print("Figure 9 protocol axis — 16 cores, SlackDelay1_NoAck vs Baseline");
+}
+
 }  // namespace
 
 int main() {
@@ -38,5 +56,6 @@ int main() {
   cache.prefetch({16, 64}, preset_names_small(), bench_apps());
   run_size(16, cache);
   run_size(64, cache);
+  run_protocol_axis();
   return 0;
 }

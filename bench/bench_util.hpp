@@ -85,6 +85,20 @@ class RunCache {
   std::map<std::tuple<int, std::string, std::string>, RunResult> cache_;
 };
 
+/// One point on the coherence-protocol axis: the same (preset, app)
+/// configuration under the chosen protocol. Kept out of RunCache on
+/// purpose — the figure benches add a bounded protocol section (16 cores,
+/// the sharing-stress apps, one or two presets) instead of multiplying the
+/// whole figure matrix by the protocol count.
+inline RunResult run_protocol_point(int cores, const std::string& preset,
+                                    const std::string& app, Protocol proto) {
+  SystemConfig cfg = make_system_config(cores, preset, app, base_seed());
+  cfg.warmup_cycles = warmup();
+  cfg.measure_cycles = measure();
+  cfg.protocol = proto;
+  return run_config(cfg, preset + "/" + to_string(proto));
+}
+
 /// Mean and standard error of per-app values.
 struct MeanErr {
   double mean = 0;

@@ -1,0 +1,24 @@
+#include "coherence/directory.hpp"
+
+namespace rc {
+
+Directory::Directory(const CacheConfig& cfg, int num_banks)
+    : array_(cfg.dir_sets, cfg.dir_ways, num_banks),
+      pointers_(cfg.dir_pointers) {}
+
+bool Directory::needs_pointer_recall(const Line& l, NodeId requestor) const {
+  if (l.meta.sharers.test(requestor)) return false;
+  return l.meta.sharers.count() >= pointers_;
+}
+
+Directory::Line* Directory::try_install(Addr addr, Cycle now) {
+  if (!array_.free_way(addr)) return nullptr;
+  return array_.install(addr, now);
+}
+
+Directory::Line* Directory::victim(
+    Addr addr, const std::function<bool(Addr)>& evictable) {
+  return array_.victim(addr, [&](const Line& l) { return evictable(l.tag); });
+}
+
+}  // namespace rc

@@ -7,10 +7,14 @@
 namespace rc {
 
 L2Bank::L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
-               Network* net, const AddressMap* amap, StatSet* stats)
-    : node_(node), cfg_(cfg), circ_(circ), net_(net), amap_(amap),
-      stats_(stats),
-      array_(cfg.l2_sets, cfg.l2_ways, net->topo().num_nodes()) {}
+               Network* net, const AddressMap* amap, StatSet* stats,
+               Protocol protocol)
+    : node_(node), cfg_(cfg), circ_(circ), proto_(protocol), net_(net),
+      amap_(amap), stats_(stats),
+      array_(cfg.l2_sets, cfg.l2_ways, net->topo().num_nodes()) {
+  if (proto_ == Protocol::SparseMSI)
+    dir_ = std::make_unique<Directory>(cfg, net->topo().num_nodes());
+}
 
 MsgPtr L2Bank::make(MsgType t, NodeId dest, Addr addr, int flits) const {
   auto m = std::make_shared<Message>();
@@ -50,7 +54,17 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
       break;
     }
     case MsgType::WbData: {
-      if (auto* line = array_.find(addr)) {
+      if (proto_ == Protocol::SparseMSI) {
+        if (auto* d = dir_->find(addr)) {
+          if (d->meta.owner == msg->src) d->meta.owner = kInvalidNode;
+          d->meta.sharers.remove(msg->src);
+          // Reclaim an emptied entry eagerly — but only when no transaction
+          // is outstanding: completion handlers expect their entry present.
+          if (dir_->empty(*d) && txns_.find(addr) == txns_.end())
+            dir_->release(*d);
+        }
+        if (auto* line = array_.find(addr)) line->meta.dirty = true;
+      } else if (auto* line = array_.find(addr)) {
         if (line->meta.owner == msg->src) line->meta.owner = kInvalidNode;
         line->meta.sharers.remove(msg->src);
         line->meta.dirty = true;
@@ -73,13 +87,31 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
       auto it = txns_.find(addr);
       RC_ASSERT(it != txns_.end(), "stray L1InvAck");
       Txn& t = it->second;
-      RC_ASSERT(t.st == TxnState::WaitInvAcks || t.st == TxnState::EvictInv,
+      RC_ASSERT(t.st == TxnState::WaitInvAcks || t.st == TxnState::EvictInv ||
+                    t.st == TxnState::WaitPtrRoom || t.st == TxnState::DirEvict,
                 "L1InvAck in wrong state");
       if (--t.acks_needed > 0) break;
       if (t.st == TxnState::WaitInvAcks) {
-        auto* line = array_.find(addr);
-        RC_ASSERT(line != nullptr, "invalidating a missing line");
-        if (t.pending->type == MsgType::GetS) {
+        if (proto_ == Protocol::SparseMSI) {
+          auto* d = dir_->find(addr);
+          RC_ASSERT(d != nullptr, "invalidating without a directory entry");
+          if (t.pending->type == MsgType::GetS) {
+            // Recalled owner (MSI: no clean-exclusive grants to undo, this
+            // was a writer). With >= 2 pointers the downgrade variant kept
+            // it as a sharer; the requestor joins in S.
+            d->meta.sharers.add(t.pending->src);
+            d->meta.owner = kInvalidNode;
+            t.st = TxnState::WaitDataAck;
+            send_data_reply(t.pending, /*exclusive=*/false, now);
+          } else {
+            d->meta.sharers.clear();
+            d->meta.owner = t.pending->src;
+            t.st = TxnState::WaitDataAck;
+            send_data_reply(t.pending, /*exclusive=*/true, now);
+          }
+        } else if (t.pending->type == MsgType::GetS) {
+          auto* line = array_.find(addr);
+          RC_ASSERT(line != nullptr, "invalidating a missing line");
           // L2-intermediary recall for a read: the old owner kept an S
           // copy; the requestor joins it as a sharer.
           line->meta.sharers.add(t.pending->src);
@@ -87,12 +119,43 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
           t.st = TxnState::WaitDataAck;
           send_data_reply(t.pending, /*exclusive=*/false, now);
         } else {
+          auto* line = array_.find(addr);
+          RC_ASSERT(line != nullptr, "invalidating a missing line");
           // All sharers gone: grant the writer exclusive data.
           line->meta.sharers.clear();
           line->meta.owner = t.pending->src;
           t.st = TxnState::WaitDataAck;
           send_data_reply(t.pending, /*exclusive=*/true, now);
         }
+      } else if (t.st == TxnState::WaitPtrRoom) {
+        // The recalled sharer's pointer is free again (it was dropped from
+        // the sharer set at send time): re-dispatch the stalled request.
+        MsgPtr req = t.pending;
+        auto waiting = std::move(t.waiting);
+        txns_.erase(it);
+        process_cpu_req(req, now);
+        for (auto& w : waiting) handle(w, now);
+      } else if (t.st == TxnState::DirEvict) {
+        // Directory-entry eviction storm done: every tracked copy of the
+        // victim tag acked. The L2 data line stays; only the entry frees.
+        Addr parent = t.parent;
+        auto* d = dir_->find(addr);
+        RC_ASSERT(d != nullptr, "dir-evicting a missing entry");
+        if (d->meta.owner != kInvalidNode)
+          if (auto* line = array_.find(addr)) line->meta.dirty = true;
+        dir_->release(*d);
+        ++stats_->counter("l2_dir_evictions");
+        auto waiting = std::move(t.waiting);
+        txns_.erase(it);
+        auto pit = txns_.find(parent);
+        RC_ASSERT(pit != txns_.end() && pit->second.st == TxnState::WaitEvict,
+                  "orphan directory-victim transaction");
+        MsgPtr req = pit->second.pending;
+        auto pwaiting = std::move(pit->second.waiting);
+        txns_.erase(pit);
+        process_cpu_req(req, now);
+        for (auto& w : pwaiting) handle(w, now);
+        for (auto& w : waiting) handle(w, now);
       } else {
         // Victim clean-up finished: resume the miss that needed the frame.
         Addr parent = t.parent;
@@ -102,6 +165,8 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
           send_later(make(MsgType::MemWb, amap_->mem_ctrl(addr), addr, 5), now);
         line->valid = false;
         ++stats_->counter("l2_evictions");
+        if (proto_ == Protocol::SparseMSI)
+          if (auto* d = dir_->find(addr)) dir_->release(*d);
         auto waiting = std::move(t.waiting);
         txns_.erase(it);
         auto pit = txns_.find(parent);
@@ -138,6 +203,10 @@ void L2Bank::handle(const MsgPtr& msg, Cycle now) {
 }
 
 void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
+  if (proto_ == Protocol::SparseMSI) {
+    process_cpu_req_sparse(msg, now);
+    return;
+  }
   RC_ASSERT(txns_.find(msg->addr) == txns_.end(), "line already blocked");
   auto* line = array_.find(msg->addr);
   if (!line || line->meta.fetching) {
@@ -226,6 +295,173 @@ void L2Bank::process_cpu_req(const MsgPtr& msg, Cycle now) {
   }
 }
 
+void L2Bank::process_cpu_req_sparse(const MsgPtr& msg, Cycle now) {
+  RC_ASSERT(txns_.find(msg->addr) == txns_.end(), "line already blocked");
+  auto* line = array_.find(msg->addr);
+  if (!line || line->meta.fetching) {
+    start_miss(msg, now);
+    return;
+  }
+  ++stats_->counter("l2_hits");
+  array_.touch(*line, now);
+  const NodeId req = msg->src;
+
+  auto* d = dir_->find(msg->addr);
+  if (!d) {
+    d = dir_ensure(msg, now);
+    if (!d) return;  // stalled behind a directory eviction or a full set
+  }
+  dir_->touch(*d, now);
+  Directory::Entry& m = d->meta;
+  if (m.owner == req) m.owner = kInvalidNode;  // stale dir: WB in flight
+
+  if (msg->type == MsgType::GetS) {
+    if (m.owner != kInvalidNode) {
+      // An L1 holds the line in M. With a single pointer the old holder
+      // cannot stay tracked beside the requestor, so it is recalled with a
+      // plain invalidation; otherwise the full-map recall/forward shapes
+      // apply, ending with {old owner, requestor} both in S (two pointers).
+      if (dir_->pointer_limit() < 2) {
+        send_later(make(MsgType::Inv, m.owner, msg->addr, 1),
+                   now + cfg_.l2_hit_latency);
+        ++stats_->counter("l2_invs_sent");
+        m.sharers.clear();
+        m.owner = kInvalidNode;
+        line->meta.dirty = true;
+        txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, 1, 0, {}};
+        ++stats_->counter("l2_recalls");
+      } else if (!cfg_.direct_l1_transfers) {
+        auto rec = make(MsgType::Inv, m.owner, msg->addr, 1);
+        rec->downgrade = true;
+        send_later(std::move(rec), now + cfg_.l2_hit_latency);
+        ++stats_->counter("l2_invs_sent");
+        m.sharers.assign_only(m.owner);
+        m.owner = kInvalidNode;
+        line->meta.dirty = true;
+        txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, 1, 0, {}};
+        ++stats_->counter("l2_recalls");
+      } else {
+        // §4.4 case 1: owner-to-owner forward; the requestor's circuit
+        // toward us will never be used — undo it.
+        bool undone = try_undo_circuit(msg, now, /*expect_reply=*/false);
+        auto fwd = make(MsgType::FwdGetS, m.owner, msg->addr, 1);
+        fwd->fwd_requestor = req;
+        fwd->undone_marker = undone;
+        send_later(std::move(fwd), now + cfg_.l2_hit_latency);
+        m.sharers.assign_only(m.owner);
+        m.sharers.add(req);
+        m.owner = kInvalidNode;
+        txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+        ++stats_->counter("l2_fwd_gets");
+      }
+      return;
+    }
+    if (dir_->needs_pointer_recall(*d, req)) {
+      // Pointer overflow: recall the lowest-numbered sharer so the
+      // requestor can take its pointer. Dropped from the set at send time;
+      // the ack re-dispatches the request (WaitPtrRoom).
+      NodeId victim = m.sharers.lowest_besides(req);
+      RC_ASSERT(victim != kInvalidNode, "pointer recall with no sharers");
+      m.sharers.remove(victim);
+      send_later(make(MsgType::Inv, victim, msg->addr, 1),
+                 now + cfg_.l2_hit_latency);
+      ++stats_->counter("l2_invs_sent");
+      txns_[msg->addr] = Txn{TxnState::WaitPtrRoom, msg, 1, 0, {}};
+      ++stats_->counter("l2_ptr_recalls");
+      return;
+    }
+    m.sharers.add(req);
+    txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+    send_data_reply(msg, /*exclusive=*/false, now);  // MSI: no E grant
+    return;
+  }
+
+  // GetX
+  if (m.owner != kInvalidNode) {
+    if (cfg_.direct_l1_transfers) {
+      bool undone = try_undo_circuit(msg, now, /*expect_reply=*/false);
+      auto fwd = make(MsgType::FwdGetX, m.owner, msg->addr, 1);
+      fwd->fwd_requestor = req;
+      fwd->undone_marker = undone;
+      send_later(std::move(fwd), now + cfg_.l2_hit_latency);
+      m.owner = req;
+      m.sharers.clear();
+      line->meta.dirty = true;
+      txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+      ++stats_->counter("l2_fwd_getx");
+    } else {
+      send_later(make(MsgType::Inv, m.owner, msg->addr, 1),
+                 now + cfg_.l2_hit_latency);
+      ++stats_->counter("l2_invs_sent");
+      m.owner = kInvalidNode;
+      m.sharers.clear();
+      line->meta.dirty = true;
+      txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, 1, 0, {}};
+      ++stats_->counter("l2_recalls");
+    }
+    return;
+  }
+  if (m.sharers.any_besides(req)) {
+    int n = send_dir_invalidations(*d, req, now);
+    line->meta.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitInvAcks, msg, n, 0, {}};
+    ++stats_->counter("l2_invalidation_rounds");
+  } else {
+    m.sharers.clear();
+    m.owner = req;
+    line->meta.dirty = true;
+    txns_[msg->addr] = Txn{TxnState::WaitDataAck, msg, 0, 0, {}};
+    send_data_reply(msg, /*exclusive=*/true, now);
+  }
+}
+
+Directory::Line* L2Bank::dir_ensure(const MsgPtr& msg, Cycle now) {
+  if (auto* d = dir_->find(msg->addr)) return d;
+  if (auto* d = dir_->try_install(msg->addr, now)) return d;
+  auto* victim = dir_->victim(msg->addr, [&](Addr tag) {
+    return txns_.find(tag) == txns_.end();
+  });
+  if (!victim) {
+    retry_.push_back(msg);  // every entry's tag blocked: retry next cycle
+    wake(now);
+    ++stats_->counter("l2_dir_stall");
+    return nullptr;
+  }
+  if (dir_->empty(*victim)) {
+    // Stale empty entry (emptied while its tag had a transaction): reclaim
+    // silently, no recalls needed.
+    dir_->release(*victim);
+    ++stats_->counter("l2_dir_evictions");
+    auto* d = dir_->try_install(msg->addr, now);
+    RC_ASSERT(d != nullptr, "released entry not reusable");
+    return d;
+  }
+  // Broadcast recall storm: every tracked copy of the victim tag must be
+  // invalidated (and acked) before the entry can be reused.
+  int n = send_dir_invalidations(*victim, kInvalidNode, now);
+  txns_[victim->tag] = Txn{TxnState::DirEvict, nullptr, n, msg->addr, {}};
+  txns_[msg->addr] = Txn{TxnState::WaitEvict, msg, 0, 0, {}};
+  ++stats_->counter("l2_dir_evict_recalls");
+  return nullptr;
+}
+
+int L2Bank::send_dir_invalidations(const Directory::Line& entry, NodeId except,
+                                   Cycle now) {
+  int n = 0;
+  entry.meta.sharers.for_each([&](NodeId s) {
+    if (s == except) return;
+    send_later(make(MsgType::Inv, s, entry.tag, 1), now + cfg_.l2_hit_latency);
+    ++n;
+  });
+  if (entry.meta.owner != kInvalidNode && entry.meta.owner != except) {
+    send_later(make(MsgType::Inv, entry.meta.owner, entry.tag, 1),
+               now + cfg_.l2_hit_latency);
+    ++n;
+  }
+  stats_->counter("l2_invs_sent") += static_cast<std::uint64_t>(n);
+  return n;
+}
+
 int L2Bank::send_invalidations(const Line& line, NodeId except, Cycle now) {
   int n = 0;
   line.meta.sharers.for_each([&](NodeId s) {
@@ -270,7 +506,20 @@ void L2Bank::start_miss(const MsgPtr& msg, Cycle now) {
     ++stats_->counter("l2_victim_stall");
     return;
   }
-  if (victim->meta.owner != kInvalidNode || victim->meta.sharers.any()) {
+  if (proto_ == Protocol::SparseMSI) {
+    // L1 copies live wherever the sparse directory says they do. A line
+    // with no entry (or an emptied one) evicts silently; otherwise the
+    // inclusive recall goes to the entry's tracked population.
+    if (auto* d = dir_->find(victim->tag)) {
+      if (!dir_->empty(*d)) {
+        int n = send_dir_invalidations(*d, kInvalidNode, now);
+        txns_[victim->tag] = Txn{TxnState::EvictInv, nullptr, n, msg->addr, {}};
+        txns_[msg->addr] = Txn{TxnState::WaitEvict, msg, 0, 0, {}};
+        return;
+      }
+      dir_->release(*d);
+    }
+  } else if (victim->meta.owner != kInvalidNode || victim->meta.sharers.any()) {
     // Inclusive L2: recall/invalidate the L1 copies first (write-or-
     // replacement invalidation of Table 3).
     int n = send_invalidations(*victim, kInvalidNode, now);
@@ -336,16 +585,33 @@ void L2Bank::tick(Cycle now) {
 }
 
 NodeId L2Bank::owner_of(Addr addr) {
+  if (proto_ == Protocol::SparseMSI) {
+    auto* d = dir_->find(addr);
+    return d ? d->meta.owner : kInvalidNode;
+  }
   auto* line = array_.find(addr);
   return line ? line->meta.owner : kInvalidNode;
 }
 
-void L2Bank::prewarm_line(Addr addr, NodeId owner) {
+bool L2Bank::prewarm_line(Addr addr, NodeId owner) {
   addr = line_addr(addr);
-  if (array_.find(addr)) return;
-  if (!array_.free_way(addr)) return;
+  if (proto_ == Protocol::SparseMSI) {
+    if (!array_.find(addr)) {
+      if (!array_.free_way(addr)) return false;
+      array_.install(addr, 0);
+    }
+    if (owner == kInvalidNode) return true;
+    auto* d = dir_->find(addr);
+    if (!d) d = dir_->try_install(addr, 0);
+    if (!d) return false;  // directory set full: the L1 copy stays untracked
+    d->meta.owner = owner;
+    return true;
+  }
+  if (array_.find(addr)) return true;
+  if (!array_.free_way(addr)) return false;
   auto* line = array_.install(addr, 0);
   line->meta.owner = owner;
+  return true;
 }
 
 }  // namespace rc

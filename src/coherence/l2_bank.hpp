@@ -11,9 +11,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "coherence/address_map.hpp"
 #include "coherence/cache_array.hpp"
+#include "coherence/directory.hpp"
 #include "coherence/sharer_set.hpp"
 #include "common/config.hpp"
 #include "common/schedule.hpp"
@@ -28,7 +30,8 @@ class Network;
 class L2Bank : public Ticker {
  public:
   L2Bank(NodeId node, const CacheConfig& cfg, const CircuitConfig& circ,
-         Network* net, const AddressMap* amap, StatSet* stats);
+         Network* net, const AddressMap* amap, StatSet* stats,
+         Protocol protocol = Protocol::FullMapMESI);
 
   void handle(const MsgPtr& msg, Cycle now);
   void tick(Cycle now);
@@ -52,8 +55,10 @@ class L2Bank : public Ticker {
   NodeId owner_of(Addr addr);
 
   /// Functional warm-up: install a line (optionally with an L1 owner)
-  /// without any traffic.
-  void prewarm_line(Addr addr, NodeId owner);
+  /// without any traffic. Returns whether the L1 copy is registered in the
+  /// directory — under SparseMSI a full directory set refuses, and the
+  /// caller must not plant an untracked L1 copy (full-map always accepts).
+  bool prewarm_line(Addr addr, NodeId owner);
 
  private:
   struct LineMeta {
@@ -68,6 +73,9 @@ class L2Bank : public Ticker {
     WaitEvict,    ///< miss stalled behind its victim's invalidations
     WaitMem,      ///< MemRead outstanding
     EvictInv,     ///< this (victim) line is collecting invalidation acks
+    // SparseMSI only:
+    WaitPtrRoom,  ///< pointer-overflow recall outstanding; redispatch on ack
+    DirEvict,     ///< this (victim) directory entry is being recalled
   };
   struct Txn {
     TxnState st{};
@@ -79,6 +87,14 @@ class L2Bank : public Ticker {
   using Line = CacheArray<LineMeta>::Line;
 
   void process_cpu_req(const MsgPtr& msg, Cycle now);
+  void process_cpu_req_sparse(const MsgPtr& msg, Cycle now);
+  /// SparseMSI: find-or-create the directory entry for msg->addr. May stall
+  /// the request behind a directory-entry eviction (DirEvict recall storm)
+  /// or a full-of-blocked-tags set (retry next cycle); returns nullptr in
+  /// both cases and the caller must simply return.
+  Directory::Line* dir_ensure(const MsgPtr& msg, Cycle now);
+  int send_dir_invalidations(const Directory::Line& entry, NodeId except,
+                             Cycle now);
   void start_miss(const MsgPtr& msg, Cycle now);
   void proceed_miss(Addr addr, const MsgPtr& msg, Cycle now);
   void send_data_reply(const MsgPtr& req, bool exclusive, Cycle now);
@@ -91,11 +107,13 @@ class L2Bank : public Ticker {
   NodeId node_;
   CacheConfig cfg_;
   CircuitConfig circ_;
+  Protocol proto_;
   Network* net_;
   const AddressMap* amap_;
   StatSet* stats_;
 
   CacheArray<LineMeta> array_;
+  std::unique_ptr<Directory> dir_;  ///< SparseMSI only; null for full-map
   mutable std::uint64_t next_msg_id_ = 0;
   std::map<Addr, Txn> txns_;
   std::deque<MsgPtr> retry_;  ///< misses stalled with no evictable victim

@@ -54,6 +54,25 @@ class SharerSet {
     }
     return false;
   }
+  /// Number of members (sparse-directory pointer budgeting).
+  int count() const {
+    int n = __builtin_popcountll(low_);
+    for (std::uint64_t w : high_) n += __builtin_popcountll(w);
+    return n;
+  }
+  /// Lowest-numbered member other than `n`, or kInvalidNode. Deterministic
+  /// pointer-overflow victim choice: the same configuration always recalls
+  /// the same sharer (and the conformance model mirrors the rule).
+  NodeId lowest_besides(NodeId n) const {
+    for (std::size_t i = 0; i <= high_.size(); ++i) {
+      std::uint64_t w = i == 0 ? low_ : high_[i - 1];
+      if (index(n) == i) w &= ~bit(n);
+      if (w != 0)
+        return static_cast<NodeId>(i * 64 +
+                                   static_cast<std::size_t>(__builtin_ctzll(w)));
+    }
+    return kInvalidNode;
+  }
   /// Visit members in ascending NodeId order (deterministic invalidation
   /// send order — message ids and stats must not depend on set internals).
   template <typename Fn>

@@ -64,6 +64,24 @@ bool mc_placement_from_string(const std::string& s, McPlacement* out) {
   return false;
 }
 
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::FullMapMESI: return "mesi";
+    case Protocol::SparseMSI: return "sparse-msi";
+  }
+  return "?";
+}
+
+bool protocol_from_string(const std::string& s, Protocol* out) {
+  for (Protocol p : {Protocol::FullMapMESI, Protocol::SparseMSI}) {
+    if (s == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string SystemConfig::validate() const {
   // Dimension checks come first: everything below (and the Topology
   // constructor itself) divides and mods by them.
@@ -134,6 +152,12 @@ std::string SystemConfig::validate() const {
   if (cache.l1_sets < 1 || cache.l1_ways < 1 || cache.l2_sets < 1 ||
       cache.l2_ways < 1)
     return "cache geometry must be positive";
+  if (protocol == Protocol::SparseMSI) {
+    if (cache.dir_sets < 1 || cache.dir_ways < 1)
+      return "sparse directory geometry must be positive";
+    if (cache.dir_pointers < 1)
+      return "sparse directory needs at least one sharer pointer per entry";
+  }
   return "";
 }
 

@@ -56,6 +56,16 @@ const char* to_string(McPlacement p);
 /// Parse "edge-middle" / "corner" / "diagonal"; false on an unknown name.
 bool mc_placement_from_string(const std::string& s, McPlacement* out);
 
+/// Coherence-protocol variant the home L2 banks run (src/coherence).
+enum class Protocol : std::uint8_t {
+  FullMapMESI,  ///< in-cache full-map directory, E grants (the paper's MESI)
+  SparseMSI,    ///< separate sparse directory, limited pointers, no E state
+};
+
+const char* to_string(Protocol p);
+/// Parse "mesi" / "sparse-msi"; false on an unknown name.
+bool protocol_from_string(const std::string& s, Protocol* out);
+
 /// Default per-VC buffer depth (Table 4: "5-flit buffers, enough for a
 /// whole data message"). Named so the inline flit-ring capacity in
 /// noc/virtual_channel.hpp can be static-assert-checked against it.
@@ -175,6 +185,17 @@ struct CacheConfig {
   /// the owner's copy and supplies the data itself (no FwdGetS/X or
   /// L1_TO_L1 messages — and no circuits undone by the forward case).
   bool direct_l1_transfers = true;
+
+  // ---- sparse directory geometry (Protocol::SparseMSI only). The default
+  // is deliberately much smaller than the L2 (2K entries per bank vs 16K
+  // lines) and narrower than the chip (8 pointers), so directory-entry
+  // evictions and pointer-overflow recalls actually happen — those recall
+  // storms are the traffic the sparse variant exists to produce.
+  int dir_sets = 256;
+  int dir_ways = 8;
+  /// Max sharers tracked per entry before a pointer-overflow recall must
+  /// invalidate an existing sharer to make room.
+  int dir_pointers = 8;
 };
 
 /// Message sizes in flits: control fits one 16B flit; a 64B data line plus
@@ -192,6 +213,11 @@ struct SystemConfig {
 
   std::uint64_t seed = 1;
   std::string workload = "mix";  ///< app model name (see cpu/apps.hpp)
+
+  /// Coherence protocol the L2 home banks run. FullMapMESI reproduces the
+  /// paper; SparseMSI adds directory-eviction / pointer-overflow recall
+  /// storms that change reply predictability (see coherence/directory.hpp).
+  Protocol protocol = Protocol::FullMapMESI;
 
   /// §5.5 partitioned-usage extension: split the mesh into side x side
   /// partitions whose workloads, L2 homes and circuits never cross the

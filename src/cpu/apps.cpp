@@ -51,6 +51,13 @@ std::map<std::string, AppProfile> build_profiles() {
   add({"water_spatial", 0.25, 4096, 1024, 0.06, 0.40, 0.024, 0.96, 0.0625, 0, 0});
   // SPEC CPU2006 multiprogrammed mix: private-only, streaming, spills L2.
   add({"mix", 0.40, 65536, 0, 0.0, 0.45, 0.000, 0.88, 0.004, 0, 0});
+  // Structured sharing-stress generators (AccessPattern): pairwise
+  // producer-consumer forwards and many-reader/one-writer hot lines. Small
+  // private sets keep the traffic dominated by the sharing pattern.
+  add({"producer_consumer", 0.30, 2048, 2048, 0.60, 0.30, 0.0, 0.95, 0.125,
+       0, 0, AccessPattern::ProducerConsumer});
+  add({"sharing_heavy", 0.30, 2048, 1024, 0.60, 0.30, 0.50, 0.95, 0.125,
+       0, 0, AccessPattern::SharingHeavy});
   return m;
 }
 
@@ -103,7 +110,7 @@ const std::vector<std::string>& app_names() {
       "fluidanimate", "raytrace", "swaptions", "vips", "x264",
       "barnes", "cholesky", "fft", "lu_cb", "lu_ncb", "ocean_cp",
       "ocean_ncp", "radiosity", "volrend", "water_nsquared",
-      "water_spatial", "mix"};
+      "water_spatial", "mix", "producer_consumer", "sharing_heavy"};
   return v;
 }
 

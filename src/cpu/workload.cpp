@@ -27,6 +27,8 @@ MemOp WorkloadGen::next() {
   op.gap = 0;
   while (op.gap < 200 && !rng_.chance(m)) ++op.gap;
 
+  if (prof_.pattern != AccessPattern::General) return pattern_op(op);
+
   if (prof_.p_migratory > 0 && rng_.chance(prof_.p_migratory) &&
       prof_.migratory_lines > 0) {
     // Migratory sharing: each core in turn reads then writes the same line.
@@ -59,6 +61,49 @@ MemOp WorkloadGen::next() {
   op.addr = pick(prof_.private_lines,
                  kPrivateBase + static_cast<Addr>(core_id_) * kPrivateStride);
   op.is_write = rng_.chance(prof_.p_write_private);
+  return op;
+}
+
+MemOp WorkloadGen::pattern_op(MemOp op) {
+  const int sharers = group_cores_ > 0 ? group_cores_ : num_cores_;
+  const int member = group_cores_ > 0 ? member_idx_ : core_id_;
+  if (!rng_.chance(prof_.p_shared) || prof_.shared_lines == 0) {
+    // Background private work between the sharing phases.
+    op.addr = pick(prof_.private_lines,
+                   kPrivateBase + static_cast<Addr>(core_id_) * kPrivateStride);
+    op.is_write = rng_.chance(prof_.p_write_private);
+    return op;
+  }
+  if (prof_.pattern == AccessPattern::ProducerConsumer) {
+    // Cores pair up over a per-pair slice of the shared region. The producer
+    // (even member) writes a sliding window of slots; its consumer reads the
+    // same window. Each write leaves the line in M at the producer, so the
+    // consumer's next read is an owner forward (FwdGetS -> L1_TO_L1) —
+    // exactly the §4.4 three-hop case. An odd trailing core consumes pair
+    // 0's stream, adding a second reader there.
+    const int pairs = std::max(1, sharers / 2);
+    const int pair = (member / 2) % pairs;
+    const bool producer = member % 2 == 0 && member / 2 < pairs;
+    const auto slice = std::max<std::uint32_t>(
+        1, prof_.shared_lines / static_cast<std::uint32_t>(pairs));
+    const std::uint32_t window = std::min<std::uint32_t>(slice, 64);
+    const Addr base =
+        shared_base_ + static_cast<Addr>(pair) * slice * kLineBytes;
+    op.addr = base + static_cast<Addr>(pattern_cursor_++ % window) * kLineBytes;
+    op.is_write = producer;
+    return op;
+  }
+  // SharingHeavy: a small hot set every core reads, each line written by one
+  // designated writer (line index mod group size). Reader counts grow toward
+  // the whole group before each write's invalidation round — wide sharer
+  // sets that overflow a limited-pointer directory and, on the full map,
+  // chip-wide invalidation storms.
+  const std::uint32_t hot = std::min<std::uint32_t>(prof_.shared_lines, 64);
+  const auto idx = static_cast<std::uint32_t>(rng_.next_below(hot));
+  op.addr = shared_base_ + static_cast<Addr>(idx) * kLineBytes;
+  const bool writer =
+      static_cast<int>(idx % static_cast<std::uint32_t>(sharers)) == member;
+  op.is_write = writer && rng_.chance(prof_.p_write_shared);
   return op;
 }
 

@@ -25,6 +25,18 @@ struct MemOp {
   int gap = 0;
 };
 
+/// Shape of the shared-region reference stream. General is the probability
+/// mix every PARSEC/SPLASH/SPEC model uses; the other two are structured
+/// sharing-stress generators for the coherence-protocol axis — they lean on
+/// L1-to-L1 forwards (producer-consumer) and wide sharer sets with
+/// invalidation rounds (sharing-heavy), the traffic shapes where the
+/// full-map and sparse directories diverge most.
+enum class AccessPattern : std::uint8_t {
+  General,           ///< probability-mix stream
+  ProducerConsumer,  ///< core pairs: producer writes a window, consumer reads
+  SharingHeavy,      ///< many readers + one designated writer per hot line
+};
+
 /// Tunable description of one application's memory behaviour.
 struct AppProfile {
   std::string name;
@@ -33,11 +45,12 @@ struct AppProfile {
   std::uint32_t shared_lines = 1024;    ///< global shared region
   double p_shared = 0.1;         ///< probability an access is shared
   double p_write_private = 0.3;
-  double p_write_shared = 0.1;
+  double p_write_shared = 0.1;   ///< SharingHeavy: the writer's write chance
   double p_hot = 0.8;            ///< probability of touching the hot subset
   double hot_fraction = 0.125;   ///< hot subset size as fraction of the set
   std::uint32_t migratory_lines = 0;    ///< read-modify-write ping-pong lines
   double p_migratory = 0.0;
+  AccessPattern pattern = AccessPattern::General;
 };
 
 /// Deterministic per-core generator. Forked per core from the system seed;
@@ -64,12 +77,14 @@ class WorkloadGen {
 
  private:
   Addr pick(std::uint32_t lines, Addr base);
+  MemOp pattern_op(MemOp op);
 
   AppProfile prof_;
   int core_id_;
   int num_cores_;
   Rng rng_;
   int migratory_step_ = 0;
+  std::uint64_t pattern_cursor_ = 0;  ///< ProducerConsumer window position
   Addr shared_base_;      // defaults to kSharedBase
   Addr migratory_base_;   // defaults to kMigratoryBase
   int group_cores_ = 0;   ///< cores sharing our shared slice (0 = all)

@@ -26,11 +26,15 @@ std::string event_line(const TelemetryEvent& ev) {
       add(",\"n\":%d", ev.node);
       add(",\"m\":%llu", static_cast<unsigned long long>(ev.msg));
       add(",\"d\":%d", ev.dest);
+      if (ev.mtype >= 0)
+        add(",\"t\":\"%s\"", to_string(static_cast<MsgType>(ev.mtype)));
       break;
     case TelemetryEvent::Kind::Deliver:
       add(",\"n\":%d", ev.node);
       add(",\"m\":%llu", static_cast<unsigned long long>(ev.msg));
       add(",\"cat\":\"%s\"", to_string(ev.cat));
+      if (ev.mtype >= 0)
+        add(",\"t\":\"%s\"", to_string(static_cast<MsgType>(ev.mtype)));
       break;
     case TelemetryEvent::Kind::UndoLaunch:
       add(",\"n\":%d", ev.node);
@@ -162,6 +166,21 @@ void print_telemetry_summary(const TraceSummary& s, const std::string& title) {
                    Table::pct(s.cat_fraction(cc))});
     }
     cat.print("reply categories (Fig. 6)");
+  }
+
+  if (s.have_types) {
+    // Per-protocol-class circuit hit rates: the protocol-variant comparison
+    // axis (which coherence event classes keep their reply predictability).
+    Table cls({"protocol class", "delivered", "on circuit", "hit rate"});
+    for (int t = 0; t < kNumMsgTypes; ++t) {
+      if (s.type_delivered[t] == 0) continue;
+      const double rate = static_cast<double>(s.type_on_circuit[t]) /
+                          static_cast<double>(s.type_delivered[t]);
+      cls.add_row({to_string(static_cast<MsgType>(t)),
+                   std::to_string(s.type_delivered[t]),
+                   std::to_string(s.type_on_circuit[t]), Table::pct(rate)});
+    }
+    cls.print("circuit use by protocol class");
   }
 
   Table life({"circuit ending", "count", "mean life", "max life"});

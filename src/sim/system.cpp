@@ -16,6 +16,12 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   net_ = std::make_unique<Network>(cfg_.noc);
   validator_ = Validator::maybe_attach(net_.get());
   telemetry_ = Telemetry::maybe_attach(net_.get());
+  // Protocol-variant runs exist to compare per-class circuit behaviour, so
+  // they always tag trace events with the message type; the default
+  // protocol keeps the historical byte-identical trace format unless
+  // RC_TELEMETRY_TYPES asks for the tags.
+  if (telemetry_ && cfg_.protocol != Protocol::FullMapMESI)
+    telemetry_->enable_msg_types();
   amap_ = std::make_unique<AddressMap>(&net_->topo(), cfg_.partition_side);
 
   const int n = cfg_.noc.num_nodes();
@@ -40,7 +46,8 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
                                              amap_.get(), &node_sys_stats_[i]));
     l2s_.push_back(std::make_unique<L2Bank>(i, cfg_.cache, cfg_.noc.circuit,
                                             net_.get(), amap_.get(),
-                                            &node_sys_stats_[i]));
+                                            &node_sys_stats_[i],
+                                            cfg_.protocol));
     if (with_cores) {
       auto gen = std::make_unique<WorkloadGen>(core_profs_[i], i, n,
                                                root.fork(i + 1));
@@ -177,8 +184,15 @@ void System::prewarm() {
     Addr base = kPrivateBase + static_cast<Addr>(c) * kPrivateStride;
     for (std::uint32_t i = 0; i < priv_hot; ++i) {
       Addr a = base + static_cast<Addr>(i) * kLineBytes;
-      l1s_[c]->prewarm_line(a, L1State::E);
-      l2s_[amap_->home_l2(a)]->prewarm_line(a, c);
+      if (cfg_.protocol == Protocol::SparseMSI) {
+        // Directory capacity gates the L1 copy: an untracked modified line
+        // would dodge recalls. MSI has no E, so hot lines warm up in M.
+        if (l2s_[amap_->home_l2(a)]->prewarm_line(a, c))
+          l1s_[c]->prewarm_line(a, L1State::M);
+      } else {
+        l1s_[c]->prewarm_line(a, L1State::E);
+        l2s_[amap_->home_l2(a)]->prewarm_line(a, c);
+      }
     }
     for (std::uint32_t i = priv_hot; i < prof.private_lines; ++i) {
       Addr a = base + static_cast<Addr>(i) * kLineBytes;

@@ -46,6 +46,8 @@ Telemetry::Telemetry(Network* net, std::string path, Cycle sample_every)
       next_(net->observer()),
       path_(std::move(path)),
       sample_every_(sample_every) {
+  if (const char* v = std::getenv("RC_TELEMETRY_TYPES"))
+    if (v[0] != '\0' && std::string(v) != "0") emit_msg_types_ = true;
   per_node_.resize(static_cast<std::size_t>(net_->config().num_nodes()));
   net_->set_observer(this);
 }
@@ -81,6 +83,7 @@ void Telemetry::on_message_injected(NodeId node, const Message& m, Cycle now) {
   ev.node = node;
   ev.dest = m.dest;
   ev.msg = m.id;
+  if (emit_msg_types_) ev.mtype = static_cast<std::int16_t>(m.type);
   record(node, ev);
   if (next_) next_->on_message_injected(node, m, now);
 }
@@ -92,6 +95,7 @@ void Telemetry::on_message_delivered(NodeId node, const Message& m, Cycle now) {
   ev.node = node;
   ev.msg = m.id;
   ev.cat = classify_reply_category(m, net_->config().circuit);
+  if (emit_msg_types_) ev.mtype = static_cast<std::int16_t>(m.type);
   record(node, ev);
   if (next_) next_->on_message_delivered(node, m, now);
 }
@@ -280,6 +284,16 @@ bool category_of(const std::string& name, ReplyCategory* out) {
   return false;
 }
 
+bool msg_type_of(const std::string& name, std::int16_t* out) {
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    if (name == to_string(static_cast<MsgType>(t))) {
+      *out = static_cast<std::int16_t>(t);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 bool load_trace(const std::string& path, std::vector<TelemetryEvent>* events,
@@ -320,6 +334,7 @@ bool load_trace(const std::string& path, std::vector<TelemetryEvent>* events,
     if (find_ull(line, "o", &v)) ev.owner = v;
     if (find_ull(line, "m", &v)) ev.msg = v;
     if (find_str(line, "cat", &s)) category_of(s, &ev.cat);
+    if (find_str(line, "t", &s)) msg_type_of(s, &ev.mtype);
     if (events) events->push_back(ev);
   }
   return true;
@@ -394,6 +409,13 @@ TraceSummary summarize_events(const std::vector<TelemetryEvent>& events,
     switch (ev.kind) {
       case TelemetryEvent::Kind::Deliver:
         ++out.cat_counts[static_cast<int>(ev.cat)];
+        if (ev.mtype >= 0 && ev.mtype < kNumMsgTypes) {
+          out.have_types = true;
+          ++out.type_delivered[ev.mtype];
+          if (ev.cat == ReplyCategory::Used ||
+              ev.cat == ReplyCategory::Scrounged)
+            ++out.type_on_circuit[ev.mtype];
+        }
         break;
       case TelemetryEvent::Kind::Reserve:
         open[{ev.node, ev.port, ev.owner}] = ev.cycle;

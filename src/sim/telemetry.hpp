@@ -67,6 +67,11 @@ struct TelemetryEvent {
   std::uint64_t owner = 0;  ///< id of the request that built the circuit
   std::uint64_t msg = 0;    ///< message id (injections, deliveries, binds)
   ReplyCategory cat = ReplyCategory::NotReply;  ///< Deliver only
+  /// MsgType of the message (Inject/Deliver), or -1 when not recorded.
+  /// Opt-in (enable_msg_types / RC_TELEMETRY_TYPES=1) so default traces
+  /// stay byte-identical; the protocol-variant runs switch it on to get
+  /// per-protocol-class circuit hit rates in the digest.
+  std::int16_t mtype = -1;
 };
 
 const char* to_string(TelemetryEvent::Kind k);
@@ -101,6 +106,10 @@ class Telemetry final : public NocObserver {
 
   const std::string& path() const { return path_; }
   Cycle sample_every() const { return sample_every_; }
+  /// Tag Inject/Deliver events with their MsgType ("t" field). Also forced
+  /// on by RC_TELEMETRY_TYPES=1. Call before the first simulated cycle.
+  void enable_msg_types() { emit_msg_types_ = true; }
+  bool msg_types_enabled() const { return emit_msg_types_; }
   /// Fabric configuration of the observed network (trace-header labels).
   const NocConfig& noc_config() const;
   const std::vector<TelemetryEvent>& events() const { return events_; }
@@ -158,6 +167,7 @@ class Telemetry final : public NocObserver {
   NocObserver* next_;  ///< observer displaced by this one (chained, restored)
   std::string path_;
   Cycle sample_every_;
+  bool emit_msg_types_ = false;
   bool written_ = false;
   std::vector<std::vector<TelemetryEvent>> per_node_;
   std::vector<TelemetryEvent> events_;
@@ -188,6 +198,13 @@ struct TraceSummary {
   std::uint64_t samples = 0;
   Accumulator live_circuits;
   Accumulator buffered_flits;
+  /// Per-protocol-class delivery profile, filled only when the trace tags
+  /// Inject/Deliver events with their MsgType ("t" field): how many
+  /// messages of each class arrived, and how many of those rode a circuit
+  /// (Used or Scrounged). This is the full-map-vs-sparse comparison axis.
+  bool have_types = false;
+  std::uint64_t type_delivered[kNumMsgTypes] = {};
+  std::uint64_t type_on_circuit[kNumMsgTypes] = {};
 
   std::uint64_t kind(TelemetryEvent::Kind k) const {
     return kind_counts[static_cast<int>(k)];

@@ -10,8 +10,10 @@
 namespace rc {
 namespace {
 
-TEST(Apps, AllTwentyTwoNamedModels) {
-  EXPECT_EQ(app_names().size(), 22u);  // 21 parallel apps + mix (§5.1)
+TEST(Apps, AllNamedModels) {
+  // 21 parallel apps + mix (§5.1) + the two structured sharing-stress
+  // generators (producer_consumer, sharing_heavy).
+  EXPECT_EQ(app_names().size(), 24u);
   for (const auto& n : app_names()) {
     AppProfile p = app_profile(n);
     EXPECT_EQ(p.name, n);
@@ -123,6 +125,41 @@ TEST(Workload, WriteFractionsRespected) {
   }
   ASSERT_GT(sh, 2000);
   EXPECT_NEAR(sh_wr / double(sh), p.p_write_shared, 0.01);
+}
+
+TEST(Workload, ProducerConsumerRolesAreStable) {
+  AppProfile p = app_profile("producer_consumer");
+  WorkloadGen prod(p, 0, 16, Rng(3));  // even member: producer
+  WorkloadGen cons(p, 1, 16, Rng(4));  // odd member: consumer
+  int prod_shared = 0, cons_shared = 0;
+  for (int i = 0; i < 20000; ++i) {
+    MemOp a = prod.next(), b = cons.next();
+    if (a.addr >= kSharedBase && a.addr < kMigratoryBase) {
+      ++prod_shared;
+      EXPECT_TRUE(a.is_write);
+    }
+    if (b.addr >= kSharedBase && b.addr < kMigratoryBase) {
+      ++cons_shared;
+      EXPECT_FALSE(b.is_write);
+    }
+  }
+  EXPECT_GT(prod_shared, 1000);
+  EXPECT_GT(cons_shared, 1000);
+}
+
+TEST(Workload, SharingHeavyConfinesWritesToOwnedHotLines) {
+  AppProfile p = app_profile("sharing_heavy");
+  WorkloadGen g(p, 5, 16, Rng(6));
+  int shared = 0;
+  for (int i = 0; i < 40000; ++i) {
+    MemOp op = g.next();
+    if (op.addr < kSharedBase || op.addr >= kMigratoryBase) continue;
+    ++shared;
+    const Addr idx = (op.addr - kSharedBase) / kLineBytes;
+    EXPECT_LT(idx, 64u);  // contended hot set
+    if (op.is_write) EXPECT_EQ(idx % 16, 5u);  // only lines this node owns
+  }
+  EXPECT_GT(shared, 5000);
 }
 
 TEST(Workload, MigratoryLinesPingPong) {

@@ -1,0 +1,368 @@
+// Model-based conformance suite for the coherence-protocol layer: a
+// table-driven reference state machine (full-map MESI and sparse-directory
+// MSI) is replayed against the real L1/L2/directory controllers over
+// randomized single-line access interleavings. Accesses are serialized and
+// drained, so the reference model only has to track stable states; any
+// divergence is shrunk to a minimal op sequence and printed as a repro.
+//
+// Also hosts the directory-eviction invalidation-storm regression: a
+// deliberately scarce directory under RC_CHECK + the hang watchdog, with
+// every recalled sharer required to ack.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+
+namespace rc {
+namespace {
+
+constexpr int kCores = 16;
+/// Ops are drawn from a small node pool so random sequences actually
+/// collide on owners/sharers instead of spreading across the chip.
+constexpr NodeId kOpNodes = 4;
+
+constexpr Addr addr_home(int home, int i = 0) {
+  return static_cast<Addr>(home + kCores * i) * kLineBytes;
+}
+
+const char* st_name(L1State s) {
+  switch (s) {
+    case L1State::I: return "I";
+    case L1State::S: return "S";
+    case L1State::E: return "E";
+    case L1State::M: return "M";
+  }
+  return "?";
+}
+
+struct Op {
+  NodeId node;
+  bool write;
+};
+
+std::string op_str(const std::vector<Op>& ops) {
+  std::string s;
+  for (const Op& op : ops) {
+    if (!s.empty()) s += ' ';
+    s += (op.write ? 'w' : 'r');
+    s += std::to_string(op.node);
+  }
+  return s;
+}
+
+struct Harness {
+  explicit Harness(Protocol proto, int ptrs = 8,
+                   const std::string& preset = "Baseline")
+      : sys(make_config(proto, ptrs, preset)) {}
+
+  static SystemConfig make_config(Protocol proto, int ptrs,
+                                  const std::string& preset) {
+    SystemConfig cfg = make_system_config(kCores, preset, "fft");
+    cfg.workload = "none";
+    cfg.protocol = proto;
+    cfg.cache.dir_pointers = ptrs;
+    return cfg;
+  }
+
+  /// Blocking access; false if it never completed (watchdog for repros).
+  bool access(NodeId n, Addr addr, bool write, int max = 4000) {
+    bool done = false;
+    sys.l1(n).set_complete([&](Cycle) { done = true; });
+    if (!sys.l1(n).access(addr, write, sys.now())) return false;
+    for (int i = 0; i < max && !done; ++i) sys.run_cycles(1);
+    return done;
+  }
+
+  void drain(int cycles = 150) { sys.run_cycles(cycles); }
+
+  std::uint64_t net(const char* k) {
+    return sys.network().merged_stats().counter_value(k);
+  }
+  std::uint64_t ctl(const char* k) {
+    return sys.merged_sys_stats().counter_value(k);
+  }
+
+  System sys;
+};
+
+/// Reference state machine for ONE line under serialized, fully-drained
+/// accesses. Tracks every node's stable L1 state; the directory content is
+/// implied (owner = the M/E node, sharers = the S nodes).
+class RefModel {
+ public:
+  RefModel(Protocol proto, int ptrs) : proto_(proto), ptrs_(ptrs) {
+    for (NodeId n = 0; n < kCores; ++n) st_[n] = L1State::I;
+  }
+
+  L1State state(NodeId n) const { return st_[n]; }
+
+  void apply(const Op& op) {
+    if (op.write) {
+      // GetX (or a silent E->M / M hit): requestor ends M, everyone else I.
+      for (NodeId n = 0; n < kCores; ++n)
+        st_[n] = (n == op.node) ? L1State::M : L1State::I;
+      return;
+    }
+    if (st_[op.node] != L1State::I) return;  // read hit: nothing moves
+    NodeId owner = kInvalidNode;
+    bool any_shared = false;
+    for (NodeId n = 0; n < kCores; ++n) {
+      if (st_[n] == L1State::M || st_[n] == L1State::E) owner = n;
+      if (st_[n] == L1State::S) any_shared = true;
+    }
+    if (proto_ == Protocol::FullMapMESI) {
+      if (owner != kInvalidNode) {
+        st_[owner] = L1State::S;  // FwdGetS downgrades the owner
+        st_[op.node] = L1State::S;
+      } else {
+        // Sole reader of an idle line gets E; otherwise joins the sharers.
+        st_[op.node] = any_shared ? L1State::S : L1State::E;
+      }
+      return;
+    }
+    // Sparse MSI: reads always fill S. Owners with room for two pointers
+    // are downgraded and kept as sharers; a one-pointer directory must
+    // recall the owner outright. Pointer overflow recalls the
+    // lowest-numbered sharer other than the requestor.
+    if (owner != kInvalidNode) {
+      st_[owner] = ptrs_ >= 2 ? L1State::S : L1State::I;
+      st_[op.node] = L1State::S;
+      return;
+    }
+    int sharers = 0;
+    NodeId lowest = kInvalidNode;
+    for (NodeId n = 0; n < kCores; ++n)
+      if (st_[n] == L1State::S) {
+        ++sharers;
+        if (lowest == kInvalidNode) lowest = n;
+      }
+    if (sharers >= ptrs_ && lowest != kInvalidNode) st_[lowest] = L1State::I;
+    st_[op.node] = L1State::S;
+  }
+
+ private:
+  Protocol proto_;
+  int ptrs_;
+  L1State st_[kCores];
+};
+
+/// Replay `ops` against both the real system and the model; returns the
+/// first divergence ("" when conformant).
+std::string run_seq(Protocol proto, int ptrs, const std::string& preset,
+                    const std::vector<Op>& ops) {
+  Harness h(proto, ptrs, preset);
+  RefModel model(proto, ptrs);
+  const Addr a = addr_home(5);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!h.access(ops[i].node, a, ops[i].write))
+      return "op " + std::to_string(i) + " never completed";
+    h.drain();
+    model.apply(ops[i]);
+    for (NodeId n = 0; n < kCores; ++n) {
+      const L1State got = h.sys.l1(n).state_of(a);
+      const L1State want = model.state(n);
+      if (got != want)
+        return "after op " + std::to_string(i) + " node " +
+               std::to_string(n) + ": real=" + st_name(got) +
+               " model=" + st_name(want);
+    }
+  }
+  return "";
+}
+
+/// Greedy shrink: drop ops one at a time, keeping any removal that still
+/// diverges, until no single removal reproduces.
+std::vector<Op> shrink(Protocol proto, int ptrs, const std::string& preset,
+                       std::vector<Op> ops) {
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<Op> cand = ops;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!run_seq(proto, ptrs, preset, cand).empty()) {
+        ops = std::move(cand);
+        reduced = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+void conformance_sweep(Protocol proto, int ptrs, const std::string& preset,
+                       std::uint64_t seed, int num_ops) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(num_ops));
+  for (int i = 0; i < num_ops; ++i)
+    ops.push_back({static_cast<NodeId>(rng.next_below(kOpNodes)),
+                   rng.chance(0.4)});
+  std::string div = run_seq(proto, ptrs, preset, ops);
+  if (div.empty()) return;
+  std::vector<Op> min = shrink(proto, ptrs, preset, ops);
+  div = run_seq(proto, ptrs, preset, min);
+  ADD_FAILURE() << "conformance divergence (protocol=" << to_string(proto)
+                << " ptrs=" << ptrs << " preset=" << preset
+                << " seed=" << seed << "): " << div
+                << "\n  repro ops: " << op_str(min);
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven basics for the sparse variant (the full-map equivalents live
+// in test_coherence.cpp).
+
+TEST(SparseMSI, ColdReadFillsSharedNotExclusive) {
+  Harness h(Protocol::SparseMSI);
+  const Addr a = addr_home(5);
+  ASSERT_TRUE(h.access(0, a, false));
+  h.drain();
+  EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::S);  // MSI has no E state
+  EXPECT_EQ(h.sys.l2(5).owner_of(a), kInvalidNode);
+  EXPECT_EQ(h.ctl("mem_reads"), 1u);
+}
+
+TEST(SparseMSI, WriteFillsModifiedAndTracksOwner) {
+  Harness h(Protocol::SparseMSI);
+  const Addr a = addr_home(5);
+  ASSERT_TRUE(h.access(0, a, true));
+  h.drain();
+  EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::M);
+  EXPECT_EQ(h.sys.l2(5).owner_of(a), 0);
+}
+
+TEST(SparseMSI, SecondReaderDowngradesOwnerViaForward) {
+  Harness h(Protocol::SparseMSI);
+  const Addr a = addr_home(5);
+  ASSERT_TRUE(h.access(0, a, true));
+  ASSERT_TRUE(h.access(1, a, false));
+  h.drain();
+  EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::S);
+  EXPECT_EQ(h.sys.l1(1).state_of(a), L1State::S);
+  EXPECT_EQ(h.net("msg_FwdGetS"), 1u);
+  EXPECT_EQ(h.net("msg_L1ToL1"), 1u);
+}
+
+TEST(SparseMSI, WriteInvalidatesAllTrackedSharers) {
+  Harness h(Protocol::SparseMSI);
+  const Addr a = addr_home(5);
+  for (NodeId n = 0; n < 3; ++n) ASSERT_TRUE(h.access(n, a, false));
+  ASSERT_TRUE(h.access(3, a, true));
+  h.drain();
+  EXPECT_EQ(h.sys.l1(3).state_of(a), L1State::M);
+  for (NodeId n = 0; n < 3; ++n)
+    EXPECT_EQ(h.sys.l1(n).state_of(a), L1State::I) << n;
+  EXPECT_EQ(h.net("msg_Inv"), h.net("msg_L1InvAck"));
+}
+
+TEST(SparseMSI, PointerOverflowRecallsLowestSharer) {
+  Harness h(Protocol::SparseMSI, /*ptrs=*/2);
+  const Addr a = addr_home(5);
+  for (NodeId n = 0; n < 4; ++n) ASSERT_TRUE(h.access(n, a, false));
+  h.drain();
+  // Readers 2 and 3 each forced a recall of the then-lowest pointer.
+  EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::I);
+  EXPECT_EQ(h.sys.l1(1).state_of(a), L1State::I);
+  EXPECT_EQ(h.sys.l1(2).state_of(a), L1State::S);
+  EXPECT_EQ(h.sys.l1(3).state_of(a), L1State::S);
+  EXPECT_EQ(h.ctl("l2_ptr_recalls"), 2u);
+  EXPECT_EQ(h.net("msg_Inv"), h.net("msg_L1InvAck"));
+}
+
+TEST(SparseMSI, SinglePointerDirectoryKeepsOneCopy) {
+  Harness h(Protocol::SparseMSI, /*ptrs=*/1);
+  const Addr a = addr_home(5);
+  ASSERT_TRUE(h.access(0, a, true));
+  ASSERT_TRUE(h.access(1, a, false));  // cannot keep owner 0 as a sharer
+  h.drain();
+  EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::I);
+  EXPECT_EQ(h.sys.l1(1).state_of(a), L1State::S);
+}
+
+TEST(SparseMSI, OutcomeIndependentOfNocVariant) {
+  for (const char* preset : {"Baseline", "Complete_NoAck", "Fragmented",
+                             "SlackDelay1_NoAck", "Ideal"}) {
+    Harness h(Protocol::SparseMSI, 2, preset);
+    const Addr a = addr_home(5);
+    ASSERT_TRUE(h.access(0, a, false)) << preset;
+    ASSERT_TRUE(h.access(1, a, false)) << preset;
+    ASSERT_TRUE(h.access(2, a, true)) << preset;
+    h.drain();
+    EXPECT_EQ(h.sys.l1(2).state_of(a), L1State::M) << preset;
+    EXPECT_EQ(h.sys.l1(0).state_of(a), L1State::I) << preset;
+    EXPECT_EQ(h.sys.l1(1).state_of(a), L1State::I) << preset;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized model conformance, both protocol variants.
+
+TEST(ProtocolModel, RandomConformanceFullMapMESI) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    conformance_sweep(Protocol::FullMapMESI, 8, "Baseline", seed, 24);
+}
+
+TEST(ProtocolModel, RandomConformanceFullMapMESIUnderCircuits) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    conformance_sweep(Protocol::FullMapMESI, 8, "SlackDelay1_NoAck", seed, 24);
+}
+
+TEST(ProtocolModel, RandomConformanceSparseMSI) {
+  for (int ptrs : {1, 2, 4})
+    for (std::uint64_t seed = 1; seed <= 4; ++seed)
+      conformance_sweep(Protocol::SparseMSI, ptrs, "Baseline", seed, 24);
+}
+
+TEST(ProtocolModel, RandomConformanceSparseMSIUnderCircuits) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    conformance_sweep(Protocol::SparseMSI, 2, "SlackDelay1_NoAck", seed, 24);
+}
+
+// ---------------------------------------------------------------------------
+// Directory-eviction invalidation-storm regression: a directory far smaller
+// than the tracked footprint, run under RC_CHECK and the hang watchdog.
+// Entry evictions must recall every tracked sharer, every recall must be
+// acked (including stale pointers whose L1 copy was silently evicted), and
+// no transaction may be left open.
+
+TEST(SparseMSI, DirectoryEvictionStormDrainsClean) {
+  setenv("RC_CHECK", "1", 1);
+  setenv("RC_HANG_CYCLES", "20000", 1);
+  {
+    SystemConfig cfg =
+        Harness::make_config(Protocol::SparseMSI, 2, "Baseline");
+    cfg.cache.dir_sets = 4;  // 8 entries per bank vs 48 tracked lines
+    cfg.cache.dir_ways = 2;
+    System sys(cfg);
+    auto access = [&](NodeId n, Addr addr, bool write) {
+      bool done = false;
+      sys.l1(n).set_complete([&](Cycle) { done = true; });
+      ASSERT_TRUE(sys.l1(n).access(addr, write, sys.now()));
+      for (int i = 0; i < 6000 && !done; ++i) sys.run_cycles(1);
+      ASSERT_TRUE(done) << "access stuck: node " << n << " addr " << addr;
+    };
+    for (int i = 0; i < 48; ++i) {
+      const Addr a = addr_home(5, i);
+      access(0, a, false);
+      access(1, a, false);  // two tracked sharers per line
+    }
+    sys.run_cycles(500);
+    StatSet ctl = sys.merged_sys_stats();
+    StatSet net = sys.network().merged_stats();
+    EXPECT_GT(ctl.counter_value("l2_dir_evictions"), 0u);
+    EXPECT_GT(ctl.counter_value("l2_dir_evict_recalls"), 0u);
+    EXPECT_EQ(net.counter_value("msg_Inv"), net.counter_value("msg_L1InvAck"));
+    for (NodeId n = 0; n < kCores; ++n)
+      EXPECT_EQ(sys.l2(n).busy_lines(), 0u) << "bank " << n;
+  }
+  unsetenv("RC_CHECK");
+  unsetenv("RC_HANG_CYCLES");
+}
+
+}  // namespace
+}  // namespace rc

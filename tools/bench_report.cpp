@@ -51,6 +51,7 @@ struct Entry {
   double wall_s = 0;
   Cycle cycles = 0;
   int shards = 1;
+  Protocol protocol = Protocol::FullMapMESI;
 };
 
 double now_s() {
@@ -148,17 +149,21 @@ Entry bench_micro_router(Cycle cycles, int shards) {
   return Entry{"micro_router_loaded_8x8", t1 - t0, cycles};
 }
 
-Entry bench_system(Cycle measure, int shards) {
+Entry bench_system(Cycle measure, int shards,
+                   Protocol proto = Protocol::FullMapMESI) {
   SystemConfig cfg = make_system_config(64, "SlackDelay1_NoAck", "fft", 1);
   const Cycle warmup = 5'000;
   cfg.warmup_cycles = warmup;
   cfg.measure_cycles = measure;
   cfg.shards = shards;
+  cfg.protocol = proto;
   const double t0 = now_s();
   RunResult r = run_config(cfg, "SlackDelay1_NoAck");
   const double t1 = now_s();
   if (r.retired == 0) fatal("bench-report: system run retired nothing");
-  return Entry{"system_8x8_fft", t1 - t0, warmup + measure};
+  const char* name = proto == Protocol::FullMapMESI ? "system_8x8_fft"
+                                                    : "system_8x8_fft_sparse";
+  return Entry{name, t1 - t0, warmup + measure, /*shards=*/1, proto};
 }
 
 // ---- --compare mode ------------------------------------------------------
@@ -260,6 +265,10 @@ int main(int argc, char** argv) {
     add(bench_loadsweep16(0.04, env_measure_cycles(6'000), shards));
     add(bench_micro_router(env_measure_cycles(200'000), shards));
     add(bench_system(env_measure_cycles(20'000), shards));
+    // Same full-system point under the sparse-directory MSI variant: tracks
+    // the cost of the separate directory lookups and recall storms.
+    add(bench_system(env_measure_cycles(20'000), shards,
+                     Protocol::SparseMSI));
   }
 
   char date[32] = "unknown";
@@ -289,12 +298,17 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Entry& e = results[i];
     char line[256];
+    // The trailing protocol field is invisible to load_report's sscanf
+    // (all five matched conversions come first), so old and new report
+    // files stay mutually comparable.
     std::snprintf(line, sizeof line,
                   "    {\"name\": \"%s\", \"shards\": %d, \"wall_s\": %.4f, "
-                  "\"cycles\": %llu, \"cycles_per_sec\": %.0f}%s\n",
+                  "\"cycles\": %llu, \"cycles_per_sec\": %.0f, "
+                  "\"protocol\": \"%s\"}%s\n",
                   e.name.c_str(), e.shards, e.wall_s,
                   static_cast<unsigned long long>(e.cycles),
                   static_cast<double>(e.cycles) / e.wall_s,
+                  to_string(e.protocol),
                   i + 1 < results.size() ? "," : "");
     json += line;
   }

@@ -38,6 +38,10 @@ struct FuzzCase {
   int shards = 1;  ///< worker shards (PR 3's parallel tick engine)
   TopologyKind topology = TopologyKind::Mesh;
   McPlacement mc = McPlacement::EdgeMiddle;
+  Protocol protocol = Protocol::FullMapMESI;
+  int dir_pointers = -1;  ///< sparse-directory geometry; -1 = config default
+  int dir_sets = -1;
+  int dir_ways = -1;
   std::uint64_t seed = 1;
 };
 
@@ -93,6 +97,22 @@ FuzzCase draw_case(Rng& rng) {
                                     McPlacement::Corner,
                                     McPlacement::Diagonal};
   fc.mc = kMc[rng.next_below(3)];
+  // Coherence-protocol axis: half the sweep runs the sparse-directory MSI
+  // variant, with deliberately scarce directories (few sets/ways, 1-8
+  // pointers) so entry evictions and pointer-overflow recalls actually
+  // fire, and half of those swapped onto the structured sharing-stress
+  // generators where those storms are densest.
+  if (rng.chance(0.5)) {
+    fc.protocol = Protocol::SparseMSI;
+    static const int kPtrs[] = {1, 2, 4, 8};
+    fc.dir_pointers = kPtrs[rng.next_below(4)];
+    static const int kDirSets[] = {16, 64, 256};
+    fc.dir_sets = kDirSets[rng.next_below(3)];
+    static const int kDirWays[] = {2, 4, 8};
+    fc.dir_ways = kDirWays[rng.next_below(3)];
+    if (rng.chance(0.5))
+      fc.app = rng.chance(0.5) ? "producer_consumer" : "sharing_heavy";
+  }
   fc.seed = 1 + rng.next_below(1u << 20);
   return fc;
 }
@@ -108,6 +128,10 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
   if (fc.circuits >= 0) cfg.noc.circuit.circuits_per_input = fc.circuits;
   if (fc.slack >= 0) cfg.noc.circuit.slack_per_hop = fc.slack;
   if (fc.depth >= 1) cfg.noc.buffer_depth_flits = fc.depth;
+  cfg.protocol = fc.protocol;
+  if (fc.dir_pointers >= 1) cfg.cache.dir_pointers = fc.dir_pointers;
+  if (fc.dir_sets >= 1) cfg.cache.dir_sets = fc.dir_sets;
+  if (fc.dir_ways >= 1) cfg.cache.dir_ways = fc.dir_ways;
   cfg.shards = fc.shards;
   cfg.warmup_cycles = warmup;
   cfg.measure_cycles = cycles;
@@ -128,6 +152,13 @@ std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
                     to_string(fc.mc) + " --vcs-req " +
                     std::to_string(fc.vcs_req) + " --vcs-rep " +
                     std::to_string(fc.vcs_rep);
+  if (fc.protocol != Protocol::FullMapMESI) {
+    cmd += std::string(" --protocol ") + to_string(fc.protocol);
+    if (fc.dir_pointers >= 1)
+      cmd += " --dir-pointers " + std::to_string(fc.dir_pointers);
+    if (fc.dir_sets >= 1) cmd += " --dir-sets " + std::to_string(fc.dir_sets);
+    if (fc.dir_ways >= 1) cmd += " --dir-ways " + std::to_string(fc.dir_ways);
+  }
   if (fc.circuits >= 0) cmd += " --circuits " + std::to_string(fc.circuits);
   if (fc.slack >= 0) cmd += " --slack " + std::to_string(fc.slack);
   if (fc.depth >= 1) cmd += " --buf-depth " + std::to_string(fc.depth);
@@ -197,11 +228,14 @@ int main(int argc, char** argv) {
     }
     if (verbose)
       std::fprintf(stderr,
-                   "[rc-fuzz] %lld: %s/%s %dx%d %s/%s circs=%d slack=%d "
-                   "depth=%d vcs=%d/%d shards=%d seed=%llu\n",
+                   "[rc-fuzz] %lld: %s/%s %dx%d %s/%s proto=%s dir=%d/%d/%d "
+                   "circs=%d slack=%d depth=%d vcs=%d/%d shards=%d "
+                   "seed=%llu\n",
                    i, fc.preset.c_str(), fc.app.c_str(), fc.mesh_w, fc.mesh_h,
-                   to_string(fc.topology), to_string(fc.mc), fc.circuits,
-                   fc.slack, fc.depth, fc.vcs_req, fc.vcs_rep, fc.shards,
+                   to_string(fc.topology), to_string(fc.mc),
+                   to_string(fc.protocol), fc.dir_sets, fc.dir_ways,
+                   fc.dir_pointers, fc.circuits, fc.slack, fc.depth,
+                   fc.vcs_req, fc.vcs_rep, fc.shards,
                    static_cast<unsigned long long>(fc.seed));
     try {
       System sys(cfg);

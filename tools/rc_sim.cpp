@@ -4,6 +4,11 @@
 //     --cores N           16 or 64                     (default 64)
 //     --preset NAME       NoC variant, or "all"        (default SlackDelay1_NoAck)
 //     --app NAME          workload model, or "all"     (default fft)
+//     --workload NAME     alias of --app
+//     --protocol NAME     mesi|sparse-msi              (default mesi)
+//     --dir-pointers N    sparse-directory sharer pointers per entry
+//     --dir-sets N        sparse-directory sets per bank
+//     --dir-ways N        sparse-directory ways
 //     --warmup N          warm-up cycles               (default 10000)
 //     --cycles N          measured cycles              (default 30000)
 //     --seed N            simulation seed              (default 1)
@@ -53,6 +58,10 @@ struct Options {
   int mesh_w = 0, mesh_h = 0;  ///< 0 = derive from --cores
   TopologyKind topology = TopologyKind::Mesh;
   McPlacement mc_placement = McPlacement::EdgeMiddle;
+  Protocol protocol = Protocol::FullMapMESI;
+  int dir_pointers = -1;  ///< sparse-directory overrides (-1 = defaults)
+  int dir_sets = -1;
+  int dir_ways = -1;
   std::string trace_path;
 };
 
@@ -65,6 +74,8 @@ struct Options {
                "          [--trace FILE.json] [--heatmap] [--mesh WxH]\n"
                "          [--topology mesh|torus|ring|cmesh]\n"
                "          [--mc-placement edge-middle|corner|diagonal]\n"
+               "          [--protocol mesi|sparse-msi] [--workload NAME]\n"
+               "          [--dir-pointers N] [--dir-sets N] [--dir-ways N]\n"
                "          [--vcs-req N] [--vcs-rep N] [--list]\n",
                argv0);
   std::exit(2);
@@ -113,6 +124,10 @@ RunResult run(const Options& o, const std::string& preset,
   if (o.vcs_req > 0) cfg.noc.vcs_request_vn = o.vcs_req;
   if (o.vcs_rep > 0) cfg.noc.vcs_reply_vn = o.vcs_rep;
   cfg.cache.direct_l1_transfers = !o.no_l1tol1;
+  cfg.protocol = o.protocol;
+  if (o.dir_pointers > 0) cfg.cache.dir_pointers = o.dir_pointers;
+  if (o.dir_sets > 0) cfg.cache.dir_sets = o.dir_sets;
+  if (o.dir_ways > 0) cfg.cache.dir_ways = o.dir_ways;
   std::string err = cfg.validate();
   if (!err.empty()) {
     std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
@@ -222,6 +237,22 @@ int main(int argc, char** argv) {
       o.cores = static_cast<int>(need_int("--cores", 1));
     else if (!std::strcmp(argv[i], "--preset")) o.preset = need("--preset");
     else if (!std::strcmp(argv[i], "--app")) o.app = need("--app");
+    else if (!std::strcmp(argv[i], "--workload")) o.app = need("--workload");
+    else if (!std::strcmp(argv[i], "--protocol")) {
+      const char* v = need("--protocol");
+      if (!protocol_from_string(v, &o.protocol)) {
+        std::fprintf(stderr,
+                     "--protocol: unknown variant \"%s\" (mesi|sparse-msi)\n",
+                     v);
+        std::exit(2);
+      }
+    }
+    else if (!std::strcmp(argv[i], "--dir-pointers"))
+      o.dir_pointers = static_cast<int>(need_int("--dir-pointers", 1));
+    else if (!std::strcmp(argv[i], "--dir-sets"))
+      o.dir_sets = static_cast<int>(need_int("--dir-sets", 1));
+    else if (!std::strcmp(argv[i], "--dir-ways"))
+      o.dir_ways = static_cast<int>(need_int("--dir-ways", 1));
     else if (!std::strcmp(argv[i], "--warmup"))
       o.warmup = static_cast<Cycle>(need_int("--warmup", 0));
     else if (!std::strcmp(argv[i], "--cycles"))
