@@ -95,6 +95,14 @@ class CircuitManager {
  private:
   CircuitConfig cfg_;
   StatSet* stats_;
+  // Cached counters: try_reserve runs per request head per hop, and
+  // string-keyed StatSet lookups there dominate the reservation cost.
+  // Lazy so a counter that never fires never appears in the report.
+  LazyCounter reservations_;
+  LazyCounter entries_undone_;
+  LazyCounter fail_conflict_;
+  LazyCounter fail_storage_;
+  std::array<LazyCounter, 6> nth_;  ///< circ_reserve_1st..6plus
   std::array<CircuitTable, kNumDirs> tables_;
 };
 

@@ -15,6 +15,26 @@
 
 namespace rc {
 
+/// Per-shard list of deferred pipes that actually received pushes this
+/// cycle. A cross-shard pipe registers itself here on the first push into
+/// its empty mailbox; the barrier completion flushes exactly these pipes
+/// and clears the list, so the exchange phase costs O(pipes with traffic)
+/// instead of O(all boundary pipes). Each list is owned by one producer
+/// shard: pushes to it come only from that shard's worker (or from the
+/// completion itself, with every worker parked), so it needs no locking.
+struct PipeDirtyList {
+  struct Item {
+    void* pipe;
+    void (*flush)(void*);
+  };
+  std::vector<Item> items;
+
+  void flush_all() {
+    for (const Item& it : items) it.flush(it.pipe);
+    items.clear();
+  }
+};
+
 /// FIFO channel with per-item ready times (monotonically non-decreasing,
 /// which holds because each producer pushes with a fixed latency).
 ///
@@ -43,16 +63,34 @@ class Pipe {
   Cycle latency() const { return latency_; }
 
   void set_waker(Ticker* waker) { waker_ = waker; }
+  /// Waker plus a consumer-owned pending bitmask: each enqueue also sets
+  /// `bit` in `*mask`, so a consumer with many inbound pipes (a router's
+  /// five ports) can probe only the ports that might hold items instead of
+  /// pointer-chasing every pipe per tick. The consumer clears the bit when
+  /// it observes the pipe empty. Mask writes happen on enqueue only — for
+  /// deferred pipes that is the single-threaded barrier flush, so the mask
+  /// is always owned by the consumer's shard.
+  void set_waker(Ticker* waker, std::uint32_t* mask, int bit) {
+    waker_ = waker;
+    mask_ = mask;
+    mask_bit_ = std::uint32_t{1} << bit;
+  }
 
   /// Route pushes through the deferred mailbox (cross-shard pipes only).
-  void set_deferred(bool on) {
+  /// `dirty` (optional) is the producer shard's dirty list; the pipe adds
+  /// itself on the first push of a cycle so only touched pipes are flushed.
+  void set_deferred(bool on, PipeDirtyList* dirty = nullptr) {
     RC_ASSERT(deferred_q_.empty(), "mode change with deferred items pending");
     deferred_ = on;
+    dirty_ = on ? dirty : nullptr;
   }
   bool deferred() const { return deferred_; }
 
   void push(T item, Cycle now) {
     if (deferred_) {
+      if (deferred_q_.empty() && dirty_ != nullptr)
+        dirty_->items.push_back(
+            {this, [](void* p) { static_cast<Pipe*>(p)->flush_deferred(); }});
       deferred_q_.push_back(Entry{now + latency_, std::move(item)});
       return;
     }
@@ -82,6 +120,10 @@ class Pipe {
   }
 
   bool empty() const { return count_ == 0 && deferred_q_.empty(); }
+  /// Ring-only emptiness, excluding the producer-private mailbox: the only
+  /// emptiness test a consumer may run concurrently with deferred pushes
+  /// (used to clear port-pending mask bits; the flush re-sets them).
+  bool ring_empty() const { return count_ == 0; }
   std::size_t size() const { return count_ + deferred_q_.size(); }
 
   /// Cycle at which the front item becomes consumable (kNeverCycle if empty).
@@ -113,12 +155,13 @@ class Pipe {
 
   void enqueue(Entry e) {
     const Cycle ready = e.ready;
-    RC_ASSERT(count_ == 0 || ring_[(head_ + count_ - 1) & (ring_.size() - 1)]
-                                     .ready <= ready,
-              "pipe ready times must be monotonic");
+    RC_DASSERT(count_ == 0 || ring_[(head_ + count_ - 1) & (ring_.size() - 1)]
+                                      .ready <= ready,
+               "pipe ready times must be monotonic");
     if (count_ == ring_.size()) grow();
     ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(e);
     ++count_;
+    if (mask_) *mask_ |= mask_bit_;
     if (waker_) waker_->wake(ready);
   }
 
@@ -137,7 +180,10 @@ class Pipe {
   std::size_t count_ = 0;
   bool deferred_ = false;
   std::vector<Entry> deferred_q_;  ///< producer-private cross-shard mailbox
+  PipeDirtyList* dirty_ = nullptr;
   Ticker* waker_ = nullptr;
+  std::uint32_t* mask_ = nullptr;  ///< consumer's port-pending bitmask
+  std::uint32_t mask_bit_ = 0;
 };
 
 }  // namespace rc

@@ -1,7 +1,6 @@
 #include "common/shard.hpp"
 
 #include <atomic>
-#include <barrier>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -36,9 +35,12 @@ int effective_shards(int configured, int num_nodes) {
     } else if (std::strcmp(v, "auto") == 0) {
       // hardware_concurrency() may legitimately report 0 (unknown) or 1
       // (single-CPU hosts, restrictive cpusets); both resolve to one shard —
-      // a multi-shard engine on one CPU only adds barrier overhead.
+      // a multi-shard engine on one CPU only adds barrier overhead. More
+      // workers than nodes is equally pointless, so clamp *before* logging
+      // and report the value the run actually uses.
       const int hw = static_cast<int>(std::thread::hardware_concurrency());
       n = hw <= 1 ? 1 : hw;
+      if (n > num_nodes) n = num_nodes;
       // One-time log of the resolution so runs are reproducible from their
       // logs. Systems may be constructed concurrently under run_many, hence
       // the atomic latch.
@@ -46,8 +48,8 @@ int effective_shards(int configured, int num_nodes) {
       if (!logged.exchange(true, std::memory_order_relaxed))
         std::fprintf(stderr,
                      "rc: RC_SHARDS=auto -> %d shard%s "
-                     "(hardware_concurrency=%d)\n",
-                     n, n == 1 ? "" : "s", hw);
+                     "(hardware_concurrency=%d, %d nodes)\n",
+                     n, n == 1 ? "" : "s", hw, num_nodes);
     } else {
       n = static_cast<int>(env_positive_ll("RC_SHARDS", 1));
     }
@@ -59,12 +61,48 @@ int effective_shards(int configured, int num_nodes) {
 
 namespace {
 
+/// Sense-reversing barrier. Arrivals decrement `remaining`; the last one
+/// runs the completion single-threaded (everyone else is parked), resets
+/// the count and flips `sense`, releasing the waiters. Waiters spin on the
+/// sense word — a shared read that stays cache-resident until the flip —
+/// and fall back to yield after a bounded spin so a host with fewer CPUs
+/// than shards (or a fast-forwarding engine with nothing to do) does not
+/// burn a core per idle shard.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(int parties)
+      : parties_(parties), remaining_(parties) {}
+
+  template <typename Completion>
+  void arrive_and_wait(Completion&& complete) {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      complete();
+      remaining_.store(parties_, std::memory_order_relaxed);
+      // The release store publishes both the completion's writes and the
+      // reset count to every spinning waiter.
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins >= kSpinLimit) std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 4096;
+  const int parties_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
 /// Shared state of one run_sharded invocation.
 struct ShardRun {
   Cycle cur = 0;
   Cycle end = 0;
   const std::function<void(int, Cycle)>* body = nullptr;
-  const std::function<void(Cycle)>* finish = nullptr;
+  const std::function<Cycle(Cycle)>* finish = nullptr;
   std::atomic<bool> err{false};
   bool stop = false;  ///< written only by the barrier completion
   std::vector<std::exception_ptr> errors;  ///< per shard, + 1 slot for finish
@@ -74,29 +112,26 @@ struct ShardRun {
   /// decision per cycle — workers all break at the same generation, which
   /// is what keeps a throwing worker from deadlocking the barrier.
   void complete() noexcept {
+    Cycle next = cur + 1;
     if (!err.load(std::memory_order_relaxed)) {
       try {
-        (*finish)(cur);
+        next = (*finish)(cur);
+        RC_ASSERT(next > cur, "run_sharded finish must advance the clock");
       } catch (...) {
         errors.back() = std::current_exception();
         err.store(true, std::memory_order_relaxed);
       }
     }
-    ++cur;
+    cur = next;
     stop = err.load(std::memory_order_relaxed) || cur >= end;
   }
-};
-
-struct Completion {
-  ShardRun* run;
-  void operator()() noexcept { run->complete(); }
 };
 
 }  // namespace
 
 void run_sharded(int nshards, Cycle start, Cycle end,
                  const std::function<void(int, Cycle)>& body,
-                 const std::function<void(Cycle)>& finish) {
+                 const std::function<Cycle(Cycle)>& finish) {
   RC_ASSERT(nshards >= 1, "run_sharded needs at least one shard");
   if (start >= end) return;
 
@@ -107,7 +142,7 @@ void run_sharded(int nshards, Cycle start, Cycle end,
   run.finish = &finish;
   run.errors.assign(static_cast<std::size_t>(nshards) + 1, nullptr);
 
-  std::barrier<Completion> bar(nshards, Completion{&run});
+  SenseBarrier bar(nshards);
   auto worker = [&](int k) {
     for (;;) {
       // run.cur / run.stop are only written by the barrier completion while
@@ -122,7 +157,7 @@ void run_sharded(int nshards, Cycle start, Cycle end,
           run.err.store(true, std::memory_order_relaxed);
         }
       }
-      bar.arrive_and_wait();
+      bar.arrive_and_wait([&run] { run.complete(); });
       if (run.stop) return;
     }
   };

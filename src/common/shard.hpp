@@ -43,17 +43,26 @@ std::vector<ShardRange> shard_ranges(int num_nodes, int shards);
 
 /// Resolve the shard count for a run. `configured > 0` is an explicit
 /// request (tests pin 1/2/4 this way) and wins; `configured == 0` defers to
-/// the RC_SHARDS environment variable ("auto" = hardware concurrency, a
-/// positive integer otherwise, unset = 1 = the serial engine). The result
-/// is clamped to [1, num_nodes].
+/// the RC_SHARDS environment variable ("auto" = hardware concurrency
+/// clamped to the node count, a positive integer otherwise, unset = 1 = the
+/// serial engine). The result is clamped to [1, num_nodes].
 int effective_shards(int configured, int num_nodes);
 
-/// Run cycles [start, end) over `nshards` workers with a per-cycle barrier.
+/// Run cycles over `nshards` workers with a per-cycle barrier, starting at
+/// `start` and stopping once the clock reaches `end`.
 ///
 /// Each cycle, every worker k runs `body(k, now)`; when all have arrived at
 /// the barrier, the last one runs `finish(now)` (cross-shard mailbox flush,
 /// observer scans, clock bump) while the others are parked, then all release
-/// into the next cycle. The calling thread acts as shard 0.
+/// into the next cycle. `finish` returns the next cycle to simulate — `now
+/// + 1` to step normally, or a later cycle to fast-forward an engine whose
+/// activity frontiers prove nothing can happen in between (it must advance
+/// the clock by at least one). The calling thread acts as shard 0.
+///
+/// The barrier is sense-reversing: the last arriver runs the completion and
+/// flips the shared sense word; the others spin briefly on it and then park
+/// via yield, so an idle shard costs a cache-line read per cycle rather
+/// than a futex round-trip, while oversubscribed hosts still make progress.
 ///
 /// Exceptions (including rc::fatal) thrown by `body` or `finish` stop every
 /// worker at the same cycle boundary — no barrier deadlock — and the first
@@ -61,6 +70,6 @@ int effective_shards(int configured, int num_nodes);
 /// after all workers have joined.
 void run_sharded(int nshards, Cycle start, Cycle end,
                  const std::function<void(int, Cycle)>& body,
-                 const std::function<void(Cycle)>& finish);
+                 const std::function<Cycle(Cycle)>& finish);
 
 }  // namespace rc

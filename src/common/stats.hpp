@@ -104,4 +104,29 @@ class StatSet {
   std::map<std::string, Histogram> hists_;
 };
 
+/// Cached counter reference that resolves its string-keyed StatSet slot on
+/// the first increment. Hot paths that bump a counter only on rare events
+/// use this instead of an eager pointer so the counter materializes exactly
+/// when it first fires — a counter that never fires never appears in the
+/// report, same as an un-cached ++stats->counter(name). The resolved pointer
+/// stays valid across StatSet::reset (counters are zeroed in place).
+class LazyCounter {
+ public:
+  LazyCounter() = default;
+  LazyCounter(StatSet* stats, const char* name)
+      : stats_(stats), name_(name) {}
+  void operator++() {
+    if (!p_) {
+      if (!stats_) return;
+      p_ = &stats_->counter(name_);
+    }
+    ++*p_;
+  }
+
+ private:
+  StatSet* stats_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t* p_ = nullptr;
+};
+
 }  // namespace rc

@@ -104,4 +104,15 @@ class FatalError : public std::runtime_error {
                              #cond + " — " + (msg));            \
   } while (0)
 
+// Debug-only flavour for invariants checked in the per-flit inner loops
+// (pipe push/pop, crossbar sends): the check is structural — upheld by
+// credits and wiring, not by runtime input — so Release builds elide it.
+#ifdef NDEBUG
+#define RC_DASSERT(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define RC_DASSERT(cond, msg) RC_ASSERT(cond, msg)
+#endif
+
 }  // namespace rc

@@ -14,14 +14,21 @@ Network::Network(const NocConfig& cfg)
   const int n = topo_.num_nodes();
   // Sized once, before any component captures a pointer; never resized.
   node_stats_.resize(static_cast<std::size_t>(n));
+  msg_local_.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i)
+    msg_local_.emplace_back(&node_stats_[i], "msg_local");
   routers_.reserve(n);
   nis_.reserve(n);
+  drains_.resize(static_cast<std::size_t>(n));  // before wakers capture them
   for (NodeId i = 0; i < n; ++i) {
     routers_.push_back(
         std::make_unique<Router>(i, cfg_, &topo_, &node_stats_[i]));
     nis_.push_back(std::make_unique<NetworkInterface>(i, cfg_, &topo_,
                                                       &node_stats_[i], &pool_));
     local_pipes_.emplace_back(cfg_.local_latency);
+    drains_[i].net = this;
+    drains_[i].node = i;
+    local_pipes_.back().set_waker(&drains_[i]);
   }
 
   // Directed inter-router links: data (ST -> next BW) and credit wires.
@@ -38,10 +45,10 @@ Network::Network(const NocConfig& cfg)
     for (Dir d : {Dir::North, Dir::East, Dir::South, Dir::West}) {
       NodeId b = topo_.neighbour(a, d);
       if (b == kInvalidNode) continue;
+      // Consumer-side wakers (with the per-port pending bits) are registered
+      // by Router::wire below.
       flit_pipes_.emplace_back(data_lat);
-      flit_pipes_.back().set_waker(routers_[b].get());  // consumer: b's input
       credit_pipes_.emplace_back(1);
-      credit_pipes_.back().set_waker(routers_[a].get());  // a pops its credits
       links[{a, port_of(d)}] = {&flit_pipes_.back(), &credit_pipes_.back()};
       // Link records for configure_shards. The data pipe of link a->b is
       // pushed only by router a; its credit pipe only by router b (credits
@@ -65,10 +72,11 @@ Network::Network(const NocConfig& cfg)
       w.in_credits = links[{b, port_of(rd)}].credit;
       routers_[a]->wire(d, w);
     }
-    // Local port: NI <-> router.
+    // Local port: NI <-> router. The router registers itself (with port
+    // pending bits) on inject/undo via wire(); the NI-consumed pipes get
+    // their wakers here.
     flit_pipes_.emplace_back(data_lat);   // inject: NI -> router
     Pipe<Flit>* inject = &flit_pipes_.back();
-    inject->set_waker(routers_[a].get());
     flit_pipes_.emplace_back(data_lat);   // eject: router -> NI
     Pipe<Flit>* eject = &flit_pipes_.back();
     eject->set_waker(nis_[a].get());
@@ -80,7 +88,6 @@ Network::Network(const NocConfig& cfg)
     // strictly after the tail (both then advance at 2 cycles/hop).
     credit_pipes_.emplace_back(3);
     Pipe<Credit>* undo = &credit_pipes_.back();
-    undo->set_waker(routers_[a].get());
     Router::PortWiring w;
     w.in_data = inject;
     w.in_credits = inj_credits;
@@ -98,7 +105,7 @@ void Network::send(const MsgPtr& msg, Cycle now) {
   RC_ASSERT(msg->dest >= 0 && msg->dest < topo_.num_nodes(), "bad dest");
   if (msg->src == msg->dest) {
     msg->created = msg->injected = now;
-    ++node_stats_[msg->src].counter("msg_local");
+    ++msg_local_[msg->src];
     local_pipes_[msg->src].push(msg, now);
     return;
   }
@@ -173,19 +180,18 @@ void Network::configure_shards(const std::vector<ShardRange>& ranges) {
   // Reconfigurable: pipes that no longer cross a boundary drop back to
   // immediate pushes. set_deferred asserts the mailbox is empty, so this
   // must happen between cycles (construction or after a finish_cycle).
-  deferred_flit_pipes_.clear();
-  deferred_credit_pipes_.clear();
+  // Cross pipes register in their *producer* shard's dirty list on the
+  // first push of a cycle; finish_cycle flushes exactly the dirty ones.
+  dirty_.assign(ranges.size(), PipeDirtyList{});
   for (const auto& l : flit_links_) {
-    const bool cross = shard_of[static_cast<std::size_t>(l.producer)] !=
-                       shard_of[static_cast<std::size_t>(l.consumer)];
-    l.pipe->set_deferred(cross);
-    if (cross) deferred_flit_pipes_.push_back(l.pipe);
+    const int ps = shard_of[static_cast<std::size_t>(l.producer)];
+    const bool cross = ps != shard_of[static_cast<std::size_t>(l.consumer)];
+    l.pipe->set_deferred(cross, cross ? &dirty_[ps] : nullptr);
   }
   for (const auto& l : credit_links_) {
-    const bool cross = shard_of[static_cast<std::size_t>(l.producer)] !=
-                       shard_of[static_cast<std::size_t>(l.consumer)];
-    l.pipe->set_deferred(cross);
-    if (cross) deferred_credit_pipes_.push_back(l.pipe);
+    const int ps = shard_of[static_cast<std::size_t>(l.producer)];
+    const bool cross = ps != shard_of[static_cast<std::size_t>(l.consumer)];
+    l.pipe->set_deferred(cross, cross ? &dirty_[ps] : nullptr);
   }
   ranges_ = ranges;
 }
@@ -206,9 +212,21 @@ void Network::finish_cycle(Cycle now) {
   // Single-threaded (barrier completion): move every cross-shard push into
   // its ring, waking the consuming Tickers for next cycle. Everything an
   // observer scans afterwards is the same global state a serial tick leaves.
-  for (Pipe<Flit>* p : deferred_flit_pipes_) p->flush_deferred();
-  for (Pipe<Credit>* p : deferred_credit_pipes_) p->flush_deferred();
+  // Only pipes that actually received pushes are visited — an idle boundary
+  // (or an entirely idle cycle) makes this loop free, which is what lets
+  // shards with nothing to exchange skip the phase.
+  for (PipeDirtyList& dl : dirty_) dl.flush_all();
   if (obs_) obs_->on_network_cycle(now);
+}
+
+void Network::append_schedule(ShardSchedule& sched, const ShardRange& r) {
+  // Serial tick order within the shard: bypass drains, NIs, routers.
+  for (NodeId i = r.begin; i < r.end; ++i)
+    sched.add(&drains_[i], "local bypass");
+  for (NodeId i = r.begin; i < r.end; ++i)
+    sched.add(nis_[i].get(), "network interface");
+  for (NodeId i = r.begin; i < r.end; ++i)
+    sched.add(routers_[i].get(), "router");
 }
 
 StatSet Network::merged_stats() const {

@@ -71,10 +71,19 @@ class Network {
   /// Advance shard k's nodes one cycle: drain their same-tile bypasses, tick
   /// their NIs, then their routers — the same in-node order as tick().
   void tick_shard(int shard, Cycle now);
-  /// Barrier completion: flush every deferred cross-shard pipe into place
-  /// (waking the consuming Tickers), then fire the observer's global scan.
-  /// Single-threaded by contract — all workers are parked.
+  /// Barrier completion: flush the deferred cross-shard pipes that actually
+  /// received pushes this cycle (each producer shard keeps a dirty list, so
+  /// quiet boundaries cost nothing), waking the consuming Tickers, then fire
+  /// the observer's global scan. Single-threaded by contract — all workers
+  /// are parked.
   void finish_cycle(Cycle now);
+
+  /// Register the fabric components of nodes [r.begin, r.end) with a shard
+  /// schedule, in the serial tick order (bypass drains, NIs, routers). The
+  /// engines (System, SyntheticTraffic) build one schedule per shard and
+  /// drive sweeps themselves instead of calling tick()/tick_shard(); the
+  /// observer scan then becomes the engine's responsibility.
+  void append_schedule(ShardSchedule& sched, const ShardRange& r);
 
   const Topology& topo() const { return topo_; }
   const NocConfig& config() const { return cfg_; }
@@ -99,9 +108,22 @@ class Network {
  private:
   void drain_local(NodeId n, Cycle now);
 
+  /// Schedulable wrapper for one node's same-tile bypass pipe: the pipe
+  /// wakes it on push, so a schedule sweep visits it only when a local
+  /// message is (or is about to be) deliverable.
+  struct LocalDrain : Ticker {
+    Network* net = nullptr;
+    NodeId node = 0;
+    void tick(Cycle now) { net->drain_local(node, now); }
+    Cycle next_work(Cycle) const {
+      return net->local_pipes_[node].next_ready();
+    }
+  };
+
   NocConfig cfg_;
   Topology topo_;
   std::vector<StatSet> node_stats_;  ///< sized before components; stable
+  std::vector<LazyCounter> msg_local_;  ///< per-node "msg_local" cache
   LatencyModel lat_;
   TickMode mode_;
   MessagePool pool_;
@@ -112,6 +134,7 @@ class Network {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::deque<Pipe<MsgPtr>> local_pipes_;  ///< same-tile bypass, one per node
+  std::vector<LocalDrain> drains_;        ///< sized once in the constructor
 
   /// Inter-router link endpoints, recorded at wiring time so
   /// configure_shards can tell which pipes cross a shard boundary.
@@ -128,8 +151,9 @@ class Network {
   std::vector<CreditLink> credit_links_;
 
   std::vector<ShardRange> ranges_;
-  std::vector<Pipe<Flit>*> deferred_flit_pipes_;
-  std::vector<Pipe<Credit>*> deferred_credit_pipes_;
+  /// Per-producer-shard lists of deferred pipes with pending mailbox items;
+  /// finish_cycle flushes and clears them (see PipeDirtyList).
+  std::vector<PipeDirtyList> dirty_;
 
   std::function<void(NodeId, const MsgPtr&)> deliver_;
   std::function<void(const MsgPtr&, Cycle)> send_observer_;

@@ -15,6 +15,10 @@ NetworkInterface::NetworkInterface(NodeId id, const NocConfig& cfg,
     : id_(id), cfg_(cfg), topo_(topo), stats_(stats), pool_(pool), lat_(cfg_) {
   RC_ASSERT(pool_ != nullptr, "NI needs a message pool");
   inject_flits_ = &stats_->counter("ni_inject_flit");
+  origin_used_ = LazyCounter(stats_, "circ_origin_used");
+  origin_undone_ = LazyCounter(stats_, "circ_origin_undone");
+  origin_duplicate_ = LazyCounter(stats_, "circ_origin_duplicate");
+  scrounge_rides_ = LazyCounter(stats_, "scrounge_rides");
 }
 
 void NetworkInterface::wire(Pipe<Flit>* inject, Pipe<Credit>* inject_credits,
@@ -35,13 +39,14 @@ void NetworkInterface::send(const MsgPtr& msg, Cycle now) {
                          request_builds_circuit(msg->type);
     msg->reply_size_flits = reply_flits_for_request(msg->type, MessageSizes{});
   }
-  q_[static_cast<int>(vn)].push_back(msg);
+  if (vn == VNet::Reply) rsum_valid_ = false;
+  q_[static_cast<int>(vn)].push_back({msg, nullptr, 0, 0, kMemoNone});
   wake(now);  // controllers send before the network phase of this cycle
 }
 
 void NetworkInterface::launch_undo(NodeId dest, Addr addr,
                                    std::uint64_t owner, Cycle now) {
-  ++stats_->counter("circ_origin_undone");
+  ++origin_undone_;
   if (!undo_out_) return;
   Credit cr;
   cr.vnet = VNet::Reply;
@@ -54,7 +59,7 @@ void NetworkInterface::launch_undo(NodeId dest, Addr addr,
 bool NetworkInterface::undo_circuit(NodeId dest, Addr addr, Cycle now,
                                     bool expect_reply) {
   auto it = origins_.find({dest, addr});
-  if (it == origins_.end()) return false;
+  if (it == origins_.end() || !it->second.present) return false;
   Origin& o = it->second;
   bool was_built = o.status == OriginStatus::Built && !o.undo_deferred();
   if (!was_built) return false;
@@ -64,13 +69,15 @@ bool NetworkInterface::undo_circuit(NodeId dest, Addr addr, Cycle now,
     // flit is in the network (it then stays ahead of the undo for good).
     o.deferred_undo_owners.push_back(o.req_id);
     o.undo_expect_reply = expect_reply;
+    origin_mut(o);
     return true;
   }
   launch_undo(dest, addr, o.req_id, now);
   if (expect_reply) {
     o.status = OriginStatus::Undone;
+    origin_mut(o);
   } else {
-    origins_.erase(it);
+    origin_tomb(o);
   }
   return true;
 }
@@ -140,9 +147,10 @@ bool NetworkInterface::try_start_packet(VNet vn, Cycle now) {
     if (q.empty()) return false;
     int vc = 0;
     bool on_circuit = false;
-    if (!prepare_injection(q.front(), now, &vc, &on_circuit)) return false;
+    if (!prepare_injection(q.front().msg, now, &vc, &on_circuit))
+      return false;
     Stream& s = stream_[static_cast<int>(vn)];
-    s.msg = q.front();
+    s.msg = q.front().msg;
     s.next_seq = 0;
     s.vc = vc;
     s.on_circuit = on_circuit;
@@ -150,43 +158,121 @@ bool NetworkInterface::try_start_packet(VNet vn, Cycle now) {
     return true;
   }
   // Replies: per-message state (origin windows) forces a scan, but failed
-  // attempts carry memos (see Message::ni_memo_gen) so a queued reply is
-  // re-examined only when the origin table changed, its departure slot
-  // opened, or the resource it blocked on could now be free. The skip
-  // conditions reproduce the memoized attempt's outcome exactly, so the
-  // injection order — and with it every stat — is unchanged.
+  // attempts carry memos so a queued reply is re-examined only when the
+  // origin key it depends on changed, its departure slot opened, or the
+  // resource it blocked on could now be free. The skip conditions reproduce
+  // the memoized attempt's outcome exactly, so the injection order — and
+  // with it every stat — is unchanged.
   //
-  // Per-scan constants: nothing a failing prepare_injection touches can
-  // change outstanding_ (credits drain earlier in the tick) and origins_
-  // only shrinks mid-scan, so these snapshots stay conservative.
-  int plain_vc = 0;
-  const bool plain_free = pick_free_vc(VNet::Reply, false, &plain_vc);
+  // Memo validity is per-key: each memo pins the consulted origin map node
+  // (stable across mutations thanks to tombstoning) and its version, so
+  // churn on *other* keys never forces a rescan of the backlog. Scrounging
+  // is the one probe step that reads the whole table; its table-wide
+  // dependence is covered by the scrounge_maybe snapshot below (when a
+  // scrounge could possibly succeed, no VC-blocked reply is skipped).
+  //
   const bool scrounge_on = cfg_.circuit.reuse &&
                            cfg_.circuit.mode == CircuitMode::Complete &&
                            !cfg_.circuit.is_timed();
+  // Whole-scan fast path: the last scan skipped or failed every entry, no
+  // origin of this NI mutated since, no entry needs an unconditional
+  // re-probe, no held entry's slot has opened, and (when some entry is
+  // VC-blocked) no reply VC it could use has freed. Each conjunct
+  // reproduces the corresponding per-entry skip below, so the outcome —
+  // nothing injectable — is exact.
+  if (rsum_valid_ && origin_ver_ == rsum_ver_ && !rsum_has_none_ &&
+      now < rsum_hold_) {
+    if (!rsum_has_vcb_) return false;
+    int v = 0;
+    if (!pick_free_vc(VNet::Reply, false, &v) &&
+        !(scrounge_on && live_origins_ != 0 &&
+          pick_free_vc(VNet::Reply, true, &v)))
+      return false;
+  }
+  // Purge tombstones once they dominate the table. Queued memos pin map
+  // nodes by pointer, so collect the pinned set and erase only unpinned
+  // tombstones — every surviving memo stays valid and a purge can never
+  // trigger a re-probe storm. The trigger includes the queue length
+  // (pinned nodes survive, and the backlog can legitimately pin one node
+  // each), so the steady-state population never sits at the threshold.
+  if (origins_.size() >
+      2 * static_cast<std::size_t>(live_origins_) + q.size() + 64) {
+    std::vector<const Origin*> pinned;
+    pinned.reserve(q.size());
+    for (std::size_t k = 0; k < q.size(); ++k)
+      if (q[k].kind != kMemoNone && q[k].okey != nullptr)
+        pinned.push_back(q[k].okey);
+    std::sort(pinned.begin(), pinned.end());
+    for (auto pit = origins_.begin(); pit != origins_.end();) {
+      if (!pit->second.present &&
+          !std::binary_search(pinned.begin(), pinned.end(), &pit->second))
+        pit = origins_.erase(pit);
+      else
+        ++pit;
+    }
+  }
+  // Per-scan constants: nothing a failing prepare_injection touches can
+  // change outstanding_ (credits drain earlier in the tick) and live
+  // origins only disappear mid-scan, so these snapshots stay conservative.
+  int plain_vc = 0;
+  const bool plain_free = pick_free_vc(VNet::Reply, false, &plain_vc);
   int circ_vc = 0;
-  const bool scrounge_maybe = scrounge_on && !origins_.empty() &&
+  const bool scrounge_maybe = scrounge_on && live_origins_ != 0 &&
                               pick_free_vc(VNet::Reply, true, &circ_vc);
+  Cycle sum_hold = kNeverCycle;
+  bool sum_none = false;
+  bool sum_vcb = false;
   for (std::size_t k = 0; k < q.size(); ++k) {
-    const Message& m = *q[k];
-    if (m.ni_memo_gen == origins_gen_) {
-      if (m.ni_hold_until != 0) {
-        if (now < m.ni_hold_until) continue;  // still held for its slot
+    QEntry& e = q[k];
+    if (e.kind != kMemoNone &&
+        (e.okey == nullptr || e.okey->ver == e.over)) {
+      if (e.kind == kMemoHeld) {
+        if (now < e.hold) {  // still held for its slot
+          sum_hold = std::min(sum_hold, e.hold);
+          continue;
+        }
       } else if (!plain_free && !scrounge_maybe) {
+        sum_vcb = true;
         continue;  // still blocked on a free non-circuit reply VC
       }
     }
     int vc = 0;
     bool on_circuit = false;
-    if (!prepare_injection(q[k], now, &vc, &on_circuit)) continue;
+    if (!prepare_injection(e.msg, now, &vc, &on_circuit)) {
+      // ni_memo_gen == origins_gen_ iff one of the two memoizing fail
+      // sites executed during *this* probe (each stamps the current gen,
+      // and nothing bumps the gen after stamping).
+      if (e.msg->ni_memo_gen == origins_gen_) {
+        if (e.msg->ni_hold_until != 0) {
+          e.kind = kMemoHeld;
+          sum_hold = std::min(sum_hold, e.msg->ni_hold_until);
+        } else {
+          e.kind = kMemoVcBlocked;
+          sum_vcb = true;
+        }
+        e.hold = e.msg->ni_hold_until;
+        e.okey = last_probe_okey_;
+        e.over = e.okey != nullptr ? e.okey->ver : 0;
+      } else {
+        e.kind = kMemoNone;
+        sum_none = true;
+      }
+      continue;
+    }
     Stream& s = stream_[static_cast<int>(vn)];
-    s.msg = q[k];
+    s.msg = e.msg;
     s.next_seq = 0;
     s.vc = vc;
     s.on_circuit = on_circuit;
     q.erase_at(k);
+    rsum_valid_ = false;  // queue composition changed
     return true;
   }
+  rsum_valid_ = true;
+  rsum_ver_ = origin_ver_;
+  rsum_hold_ = sum_hold;
+  rsum_has_none_ = sum_none;
+  rsum_has_vcb_ = sum_vcb;
   return false;
 }
 
@@ -197,9 +283,20 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
 
   // Reply path: consult the circuit origin table.
   bool wants_circuit = false;
+  last_probe_okey_ = nullptr;
   if (cfg_.circuit.uses_circuits() && reply_circuit_eligible(msg->type)) {
     auto it = origins_.find({msg->dest, msg->addr});
-    if (it != origins_.end()) {
+    if (it == origins_.end()) {
+      // Versioned absence: record a tombstone so a failure memo can depend
+      // on "no origin for this key" and stay valid until the key changes.
+      // Semantically nothing changed (absent before and after), so
+      // origins_gen_ is not bumped.
+      it = origins_.try_emplace(std::make_pair(msg->dest, msg->addr)).first;
+      it->second.present = false;
+      origin_mut(it->second);
+    }
+    last_probe_okey_ = &it->second;
+    if (it->second.present) {
       Origin& o = it->second;
       switch (o.status) {
         case OriginStatus::Built:
@@ -229,12 +326,12 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
         case OriginStatus::Failed:
           msg->outcome = CircuitOutcome::Failed;
           ++origins_gen_;
-          origins_.erase(it);
+          origin_tomb(o);
           break;
         case OriginStatus::Undone:
           msg->outcome = CircuitOutcome::Undone;
           ++origins_gen_;
-          origins_.erase(it);
+          origin_tomb(o);
           break;
       }
     }
@@ -256,6 +353,7 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
     int best = topo_->hops(id_, msg->dest);
     const std::pair<NodeId, Addr>* best_key = nullptr;
     for (const auto& [key, o] : origins_) {
+      if (!o.present) continue;
       if (o.status != OriginStatus::Built || o.partial || o.undo_deferred())
         continue;
       int h = topo_->hops(key.first, msg->dest);
@@ -266,7 +364,9 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
     }
     if (best_key && pick_free_vc(VNet::Reply, true, vc)) {
       ++origins_gen_;
-      ++origins_[*best_key].riders;
+      Origin& ride = origins_.find(*best_key)->second;
+      ++ride.riders;
+      origin_mut(ride);
       msg->scrounging = true;
       msg->final_dest = msg->dest;
       msg->dest = best_key->first;
@@ -275,7 +375,7 @@ bool NetworkInterface::prepare_injection(const MsgPtr& msg, Cycle now,
       msg->circuit_addr = best_key->second;
       msg->outcome = CircuitOutcome::Scrounged;
       *on_circuit = true;
-      ++stats_->counter("scrounge_rides");
+      ++scrounge_rides_;
       return true;
     }
   }
@@ -330,8 +430,10 @@ void NetworkInterface::inject_flit(Stream& s, Cycle now) {
     if (msg->is_reply()) {
       if (s.on_circuit && !msg->scrounging) {
         ++origins_gen_;
-        origins_.erase({msg->dest, msg->addr});
-        ++stats_->counter("circ_origin_used");
+        auto uit = origins_.find({msg->dest, msg->addr});
+        if (uit != origins_.end() && uit->second.present)
+          origin_tomb(uit->second);
+        ++origin_used_;
       }
       if (reply_injected_) reply_injected_(msg, s.on_circuit);
     }
@@ -342,17 +444,20 @@ void NetworkInterface::inject_flit(Stream& s, Cycle now) {
   if (f.is_tail()) {
     if (msg->scrounging) {
       auto it = origins_.find({msg->circuit_dest, msg->circuit_addr});
-      if (it != origins_.end() && it->second.riders > 0) ++origins_gen_;
-      if (it != origins_.end() && it->second.riders > 0 &&
-          --it->second.riders == 0 && it->second.undo_deferred()) {
+      if (it != origins_.end() && it->second.present &&
+          it->second.riders > 0) {
         Origin& o = it->second;
-        for (std::uint64_t owner : o.deferred_undo_owners)
-          launch_undo(msg->circuit_dest, msg->circuit_addr, owner, now);
-        o.deferred_undo_owners.clear();
-        if (o.undo_expect_reply) {
-          o.status = OriginStatus::Undone;
-        } else {
-          origins_.erase(it);
+        ++origins_gen_;
+        origin_mut(o);
+        if (--o.riders == 0 && o.undo_deferred()) {
+          for (std::uint64_t owner : o.deferred_undo_owners)
+            launch_undo(msg->circuit_dest, msg->circuit_addr, owner, now);
+          o.deferred_undo_owners.clear();
+          if (o.undo_expect_reply) {
+            o.status = OriginStatus::Undone;
+          } else {
+            origin_tomb(o);
+          }
         }
       }
     }
@@ -387,7 +492,8 @@ void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
   }
   auto key = std::make_pair(msg->src, msg->addr);
   auto it = origins_.find(key);
-  if (it != origins_.end() && it->second.status == OriginStatus::Built) {
+  if (it != origins_.end() && it->second.present &&
+      it->second.status == OriginStatus::Built) {
     // A circuit for this (requestor, line) identity already exists (e.g. a
     // write-back and a re-fetch in flight together). The first reply will
     // consume the existing circuit; tear the duplicate instance down.
@@ -395,15 +501,25 @@ void NetworkInterface::handle_request_delivered(const MsgPtr& msg, Cycle now) {
     if (it->second.riders > 0) {
       ++origins_gen_;
       it->second.deferred_undo_owners.push_back(msg->id);
+      origin_mut(it->second);
     } else {
       launch_undo(msg->src, msg->addr, msg->id, now);
     }
-    ++stats_->counter("circ_origin_duplicate");
+    ++origin_duplicate_;
     return;
   }
   o.req_id = msg->id;
   ++origins_gen_;
-  origins_[key] = o;
+  // Insert in place, preserving the node's version chain (the slot may be
+  // a tombstone some queued memo still pins).
+  auto ins = origins_.try_emplace(key);
+  Origin& slot = ins.first->second;
+  const bool was_live = !ins.second && slot.present;
+  const std::uint64_t v = slot.ver;
+  slot = o;
+  slot.ver = v;
+  origin_mut(slot);
+  if (!was_live) ++live_origins_;
   if (msg->circuit_ok) {
     stats_->acc("lat_circuit_setup")
         .add(static_cast<double>(now - msg->injected));
@@ -421,7 +537,8 @@ void NetworkInterface::finish_delivery(const MsgPtr& msg, Cycle now) {
     msg->on_circuit = false;
     msg->circuit_dest = kInvalidNode;
     msg->ni_memo_gen = 0;  // new destination: any scan memo is stale
-    q_[static_cast<int>(VNet::Reply)].push_back(msg);
+    rsum_valid_ = false;
+    q_[static_cast<int>(VNet::Reply)].push_back({msg, nullptr, 0, 0, kMemoNone});
     return;
   }
   classify_delivered(msg);

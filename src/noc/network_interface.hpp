@@ -94,6 +94,16 @@ class NetworkInterface : public Ticker {
  private:
   enum class OriginStatus : std::uint8_t { Built, Failed, Undone };
   struct Origin {
+    /// Tombstone flag: erased origins keep their map node (so queue-scan
+    /// memos can hold stable pointers) with present=false; every reader
+    /// treats !present exactly like a missing key. Unpinned tombstones are
+    /// purged once they dominate the table.
+    bool present = true;
+    /// Bumped (from origin_ver_) on every semantic mutation of this key,
+    /// including tombstoning and resurrection. A queue-scan memo recording
+    /// (pointer, ver) stays valid while the version matches, so mutations
+    /// of *other* keys no longer force a rescan of the whole reply backlog.
+    std::uint64_t ver = 0;
     OriginStatus status = OriginStatus::Built;
     bool partial = false;  ///< fragmented: not every router reserved
     Cycle depart_min = 0;
@@ -150,7 +160,30 @@ class NetworkInterface : public Ticker {
   /// Injection queues: inline rings so the steady-state enqueue/dequeue of
   /// messages performs no heap allocation (deep backlogs grow once and keep
   /// the capacity).
-  InlineRing<MsgPtr, 8> q_[kNumVNets];
+  /// One queued message plus an inline memo of its last failed injection
+  /// probe. The skip test in try_start_packet reads only this slot (plus
+  /// the memoed origin's version word), so walking a deep reply backlog
+  /// stays cache-linear instead of dereferencing every queued message and
+  /// re-probing it whenever any origin changed.
+  ///
+  /// kind kMemoHeld: the reply is held for its departure slot until `hold`.
+  /// kind kMemoVcBlocked: blocked until a non-circuit reply VC frees (or a
+  /// scrounge candidate appears). Either memo additionally depends on the
+  /// probed origin key's state: valid only while okey (nullptr when the
+  /// probe consulted no origin) still carries version `over`. Memoed
+  /// pointers stay valid across tombstone purges because the purge skips
+  /// pinned nodes (see try_start_packet).
+  struct QEntry {  // aggregate: no NSDMIs, so the ring can instantiate it
+    MsgPtr msg;    // while NetworkInterface is still incomplete; push sites
+    const Origin* okey;  // always supply every field.
+    std::uint64_t over;
+    Cycle hold;
+    std::uint8_t kind;
+  };
+  static constexpr std::uint8_t kMemoNone = 0;
+  static constexpr std::uint8_t kMemoHeld = 1;
+  static constexpr std::uint8_t kMemoVcBlocked = 2;
+  InlineRing<QEntry, 8> q_[kNumVNets];
   Stream stream_[kNumVNets];
   int rr_vn_ = 0;  ///< round-robin over VN streams for the 1 flit/cycle link
 
@@ -175,8 +208,44 @@ class NetworkInterface : public Ticker {
   DeliveredStats del_req_;        ///< requests
   DeliveredStats del_rep_[2];     ///< replies, [circuit-eligible]
   std::uint64_t* reply_counter_[kNumReplyCategories] = {};
+  // Origin-table lifecycle counters fire once per circuit origin event.
+  LazyCounter origin_used_;
+  LazyCounter origin_undone_;
+  LazyCounter origin_duplicate_;
+  LazyCounter scrounge_rides_;
 
   std::map<std::pair<NodeId, Addr>, Origin> origins_;
+  std::uint64_t origin_ver_ = 0;   ///< source for Origin::ver stamps
+  int live_origins_ = 0;           ///< present (non-tombstone) entries
+  /// Origin node the most recent prepare_injection consulted (tombstones
+  /// are created on miss so absence is versioned too); nullptr when the
+  /// probe never touched the origin table.
+  const Origin* last_probe_okey_ = nullptr;
+
+  void origin_mut(Origin& o) { o.ver = ++origin_ver_; }
+
+  /// Whole-scan summary for the reply queue: recorded when a scan ends
+  /// with nothing injectable, so the next tick can reproduce "nothing
+  /// injectable" from a handful of compares instead of walking the
+  /// backlog. Valid only while no origin of this NI mutated (origin_ver_
+  /// unchanged — every memoed okey's version is then provably unchanged
+  /// too) and the queue composition is unchanged (pushes clear it; pops
+  /// only happen on a successful scan, which also clears it).
+  bool rsum_valid_ = false;
+  std::uint64_t rsum_ver_ = 0;
+  Cycle rsum_hold_ = kNeverCycle;  ///< min hold among held entries
+  bool rsum_has_none_ = false;     ///< some entry must be probed every scan
+  bool rsum_has_vcb_ = false;      ///< some entry waits on a reply VC
+  /// Tombstone a present entry: clears the payload (riders, deferred undos)
+  /// so every present-guarded reader behaves exactly as after an erase.
+  void origin_tomb(Origin& o) {
+    const std::uint64_t v = o.ver;
+    o = Origin{};
+    o.present = false;
+    o.ver = v;
+    origin_mut(o);
+    --live_origins_;
+  }
   /// Bumped on every origins_ mutation (insert/erase/field change); queued
   /// replies carry failure memos stamped with this generation so the
   /// injection scan can skip them while the table is provably unchanged

@@ -41,8 +41,16 @@ Router::Router(NodeId id, const NocConfig& cfg, const Topology* topo,
   hot_.sa_ops = &stats_->counter("sa_ops");
   hot_.circ_check = &stats_->counter("circ_check");
   hot_.circ_fwd = &stats_->counter("circ_fwd");
+  hot_.circ_skid_block = LazyCounter(stats_, "circ_skid_block");
+  hot_.circ_fail_conflict = LazyCounter(stats_, "circ_fail_conflict");
+  hot_.circ_build_aborted = LazyCounter(stats_, "circ_build_aborted");
   const int nvcs = total_vcs();
   RC_ASSERT(kNumDirs * nvcs <= 64, "VA request masks hold 64 bits");
+  vc_stage_ready_.assign(static_cast<std::size_t>(kNumDirs * nvcs), 0);
+  vc_out_port_.assign(static_cast<std::size_t>(kNumDirs * nvcs), 0);
+  vc_out_vc_.assign(static_cast<std::size_t>(kNumDirs * nvcs), 0);
+  vc_out_vci_.assign(static_cast<std::size_t>(kNumDirs * nvcs), 0);
+  credits_.assign(static_cast<std::size_t>(kNumDirs * nvcs), 0);
   for (auto& ip : inputs_) {
     ip.vcs.assign(nvcs, InputVC{});
     ip.sa_input_arb.resize(nvcs);
@@ -77,6 +85,11 @@ void Router::wire(Dir d, const PortWiring& w) {
   Port p = port_of(d);
   wires_[p] = w;
   wires_[p].connected = true;
+  // Register as the consumer-side waker of the inbound pipes, with the
+  // per-port pending bit so the tick loops only probe ports that can hold
+  // items (see the hot-state masks in router.hpp).
+  if (w.in_data) w.in_data->set_waker(this, &in_pending_, p);
+  if (w.out_credits) w.out_credits->set_waker(this, &cr_pending_, p);
   // Downstream buffering determines our output credits. The Local port's
   // sink is the NI, which consumes ejected flits immediately (an infinite
   // sink), so it gets an effectively unlimited window. Bufferless circuit
@@ -85,7 +98,7 @@ void Router::wire(Dir d, const PortWiring& w) {
   for (int vn = 0; vn < kNumVNets; ++vn) {
     VNet v = static_cast<VNet>(vn);
     for (int vc = 0; vc < cfg_.vcs_in_vn(v); ++vc) {
-      outputs_[p].vcs[vc_index(v, vc)].credits =
+      credits_[flat_vc(p, vc_index(v, vc))] =
           vc_has_buffer(v, vc) ? window : 0;
     }
   }
@@ -93,17 +106,18 @@ void Router::wire(Dir d, const PortWiring& w) {
 
 Cycle Router::next_work(Cycle now) const {
   if (!undo_latch_.empty() || busy()) return now;
+  // Only ports whose pending bit is set can hold items; a clear bit means
+  // the ring is empty (next_ready would be kNeverCycle).
   Cycle w = kNeverCycle;
-  for (int p = 0; p < kNumDirs; ++p) {
-    if (wires_[p].in_data) w = std::min(w, wires_[p].in_data->next_ready());
-    if (wires_[p].out_credits)
-      w = std::min(w, wires_[p].out_credits->next_ready());
-  }
+  for (std::uint32_t m = in_pending_; m; m &= m - 1)
+    w = std::min(w, wires_[std::countr_zero(m)].in_data->next_ready());
+  for (std::uint32_t m = cr_pending_; m; m &= m - 1)
+    w = std::min(w, wires_[std::countr_zero(m)].out_credits->next_ready());
   return w;
 }
 
 void Router::tick(Cycle now) {
-  for (auto& op : outputs_) op.taken_by_circuit = false;
+  circ_taken_ = 0;
   if (!undo_latch_.empty()) {
     for (const auto& [np, rec] : undo_latch_) {
       if (!wires_[np].in_credits) continue;
@@ -115,21 +129,24 @@ void Router::tick(Cycle now) {
     }
     undo_latch_.clear();
   }
-  process_credits(now);
-  process_arrivals(now);
-  stage_st(now);
+  if (cr_pending_) process_credits(now);
+  if (in_pending_ | retry_pending_) process_arrivals(now);
+  if (st_busy_) stage_st(now);
   stage_sa(now);
   stage_va(now);
 }
 
 void Router::process_credits(Cycle now) {
-  for (int p = 0; p < kNumDirs; ++p) {
-    if (!wires_[p].out_credits) continue;
-    while (auto c = wires_[p].out_credits->pop_ready(now)) {
+  for (std::uint32_t m = cr_pending_; m; m &= m - 1) {
+    const int p = std::countr_zero(m);
+    Pipe<Credit>* pipe = wires_[p].out_credits;
+    while (auto c = pipe->pop_ready(now)) {
       if (c->undo) handle_undo(static_cast<Port>(p), *c->undo, now);
-      if (c->vc >= 0)
-        ++outputs_[p].vcs[vc_index(c->vnet, c->vc)].credits;
+      if (c->vc >= 0) ++credits_[flat_vc(p, vc_index(c->vnet, c->vc))];
     }
+    // ring_empty (not empty): a cross-shard producer may be appending to
+    // the mailbox concurrently; the flush re-sets our bit.
+    if (pipe->ring_empty()) cr_pending_ &= ~(std::uint32_t{1} << p);
   }
 }
 
@@ -157,22 +174,22 @@ Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
   const Port out = entry->out_port;
   const bool buffered = !cfg_.circuit.bufferless_circuit_vc();
   const bool fragmented = cfg_.circuit.mode == CircuitMode::Fragmented;
-  if (outputs_[out].taken_by_circuit) {
-    if (!buffered) ++stats_->counter("circ_skid_block");
+  if (circ_taken_ & (std::uint32_t{1} << out)) {
+    if (!buffered) ++hot_.circ_skid_block;
     if (obs_) obs_->on_circuit_blocked(id_, in_port, flit, now);
     return CircFwd::Blocked;
   }
   const int arrival_vc = flit.vc;
   const int fwd_vc = fragmented ? entry->vc : flit.vc;
   if (buffered && out != port_of(Dir::Local)) {
-    auto& ovc = outputs_[out].vcs[vc_index(VNet::Reply, fwd_vc)];
-    if (ovc.credits <= 0) {
+    std::int32_t& cr = credits_[flat_vc(out, vc_index(VNet::Reply, fwd_vc))];
+    if (cr <= 0) {
       if (obs_) obs_->on_circuit_blocked(id_, in_port, flit, now);
       return CircFwd::Blocked;
     }
-    --ovc.credits;
+    --cr;
   }
-  outputs_[out].taken_by_circuit = true;
+  circ_taken_ |= std::uint32_t{1} << out;
   if (flit.is_tail()) {
     if (!msg->scrounging) {
       // The owner's tail clears the B bit and, for Fragmented, releases the
@@ -195,7 +212,12 @@ Router::CircFwd Router::try_circuit_forward(Flit& flit, Port in_port,
 }
 
 void Router::process_arrivals(Cycle now) {
-  for (int p = 0; p < kNumDirs; ++p) {
+  // Ascending port order over the union of retry- and arrival-pending ports
+  // (identical visit order to a dense 0..kNumDirs scan; ports without a bit
+  // have provably nothing to do).
+  for (std::uint32_t ports = retry_pending_ | in_pending_; ports;
+       ports &= ports - 1) {
+    const int p = std::countr_zero(ports);
     auto& ip = inputs_[p];
     // Blocked circuit flits (Fragmented/Ideal) retry with priority, in order.
     while (!ip.circ_retry.empty()) {
@@ -204,6 +226,7 @@ void Router::process_arrivals(Cycle now) {
       CircFwd r = try_circuit_forward(f, static_cast<Port>(p), now);
       if (r == CircFwd::Blocked) break;  // keep per-packet flit order
       ip.circ_retry.pop_front();
+      if (ip.circ_retry.empty()) retry_pending_ &= ~(std::uint32_t{1} << p);
       if (r == CircFwd::NoEntry) {
         RC_ASSERT(!cfg_.circuit.bufferless_circuit_vc(),
                   "complete-circuit flit lost its reservation");
@@ -241,6 +264,7 @@ void Router::process_arrivals(Cycle now) {
                                 flit.msg->id, flit.is_head(), now);
           if (!fallback_ok) {
             ip.circ_retry.push_back(flit);  // stay behind blocked flits
+            retry_pending_ |= std::uint32_t{1} << p;
             continue;
           }
           if (flit.is_head()) flit.msg->circuit_partial = true;
@@ -251,6 +275,7 @@ void Router::process_arrivals(Cycle now) {
         if (r == CircFwd::Forwarded) continue;
         if (r == CircFwd::Blocked) {
           ip.circ_retry.push_back(flit);  // retry next cycle
+          retry_pending_ |= std::uint32_t{1} << p;
           continue;
         }
         // NoEntry: this hop was never (or no longer) reserved.
@@ -270,12 +295,14 @@ void Router::process_arrivals(Cycle now) {
       }
       buffer_flit(flit, static_cast<Port>(p), now);
     }
+    if (wires_[p].in_data->ring_empty())
+      in_pending_ &= ~(std::uint32_t{1} << p);
   }
 }
 
 void Router::buffer_flit(const Flit& flit, Port p, Cycle now) {
   int idx = vc_index(flit.vnet, flit.vc);
-  RC_ASSERT(vc_has_buffer(flit.vnet, flit.vc), "flit buffered in bufferless VC");
+  RC_DASSERT(vc_has_buffer(flit.vnet, flit.vc), "flit buffered in bufferless VC");
   auto& ivc = inputs_[p].vcs[idx];
   if (static_cast<int>(ivc.buf.size()) >= cfg_.buffer_depth_flits) {
     std::fprintf(stderr,
@@ -289,7 +316,8 @@ void Router::buffer_flit(const Flit& flit, Port p, Cycle now) {
     RC_ASSERT(false, "input buffer overflow");
   }
   ivc.buf.push_back(flit);
-  inputs_[p].occ_mask |= std::uint64_t{1} << idx;
+  occ_mask_[p] |= std::uint64_t{1} << idx;
+  ++n_buffered_;
   ++*hot_.buf_write;
   if (obs_) obs_->on_flit_buffered(id_, p, flit, now);
   if (ivc.state == VCState::Idle) try_start_packet(p, idx, now);
@@ -315,74 +343,84 @@ void Router::try_start_packet(Port p, int vc_idx, Cycle now) {
   const Message* msg = head.msg;
   bool yx = head.vnet == VNet::Reply && cfg_.replies_yx;
   Dir out = topo_->route(id_, msg->dest, yx);
-  ivc.out_port = port_of(out);
+  vc_out_port_[flat_vc(p, vc_idx)] = static_cast<std::uint8_t>(port_of(out));
   ivc.state = VCState::WaitVA;
-  inputs_[p].waitva_mask |= std::uint64_t{1} << vc_idx;
-  ivc.stage_ready = now + 1;
+  waitva_mask_[p] |= std::uint64_t{1} << vc_idx;
+  vc_stage_ready_[flat_vc(p, vc_idx)] = now + 1;
   ++n_waitva_;
 }
 
 void Router::stage_st(Cycle now) {
-  for (int o = 0; o < kNumDirs; ++o) {
+  for (std::uint32_t m = st_busy_; m; m &= m - 1) {
+    const int o = std::countr_zero(m);
+    if (st_ready_[o] > now) continue;
+    if (circ_taken_ & (std::uint32_t{1} << o))
+      continue;  // circuit flits own the port (§4.3)
     auto& op = outputs_[o];
-    if (!op.st_latch || op.st_ready > now) continue;
-    if (op.taken_by_circuit) continue;  // circuit flits own the port (§4.3)
     send_flit(static_cast<Port>(o), *op.st_latch, now);
     op.st_latch.reset();
+    st_busy_ &= ~(std::uint32_t{1} << o);
   }
 }
 
 void Router::stage_sa(Cycle now) {
   if (n_active_ == 0) return;
+  const int nvcs = total_vcs();
   // Input-first separable allocation: each input port nominates one VC,
   // then each output port picks one input. Only VCs in Active state (the
   // per-port active_mask) are scanned; each input's out_port is unique, so
   // the nominations translate directly into per-output request masks.
+  // Eligibility reads only the packed arrays (occupancy via occ_mask, then
+  // stage_ready / out_port / credits); the fat per-VC structs are touched
+  // for the winners alone.
   std::array<int, kNumDirs> nominee{};  // vc index or -1
   nominee.fill(-1);
   std::array<std::uint64_t, kNumDirs> out_req{};  // bit i: input i requests o
   for (int i = 0; i < kNumDirs; ++i) {
     std::uint64_t req = 0;
-    for (std::uint64_t m = inputs_[i].active_mask; m; m &= m - 1) {
+    for (std::uint64_t m = active_mask_[i] & occ_mask_[i]; m;
+         m &= m - 1) {
       const int v = std::countr_zero(m);
-      auto& ivc = inputs_[i].vcs[v];
-      if (ivc.stage_ready > now || ivc.buf.empty()) continue;
-      auto& op = outputs_[ivc.out_port];
-      if (op.st_latch) continue;  // traversal register still occupied
-      if (op.vcs[ivc.out_vc_index].credits <= 0) continue;
+      const int fv = i * nvcs + v;
+      if (vc_stage_ready_[fv] > now) continue;
+      if (st_busy_ & (std::uint32_t{1} << vc_out_port_[fv]))
+        continue;  // traversal register still occupied
+      if (credits_[vc_out_port_[fv] * nvcs + vc_out_vci_[fv]] <= 0) continue;
       req |= std::uint64_t{1} << v;
     }
     if (!req) continue;
     nominee[i] = inputs_[i].sa_input_arb.grant(req);
-    out_req[inputs_[i].vcs[nominee[i]].out_port] |= std::uint64_t{1} << i;
+    out_req[vc_out_port_[i * nvcs + nominee[i]]] |= std::uint64_t{1} << i;
   }
   for (int o = 0; o < kNumDirs; ++o) {
     if (!out_req[o]) continue;
     const int win = outputs_[o].sa_output_arb.grant(out_req[o]);
     if (win < 0) continue;
     const int vc_idx = nominee[win];
+    const int fv = win * nvcs + vc_idx;
     auto& ivc = inputs_[win].vcs[vc_idx];
     Flit f = ivc.buf.front();
     ivc.buf.pop_front();
+    --n_buffered_;
     if (ivc.buf.empty())
-      inputs_[win].occ_mask &= ~(std::uint64_t{1} << vc_idx);
+      occ_mask_[win] &= ~(std::uint64_t{1} << vc_idx);
     ++*hot_.buf_read;
     ++*hot_.sa_ops;
     send_credit(static_cast<Port>(win), f.vnet, vcidx_within_[vc_idx], now);
-    f.vc = ivc.out_vc;
+    f.vc = vc_out_vc_[fv];
     auto& op = outputs_[o];
-    auto& ovc = op.vcs[ivc.out_vc_index];
-    --ovc.credits;
+    --credits_[o * nvcs + vc_out_vci_[fv]];
     op.st_latch = f;
-    op.st_ready = now + 1;
+    st_ready_[o] = now + 1;
+    st_busy_ |= std::uint32_t{1} << o;
     if (f.is_tail()) {
-      op.clear_busy(ivc.out_vc_index);
+      op.clear_busy(vc_out_vci_[fv]);
       ivc.state = VCState::Idle;
-      inputs_[win].active_mask &= ~(std::uint64_t{1} << vc_idx);
+      active_mask_[win] &= ~(std::uint64_t{1} << vc_idx);
       --n_active_;
       try_start_packet(static_cast<Port>(win), vc_idx, now);
     } else {
-      ivc.stage_ready = now + 1;
+      vc_stage_ready_[fv] = now + 1;
     }
   }
 }
@@ -397,17 +435,19 @@ void Router::stage_va(Cycle now) {
   std::uint64_t mask[kNumDirs][2] = {};
   bool any = false;
   for (int i = 0; i < kNumDirs; ++i) {
-    for (std::uint64_t m = inputs_[i].waitva_mask; m; m &= m - 1) {
+    for (std::uint64_t m = waitva_mask_[i] & occ_mask_[i]; m;
+         m &= m - 1) {
       const int v = std::countr_zero(m);
-      auto& ivc = inputs_[i].vcs[v];
-      if (ivc.stage_ready > now || ivc.buf.empty()) continue;
-      const Flit& head = ivc.buf.front();
+      const int fv = i * nvcs + v;
+      if (vc_stage_ready_[fv] > now) continue;
       // Circuit VCs are never VC-allocated: complete mode's is bufferless,
       // and fragmented claims them at reservation time. A circuit packet
       // pipelining through an unreserved hop travels in a normal VC and
-      // re-enters its circuit VCs via the per-hop circuit check.
-      int cls = head.vnet == VNet::Request ? 0 : 1;
-      mask[ivc.out_port][cls] |= std::uint64_t{1} << (i * nvcs + v);
+      // re-enters its circuit VCs via the per-hop circuit check. The
+      // allocation class is the VC's own VN — flits are buffered at
+      // vc_index(their VN, vc), so the resident head's VN is vcidx_vnet_[v].
+      int cls = vcidx_vnet_[v] == VNet::Request ? 0 : 1;
+      mask[vc_out_port_[fv]][cls] |= std::uint64_t{1} << fv;
       any = true;
     }
   }
@@ -431,21 +471,21 @@ void Router::stage_va(Cycle now) {
       int i = win / nvcs, v = win % nvcs;
       auto& ivc = inputs_[i].vcs[v];
       ivc.state = VCState::Active;
-      inputs_[i].waitva_mask &= ~(std::uint64_t{1} << v);
-      inputs_[i].active_mask |= std::uint64_t{1} << v;
+      waitva_mask_[i] &= ~(std::uint64_t{1} << v);
+      active_mask_[i] |= std::uint64_t{1} << v;
       --n_waitva_;
       ++n_active_;
-      ivc.out_vc = vcidx_within_[ov];
-      ivc.out_vc_index = ov;
+      vc_out_vc_[win] = static_cast<std::uint8_t>(vcidx_within_[ov]);
+      vc_out_vci_[win] = static_cast<std::uint8_t>(ov);
       // Pipelines deeper than the paper's 4 stages spend the extra cycles
       // between VC allocation and switch allocation.
-      ivc.stage_ready = now + 1 + (cfg_.router_stages - 4);
+      vc_stage_ready_[win] = now + 1 + (cfg_.router_stages - 4);
       op.set_busy(ov);
       ++*hot_.va_ops;
       Message* msg = ivc.buf.front().msg;
       if (ivc.buf.front().vnet == VNet::Request && msg->build_circuit &&
           circuits_.enabled()) {
-        maybe_build_circuit(msg, static_cast<Port>(i), ivc.out_port, now);
+        maybe_build_circuit(msg, static_cast<Port>(i), vc_out_port_[win], now);
       }
     }
   }
@@ -526,7 +566,7 @@ void Router::maybe_build_circuit(Message* msg, Port req_in, Port req_out,
       return;
     }
   } else {
-    ++stats_->counter("circ_fail_conflict");
+    ++hot_.circ_fail_conflict;
   }
 
   if (cfg_.circuit.mode == CircuitMode::Fragmented) {
@@ -536,7 +576,7 @@ void Router::maybe_build_circuit(Message* msg, Port req_in, Port req_out,
   RC_ASSERT(cfg_.circuit.mode != CircuitMode::Ideal,
             "ideal reservation can never fail");
   msg->circuit_ok = false;
-  ++stats_->counter("circ_build_aborted");
+  ++hot_.circ_build_aborted;
   // Tear down the part already built, via the upstream credit wires (§4.4).
   if (req_in != port_of(Dir::Local) && wires_[req_in].in_credits) {
     Credit cr;
@@ -548,7 +588,7 @@ void Router::maybe_build_circuit(Message* msg, Port req_in, Port req_out,
 }
 
 void Router::send_flit(Port out, const Flit& flit, Cycle now) {
-  RC_ASSERT(wires_[out].out_data != nullptr, "flit routed to unwired port");
+  RC_DASSERT(wires_[out].out_data != nullptr, "flit routed to unwired port");
   wires_[out].out_data->push(flit, now);
   ++flits_routed_;
   ++*hot_.xbar;

@@ -63,14 +63,11 @@ class Router : public Ticker {
   std::uint64_t flits_routed() const { return flits_routed_; }
 
   /// Any packet resident in this router (buffers, latches, retry queues)?
-  /// Occupancy bitmaps make this a handful of word tests.
+  /// Pure register tests over the packed hot state — next_work calls this
+  /// every awake cycle, so it must not touch the port structs.
   bool busy() const {
-    if (n_waitva_ > 0 || n_active_ > 0) return true;
-    for (const auto& ip : inputs_)
-      if (ip.occ_mask != 0 || !ip.circ_retry.empty()) return true;
-    for (const auto& op : outputs_)
-      if (op.st_latch) return true;
-    return false;
+    return n_waitva_ > 0 || n_active_ > 0 || n_buffered_ > 0 ||
+           retry_pending_ != 0 || st_busy_ != 0;
   }
   CircuitManager& circuits() { return circuits_; }
   const CircuitManager& circuits() const { return circuits_; }
@@ -81,10 +78,10 @@ class Router : public Ticker {
   /// occupied VCs (occ_mask bits) are visited.
   int buffered_flits() const {
     int n = 0;
-    for (const auto& ip : inputs_) {
-      n += static_cast<int>(ip.circ_retry.size());
-      for (std::uint64_t m = ip.occ_mask; m; m &= m - 1)
-        n += static_cast<int>(ip.vcs[std::countr_zero(m)].buf.size());
+    for (int p = 0; p < kNumDirs; ++p) {
+      n += static_cast<int>(inputs_[p].circ_retry.size());
+      for (std::uint64_t m = occ_mask_[p]; m; m &= m - 1)
+        n += static_cast<int>(inputs_[p].vcs[std::countr_zero(m)].buf.size());
     }
     return n;
   }
@@ -96,10 +93,18 @@ class Router : public Ticker {
   const OutputVC& output_vc(Dir d, VNet vn, int vc) const {
     return outputs_[port_of(d)].vcs[vc_index(vn, vc)];
   }
+  /// Downstream buffer credits of one output VC (the C field of Figure 2).
+  int output_credits(Dir d, VNet vn, int vc) const {
+    return credits_[flat_vc(port_of(d), vc_index(vn, vc))];
+  }
 
   int total_vcs() const { return cfg_.vcs_request_vn + cfg_.vcs_reply_vn; }
   int vc_index(VNet vn, int vc) const {
     return vn == VNet::Request ? vc : cfg_.vcs_request_vn + vc;
+  }
+  /// Index into the packed per-VC arrays: (port, flat VC index) -> flat slot.
+  int flat_vc(int port, int vc_idx) const {
+    return port * total_vcs() + vc_idx;
   }
   /// Number of VCs in the reply VN dedicated to circuits (0 when disabled,
   /// 2 for Fragmented — one circuit per circuit VC — 1 otherwise).
@@ -136,20 +141,12 @@ class Router : public Ticker {
     RoundRobinArbiter sa_input_arb;  ///< picks one VC of this port per cycle
     /// Fragmented/Ideal: blocked circuit flits awaiting retry.
     InlineRing<Flit, kRetryRingInlineFlits> circ_retry;
-    // Occupancy bitmaps, maintained incrementally at every push/pop and
-    // state transition so the allocation loops bit-scan occupied VCs
-    // instead of dense kNumDirs x total_vcs sweeps.
-    std::uint64_t occ_mask = 0;     ///< bit v: vcs[v].buf non-empty
-    std::uint64_t waitva_mask = 0;  ///< bit v: vcs[v].state == WaitVA
-    std::uint64_t active_mask = 0;  ///< bit v: vcs[v].state == Active
   };
   struct OutputPort {
     std::vector<OutputVC> vcs;
     RoundRobinArbiter sa_output_arb;  ///< picks one input port per cycle
     std::vector<RoundRobinArbiter> va_arb;  ///< per output VC, picks input VC
     std::optional<Flit> st_latch;     ///< switch-traversal register
-    Cycle st_ready = 0;
-    bool taken_by_circuit = false;    ///< crossbar priority marker, per cycle
     std::uint64_t busy_mask = 0;      ///< bit v: vcs[v].busy (VA skips them)
 
     // The bool in OutputVC stays authoritative for test accessors; these
@@ -195,6 +192,39 @@ class Router : public Ticker {
   // Fast-path occupancy counters: lightly loaded routers skip whole stages.
   int n_waitva_ = 0;
   int n_active_ = 0;
+  int n_buffered_ = 0;  ///< flits across all input VC buffers
+  // Packed per-port hot state: the per-tick loops (credit drain, arrival
+  // drain, ST stage) and next_work probe these single words and bit-scan
+  // the set ports instead of pointer-chasing five pipes / five OutputPort
+  // structs per cycle (ISSUE 8's cache-linear tick path). The pending masks
+  // are set by the pipes themselves on enqueue (Pipe::set_waker with mask,
+  // registered in wire()) and cleared by the consuming loop once the ring
+  // is observed empty; cross-shard pipes enqueue only in the single-threaded
+  // barrier flush, so every write happens on this router's shard.
+  std::uint32_t in_pending_ = 0;     ///< bit p: in_data ring may hold flits
+  std::uint32_t cr_pending_ = 0;     ///< bit p: out_credits ring may be nonempty
+  std::uint32_t retry_pending_ = 0;  ///< bit p: circ_retry nonempty
+  std::uint32_t st_busy_ = 0;        ///< bit o: st_latch engaged
+  std::uint32_t circ_taken_ = 0;     ///< bit o: crossbar taken by a circuit flit
+  std::array<Cycle, kNumDirs> st_ready_{};  ///< ST launch cycle per output
+  // Per-input-port VC bitmaps, maintained incrementally at every push/pop
+  // and state transition so the allocation loops bit-scan occupied VCs
+  // instead of dense kNumDirs x total_vcs sweeps. Kept outside InputPort
+  // (which is dominated by its inline retry ring) so the five ports' masks
+  // share cache lines when VA/SA sweep all of them each awake cycle.
+  std::array<std::uint64_t, kNumDirs> occ_mask_{};     ///< vcs[v].buf non-empty
+  std::array<std::uint64_t, kNumDirs> waitva_mask_{};  ///< state == WaitVA
+  std::array<std::uint64_t, kNumDirs> active_mask_{};  ///< state == Active
+  // Packed per-VC hot state, indexed flat_vc(port, vc_idx). The VA/SA
+  // eligibility sweeps and the credit paths probe these every awake cycle;
+  // an InputVC itself is dominated by its inline flit ring, so the probed
+  // fields live here as struct-of-arrays blocks (a few cache lines per
+  // router) and the fat per-VC structs are only touched for actual winners.
+  std::vector<Cycle> vc_stage_ready_;      ///< earliest next-stage cycle
+  std::vector<std::uint8_t> vc_out_port_;  ///< R: route of the resident packet
+  std::vector<std::uint8_t> vc_out_vc_;    ///< O: granted VC within its VN
+  std::vector<std::uint8_t> vc_out_vci_;   ///< O as a flat output-VC index
+  std::vector<std::int32_t> credits_;      ///< C: per *output* VC credits
   // Static per-flat-VC-index lookups (avoid re-deriving VN / within-VN VC
   // per flit) and the set of output VCs VA may ever allocate (buffered,
   // non-circuit); both fixed at construction.
@@ -212,6 +242,11 @@ class Router : public Ticker {
     std::uint64_t* sa_ops = nullptr;
     std::uint64_t* circ_check = nullptr;
     std::uint64_t* circ_fwd = nullptr;
+    // Rare-event counters resolve lazily so they appear in reports only
+    // once they actually fire (byte-identical stats to uncached bumps).
+    LazyCounter circ_skid_block;
+    LazyCounter circ_fail_conflict;
+    LazyCounter circ_build_aborted;
   } hot_;
   NocConfig cfg_;
   const Topology* topo_;

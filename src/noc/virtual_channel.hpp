@@ -28,20 +28,18 @@ enum class VCState : std::uint8_t {
   Active,  ///< output VC granted, flits contending for the switch
 };
 
+/// The R/O fields of the paper's Figure 2 (route, granted output VC) and the
+/// per-VC pipeline timestamp live in the Router's packed per-VC arrays, not
+/// here: the allocation loops probe them every awake cycle, and an InputVC is
+/// dominated by its inline flit ring (~a cache line per VC), so keeping the
+/// probed fields in struct-of-arrays blocks makes those sweeps cache-linear.
 struct InputVC {
   VCState state = VCState::Idle;
   InlineRing<Flit, kVcRingInlineFlits> buf;  ///< flit buffer (depth enforced by Router)
-  Port out_port = 0;      ///< R: route computed for the resident packet
-  int out_vc = 0;         ///< O: output VC granted by VA
-  Cycle stage_ready = 0;  ///< earliest cycle the next pipeline stage may run
-  /// Cached flat output-VC index of the resident packet
-  /// (vc_index(vnet, out_vc)), set at VA grant so body/tail flits index the
-  /// output VC directly instead of recomputing it per switch traversal.
-  int out_vc_index = 0;
 };
 
+/// C (credit count) lives in the Router's packed credit array, same reason.
 struct OutputVC {
-  int credits = 0;   ///< C: buffer slots free downstream
   bool busy = false; ///< allocated to an upstream packet until its tail passes
 };
 

@@ -37,9 +37,14 @@ RunResult run_config(SystemConfig cfg, const std::string& label) {
   // intact (no interleaving); tracing is meant for single-run diagnosis.
   if (Telemetry* t = sys.telemetry()) {
     if (t->write())
+      // The digest names the resolved shard count (RC_SHARDS=auto and
+      // clamping make the configured value an unreliable record): traces
+      // from differently-sharded runs are byte-identical by construction,
+      // and the digest line is where that claim gets checked.
       print_telemetry_summary(
           summarize_events(t->events(), t->samples(), /*include_warmup=*/false),
-          "telemetry '" + label + "' -> " + t->path());
+          "telemetry '" + label + "' (" + std::to_string(sys.shards()) +
+              " shard" + (sys.shards() == 1 ? "" : "s") + ") -> " + t->path());
   }
 
   RunResult r;

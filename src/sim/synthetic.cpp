@@ -1,5 +1,6 @@
 #include "sim/synthetic.hpp"
 
+#include "noc/observer.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/validator.hpp"
 
@@ -19,7 +20,13 @@ SyntheticTraffic::SyntheticTraffic(const NocConfig& cfg, double rate,
   if (shards_ > 1) net_->configure_shards(shard_ranges(n, shards_));
   Rng root(seed);
   nodes_.resize(static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i) nodes_[i].rng = root.fork(i + 1);
+  drivers_.resize(static_cast<std::size_t>(n));  // stable before seal
+  for (NodeId i = 0; i < n; ++i) {
+    nodes_[i].rng = root.fork(i + 1);
+    draw_next_inject(nodes_[i], 0);  // first candidate cycle is 0
+    drivers_[i].t = this;
+    drivers_[i].node = i;
+  }
   net_->set_deliver([this](NodeId node, const MsgPtr& m) {
     // Runs on the shard that owns `node`; touches only that node's state.
     NodeState& st = nodes_[node];
@@ -33,11 +40,28 @@ SyntheticTraffic::SyntheticTraffic(const NocConfig& cfg, double rate,
       rep->dest = m->src;
       rep->addr = m->addr;
       rep->size_flits = 5;
-      st.pending_replies.emplace(m->delivered + service_, rep);
+      const Cycle due = m->delivered + service_;
+      st.pending_replies.emplace(due, rep);
+      drivers_[node].wake(due);  // same shard: the NI delivering is local
     } else {
       ++st.replies_done;
     }
   });
+  build_schedules();
+}
+
+void SyntheticTraffic::build_schedules() {
+  const auto& ranges = net_->shard_ranges_of();
+  scheds_.reserve(ranges.size());
+  for (const ShardRange& r : ranges) {
+    auto s = std::make_unique<ShardSchedule>();
+    // Serial tick order: drivers of the shard's nodes, then the fabric.
+    for (NodeId i = r.begin; i < r.end; ++i)
+      s->add(&drivers_[i], "synthetic driver");
+    net_->append_schedule(*s, r);
+    s->seal();
+    scheds_.push_back(std::move(s));
+  }
 }
 
 void SyntheticTraffic::tick_node(NodeId i, Cycle now) {
@@ -47,42 +71,60 @@ void SyntheticTraffic::tick_node(NodeId i, Cycle now) {
     net_->send(st.pending_replies.begin()->second, now);
     st.pending_replies.erase(st.pending_replies.begin());
   }
+  if (st.next_inject > now) return;
+  // The frontier keeps a due injection from ever being slept through; in
+  // Always/Verify mode the driver ticks every cycle and walks onto the
+  // stamp the same way.
+  RC_ASSERT(st.next_inject == now, "synthetic driver missed its injection");
   const int n = cfg_.num_nodes();
-  if (!st.rng.chance(rate_)) return;
   NodeId dest = static_cast<NodeId>(st.rng.next_below(n));
-  if (dest == i) return;
-  auto req = std::make_shared<Message>();
-  req->id = (static_cast<std::uint64_t>(i) << 40) | ++st.next_id;
-  req->type = MsgType::GetS;
-  req->src = i;
-  req->dest = dest;
-  // Unique line per transaction (node-tagged) keeps circuit identities
-  // distinct.
-  req->addr = ((static_cast<Addr>(i) << 32) + ++st.next_addr) * kLineBytes;
-  req->size_flits = 1;
-  net_->send(req, now);
-  ++st.requests_done;
+  if (dest != i) {  // self-sends are dropped, matching the per-cycle driver
+    auto req = std::make_shared<Message>();
+    req->id = (static_cast<std::uint64_t>(i) << 40) | ++st.next_id;
+    req->type = MsgType::GetS;
+    req->src = i;
+    req->dest = dest;
+    // Unique line per transaction (node-tagged) keeps circuit identities
+    // distinct.
+    req->addr = ((static_cast<Addr>(i) << 32) + ++st.next_addr) * kLineBytes;
+    req->size_flits = 1;
+    net_->send(req, now);
+    ++st.requests_done;
+  }
+  draw_next_inject(st, now + 1);
 }
 
 void SyntheticTraffic::run_cycles(Cycle n) {
-  const int nodes = cfg_.num_nodes();
   const Cycle end = clock_ + n;
+  const TickMode mode = net_->tick_mode();
+  const bool ffwd =
+      mode == TickMode::Activity && net_->observer() == nullptr;
   if (shards_ <= 1) {
-    for (; clock_ < end; ++clock_) {
-      for (NodeId i = 0; i < nodes; ++i) tick_node(i, clock_);
-      net_->tick(clock_);
+    NocObserver* obs = net_->observer();
+    ShardSchedule& sched = *scheds_[0];
+    while (clock_ < end) {
+      const Cycle f = sched.sweep(clock_, mode);
+      if (obs) obs->on_network_cycle(clock_);
+      Cycle next = clock_ + 1;
+      if (ffwd && f > next) next = f;
+      clock_ = next < end ? next : end;
     }
   } else if (n > 0) {
     run_sharded(
         shards_, clock_, end,
-        [this](int shard, Cycle c) {
-          const ShardRange r = net_->shard_ranges_of()[shard];
-          for (NodeId i = r.begin; i < r.end; ++i) tick_node(i, c);
-          net_->tick_shard(shard, c);
-        },
-        [this](Cycle c) {
+        [this, mode](int shard, Cycle c) { scheds_[shard]->sweep(c, mode); },
+        [this, ffwd, end](Cycle c) -> Cycle {
           net_->finish_cycle(c);
-          clock_ = c + 1;
+          Cycle next = c + 1;
+          if (ffwd) {
+            Cycle f = kNeverCycle;
+            for (const auto& s : scheds_)
+              if (s->frontier() < f) f = s->frontier();
+            if (f > next) next = f;
+          }
+          if (next > end) next = end;
+          clock_ = next;
+          return next;
         });
   }
 }

@@ -58,10 +58,12 @@ class SyntheticTraffic {
   Telemetry* telemetry() { return telemetry_.get(); }
 
  private:
-  /// One node's per-cycle work: release due echo replies, maybe inject a
-  /// request. Touches only that node's state — safe from its shard worker.
+  /// One node's due work: release due echo replies, inject the request the
+  /// pre-drawn injection schedule put at this cycle. Touches only that
+  /// node's state — safe from its shard worker.
   void tick_node(NodeId i, Cycle now);
   void run_cycles(Cycle n);
+  void build_schedules();
 
   struct NodeState {
     Rng rng;
@@ -69,8 +71,43 @@ class SyntheticTraffic {
     std::uint64_t next_addr = 0;
     std::uint64_t requests_done = 0;
     std::uint64_t replies_done = 0;
+    /// Next cycle this node's Bernoulli process injects (kNeverCycle when
+    /// rate is 0). Pre-drawing the per-cycle coin flips in a batch performs
+    /// the exact same RNG draws in the exact same order as flipping one per
+    /// cycle — the destination draw still happens at injection time — so
+    /// traffic is byte-identical while quiet nodes skip whole sweeps.
+    Cycle next_inject = 0;
     std::multimap<Cycle, MsgPtr> pending_replies;
   };
+
+  /// Schedulable per-node driver: woken by the deliver callback when an
+  /// echo reply is queued, and self-armed at next_inject.
+  struct Driver : Ticker {
+    SyntheticTraffic* t = nullptr;
+    NodeId node = 0;
+    void tick(Cycle now) { t->tick_node(node, now); }
+    Cycle next_work(Cycle) const {
+      const NodeState& st = t->nodes_[node];
+      Cycle w = st.next_inject;
+      if (!st.pending_replies.empty() &&
+          st.pending_replies.begin()->first < w)
+        w = st.pending_replies.begin()->first;
+      return w;
+    }
+  };
+
+  /// Set st.next_inject to the first cycle >= first_candidate whose
+  /// Bernoulli coin comes up heads, drawing one coin per candidate cycle —
+  /// the same draws, in the same order, as the per-cycle loop it replaces.
+  void draw_next_inject(NodeState& st, Cycle first_candidate) {
+    if (rate_ <= 0) {
+      st.next_inject = kNeverCycle;
+      return;
+    }
+    Cycle c = first_candidate;
+    while (!st.rng.chance(rate_)) ++c;
+    st.next_inject = c;
+  }
 
   NocConfig cfg_;
   double rate_;
@@ -82,6 +119,10 @@ class SyntheticTraffic {
   std::unique_ptr<Telemetry> telemetry_;
   Cycle clock_ = 0;
   std::vector<NodeState> nodes_;
+  std::vector<Driver> drivers_;
+  /// One activity-frontier schedule per shard; declared after the driven
+  /// components so teardown unbinds stamps while they are alive.
+  std::vector<std::unique_ptr<ShardSchedule>> scheds_;
 };
 
 }  // namespace rc

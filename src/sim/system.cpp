@@ -3,6 +3,7 @@
 #include <string>
 
 #include "cpu/apps.hpp"
+#include "noc/observer.hpp"
 #include "sim/telemetry.hpp"
 #include "sim/validator.hpp"
 
@@ -72,6 +73,25 @@ System::System(const SystemConfig& cfg) : cfg_(cfg) {
   net_->set_reply_injected([this](NodeId node, const MsgPtr& m, bool circ) {
     l2s_[node]->on_reply_injected(m, circ, now_);
   });
+  build_schedules();
+}
+
+void System::build_schedules() {
+  const auto& ranges = net_->shard_ranges_of();
+  scheds_.reserve(ranges.size());
+  for (const ShardRange& r : ranges) {
+    auto s = std::make_unique<ShardSchedule>();
+    for (NodeId i = r.begin; i < r.end; ++i)
+      if (i < static_cast<NodeId>(cores_.size()))
+        s->add(cores_[i].get(), "core");
+    for (NodeId i = r.begin; i < r.end; ++i) s->add(l1s_[i].get(), "L1 cache");
+    for (NodeId i = r.begin; i < r.end; ++i) s->add(l2s_[i].get(), "L2 bank");
+    for (NodeId i = r.begin; i < r.end; ++i)
+      if (mcs_[i]) s->add(mcs_[i].get(), "memory controller");
+    net_->append_schedule(*s, r);
+    s->seal();
+    scheds_.push_back(std::move(s));
+  }
 }
 
 void System::deliver(NodeId node, const MsgPtr& msg) {
@@ -105,39 +125,46 @@ void System::deliver(NodeId node, const MsgPtr& msg) {
 void System::run_cycles(Cycle n) {
   const TickMode mode = net_->tick_mode();
   const Cycle end = now_ + n;
+  // Fast-forward: once every shard's frontier proves nothing can happen
+  // before cycle f, jump the clock straight to f. Legal only when the
+  // scheduler is activity-driven (Always/Verify tick everything each cycle)
+  // and no observer is attached — the validator's watchdog and the
+  // telemetry sampler both require their per-cycle global scan.
+  const bool ffwd =
+      mode == TickMode::Activity && net_->observer() == nullptr;
   if (shards_ <= 1) {
-    for (; now_ < end; ++now_) {
-      for (auto& c : cores_) tick_scheduled(*c, now_, mode, "core");
-      for (auto& l1 : l1s_) tick_scheduled(*l1, now_, mode, "L1 cache");
-      for (auto& l2 : l2s_) tick_scheduled(*l2, now_, mode, "L2 bank");
-      for (auto& mc : mcs_)
-        if (mc) tick_scheduled(*mc, now_, mode, "memory controller");
-      net_->tick(now_);
+    NocObserver* obs = net_->observer();
+    ShardSchedule& sched = *scheds_[0];
+    while (now_ < end) {
+      const Cycle f = sched.sweep(now_, mode);
+      if (obs) obs->on_network_cycle(now_);
+      Cycle next = now_ + 1;
+      if (ffwd && f > next) next = f;
+      now_ = next < end ? next : end;
     }
   } else if (n > 0) {
-    // Each shard advances its own tiles (cores, caches, MC, NI, router) in
-    // the serial per-node order; cross-shard traffic parks in the deferred
-    // link pipes until the barrier completion flushes it (finish_cycle).
-    // now_ is only written there, with all workers parked, so controllers
-    // reading it mid-cycle always see the current cycle.
+    // Each shard sweeps its own schedule (cores, caches, MC, NI, router of
+    // its tiles, in the serial per-node order); cross-shard traffic parks
+    // in the deferred link pipes until the barrier completion flushes it
+    // (finish_cycle). now_ is only written there, with all workers parked,
+    // so controllers reading it mid-cycle always see the current cycle.
     run_sharded(
         shards_, now_, end,
-        [this, mode](int shard, Cycle c) {
-          const ShardRange r = net_->shard_ranges_of()[shard];
-          for (NodeId i = r.begin; i < r.end; ++i)
-            if (i < static_cast<NodeId>(cores_.size()))
-              tick_scheduled(*cores_[i], c, mode, "core");
-          for (NodeId i = r.begin; i < r.end; ++i)
-            tick_scheduled(*l1s_[i], c, mode, "L1 cache");
-          for (NodeId i = r.begin; i < r.end; ++i)
-            tick_scheduled(*l2s_[i], c, mode, "L2 bank");
-          for (NodeId i = r.begin; i < r.end; ++i)
-            if (mcs_[i]) tick_scheduled(*mcs_[i], c, mode, "memory controller");
-          net_->tick_shard(shard, c);
-        },
-        [this](Cycle c) {
+        [this, mode](int shard, Cycle c) { scheds_[shard]->sweep(c, mode); },
+        [this, ffwd, end](Cycle c) -> Cycle {
           net_->finish_cycle(c);
-          now_ = c + 1;
+          Cycle next = c + 1;
+          if (ffwd) {
+            // Mailbox flushes above may have lowered frontiers — read them
+            // only now, with every worker parked.
+            Cycle f = kNeverCycle;
+            for (const auto& s : scheds_)
+              if (s->frontier() < f) f = s->frontier();
+            if (f > next) next = f;
+          }
+          if (next > end) next = end;
+          now_ = next;
+          return next;
         });
   }
   // Stall accounting is batched (cores skip ticks while blocked on the

@@ -75,6 +75,9 @@ class System {
 
  private:
   void deliver(NodeId node, const MsgPtr& msg);
+  /// Build one ShardSchedule per shard (serial per-node tick order: cores,
+  /// L1s, L2 banks, MCs, then the fabric) and seal them. Construction only.
+  void build_schedules();
 
   SystemConfig cfg_;
   Cycle now_ = 0;
@@ -97,6 +100,10 @@ class System {
   std::vector<std::unique_ptr<MemoryController>> mcs_;  ///< indexed by node
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<AppProfile> core_profs_;
+  /// One activity-frontier schedule per shard. Declared last: schedules are
+  /// destroyed first and hand the bound wake stamps back to the components
+  /// (~ShardSchedule), which must still be alive.
+  std::vector<std::unique_ptr<ShardSchedule>> scheds_;
 };
 
 }  // namespace rc

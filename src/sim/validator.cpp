@@ -320,7 +320,7 @@ void Validator::scan_credits(Cycle now) {
         const VNet v = static_cast<VNet>(vn);
         for (int vc = 0; vc < cfg.vcs_in_vn(v); ++vc) {
           const int vci = up.vc_index(v, vc);
-          const int held = up.output_vc(d, v, vc).credits;
+          const int held = up.output_credits(d, v, vc);
           if (!up.vc_has_buffer(v, vc)) {
             // Bufferless circuit VC: no credits exist on this class.
             if (held != 0)

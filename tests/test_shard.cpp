@@ -113,7 +113,10 @@ TEST(RunSharded, BodiesAndFinishRunPerCycleInLockstep) {
         EXPECT_EQ(now, kStart + static_cast<Cycle>(finished.size()));
         bodies.fetch_add(1, std::memory_order_relaxed);
       },
-      [&](Cycle now) { finished.push_back(now); });
+      [&](Cycle now) {
+        finished.push_back(now);
+        return now + 1;
+      });
   EXPECT_EQ(bodies.load(), kShards * static_cast<int>(kEnd - kStart));
   ASSERT_EQ(finished.size(), static_cast<std::size_t>(kEnd - kStart));
   for (std::size_t i = 0; i < finished.size(); ++i)
@@ -133,7 +136,7 @@ TEST(RunSharded, WorkerExceptionStopsAllShardsAndRethrows) {
               ;
             if (shard == 2 && now == 5) fatal("shard 2 exploded");
           },
-          [](Cycle) {}),
+          [](Cycle now) { return now + 1; }),
       FatalError);
   // Every shard stopped at the failing generation — nobody ran ahead.
   EXPECT_EQ(max_cycle.load(), 5);
@@ -144,6 +147,7 @@ TEST(RunSharded, FinishExceptionPropagates) {
                    2, 0, 10, [](int, Cycle) {},
                    [](Cycle now) {
                      if (now == 3) fatal("finish failed");
+                     return now + 1;
                    }),
                FatalError);
 }

@@ -73,11 +73,14 @@ Entry bench_loadsweep(double rate, Cycle measure, int shards) {
   return Entry{name, t1 - t0, warmup + measure};
 }
 
-// 16x16 scaling point (256 nodes): the same synthetic sweep on the larger
-// preset, so datapath regressions that only show past the 8x8 footprint
-// (sharer spill, bigger hop counts, wider stat arrays) are tracked too.
-Entry bench_loadsweep16(double rate, Cycle measure, int shards) {
-  NocConfig cfg = make_system_config(256, "SlackDelay1_NoAck", "fft").noc;
+// Larger scaling points (16x16 = 256 nodes, 32x32 = 1024 nodes): the same
+// synthetic sweep on the bigger meshes, so datapath regressions that only
+// show past the 8x8 footprint (sharer spill, bigger hop counts, wider stat
+// arrays) are tracked too, and multi-shard entries have enough parallel
+// work per cycle to show real scaling.
+Entry bench_loadsweep_big(int side, double rate, Cycle measure, int shards) {
+  NocConfig cfg =
+      make_system_config(side * side, "SlackDelay1_NoAck", "fft").noc;
   SyntheticTraffic t(cfg, rate, /*service=*/7, /*seed=*/1, shards);
   const Cycle warmup = 3'000;
   const double t0 = now_s();
@@ -85,7 +88,8 @@ Entry bench_loadsweep16(double rate, Cycle measure, int shards) {
   const double t1 = now_s();
   if (r.requests_done == 0) fatal("bench-report: load sweep injected nothing");
   char name[64];
-  std::snprintf(name, sizeof name, "loadsweep_16x16_rate%.2f", rate);
+  std::snprintf(name, sizeof name, "loadsweep_%dx%d_rate%.2f", side, side,
+                rate);
   return Entry{name, t1 - t0, warmup + measure};
 }
 
@@ -143,7 +147,10 @@ Entry bench_micro_router(Cycle cycles, int shards) {
           }
           net.tick_shard(shard, c);
         },
-        [&](Cycle c) { net.finish_cycle(c); });
+        [&](Cycle c) {
+          net.finish_cycle(c);
+          return c + 1;
+        });
   }
   const double t1 = now_s();
   return Entry{"micro_router_loaded_8x8", t1 - t0, cycles};
@@ -262,7 +269,8 @@ int main(int argc, char** argv) {
     };
     add(bench_loadsweep(0.04, env_measure_cycles(12'000), shards));
     add(bench_loadsweep(0.08, env_measure_cycles(12'000), shards));
-    add(bench_loadsweep16(0.04, env_measure_cycles(6'000), shards));
+    add(bench_loadsweep_big(16, 0.04, env_measure_cycles(6'000), shards));
+    add(bench_loadsweep_big(32, 0.04, env_measure_cycles(3'000), shards));
     add(bench_micro_router(env_measure_cycles(200'000), shards));
     add(bench_system(env_measure_cycles(20'000), shards));
     // Same full-system point under the sparse-directory MSI variant: tracks
@@ -277,16 +285,45 @@ int main(int argc, char** argv) {
   if (localtime_r(&t, &tm) != nullptr)
     std::strftime(date, sizeof date, "%Y-%m-%d", &tm);
 
+  // Multi-shard numbers recorded on a single hardware thread measure
+  // scheduling overhead, not scaling — flag them loudly (and in the JSON)
+  // so a later --compare is not read as a parallel-speedup claim.
+  bool oversubscribed = false;
+  for (int s : shard_counts) oversubscribed |= s > host_cpus;
+  if (oversubscribed)
+    std::fprintf(stderr,
+                 "bench-report: WARNING: shard count exceeds host_cpus=%d; "
+                 "multi-shard entries measure oversubscribed scheduling, "
+                 "not parallel scaling\n",
+                 host_cpus);
+
   const char* commit = std::getenv("RC_BENCH_COMMIT");
+  // Default the recorded commit to the current git HEAD so artifacts are
+  // attributable without relying on the caller to export RC_BENCH_COMMIT.
+  std::string commit_s = commit ? commit : "";
+  if (commit_s.empty()) {
+    if (std::FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[64] = {0};
+      if (std::fgets(buf, sizeof buf, p) != nullptr) {
+        commit_s = buf;
+        while (!commit_s.empty() &&
+               (commit_s.back() == '\n' || commit_s.back() == '\r'))
+          commit_s.pop_back();
+      }
+      pclose(p);
+    }
+    if (commit_s.empty()) commit_s = "unknown";
+  }
   const char* out_env = std::getenv("RC_BENCH_OUT");
   const std::string out_path =
       out_env ? out_env : ("BENCH_" + std::string(date) + ".json");
 
   std::string json = "{\n";
   json += "  \"date\": \"" + std::string(date) + "\",\n";
-  json += "  \"commit\": \"" + std::string(commit ? commit : "unknown") +
-          "\",\n";
+  json += "  \"commit\": \"" + commit_s + "\",\n";
   json += "  \"host_cpus\": " + std::to_string(host_cpus) + ",\n";
+  if (oversubscribed)
+    json += "  \"oversubscribed\": true,\n";
   // Tracing attaches an observer to every run above; a perf artifact that
   // silently included that overhead would poison baseline comparisons, so
   // record whether it was on.

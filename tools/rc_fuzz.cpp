@@ -85,8 +85,8 @@ FuzzCase draw_case(Rng& rng) {
   // be bit-identical, so any divergence is a bug the checker should see).
   // Weighted toward serial, which keeps the checker's single-thread path
   // covered; clamped to num_nodes by System anyway.
-  static const int kShards[] = {1, 1, 2, 4};
-  fc.shards = kShards[rng.next_below(4)];
+  static const int kShards[] = {1, 1, 2, 4, 8};
+  fc.shards = kShards[rng.next_below(5)];
   // Topology x MC-placement axis. Weighted toward the paper's mesh; every
   // kMesh size above is even and at least 2x2, so all four kinds accept it.
   static const TopologyKind kTopo[] = {
