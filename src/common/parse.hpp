@@ -7,6 +7,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace rc {
 
@@ -18,5 +20,34 @@ std::optional<long long> parse_ll(const char* s);
 /// when set. Unset (or empty) returns `fallback`; a set-but-invalid or
 /// non-positive value prints a diagnostic to stderr and exits with status 2.
 long long env_positive_ll(const char* name, long long fallback);
+
+// ---- minimal JSON ---------------------------------------------------------
+//
+// The rc-dse sweep specs are declarative JSON documents (axis lists, scalar
+// knobs, exclude objects); the toolchain has no JSON library, so this is a
+// small strict recursive-descent parser for the standard grammar. It exists
+// for *parsing inputs we validate*; writers elsewhere keep emitting JSON by
+// hand with fixed key order (byte-stable outputs matter more than a
+// serializer).
+
+struct Json {
+  enum class Type { Null, Bool, Int, Double, Str, Arr, Obj };
+  Type type = Type::Null;
+  bool b = false;
+  long long i = 0;   ///< Int; also filled (as a truncation) for Double
+  double d = 0;      ///< Double; also filled for Int
+  std::string s;     ///< Str
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;  ///< insertion order kept
+
+  bool is_num() const { return type == Type::Int || type == Type::Double; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document (one value, then end of input). Returns
+/// nullopt and a position-annotated message in *err on any syntax error —
+/// garbage or a truncated document never yields a partial value.
+std::optional<Json> parse_json(const std::string& text, std::string* err);
 
 }  // namespace rc

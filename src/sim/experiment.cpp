@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -14,6 +15,33 @@
 #include "sim/telemetry.hpp"
 
 namespace rc {
+
+namespace {
+
+/// run_many tags each configuration before calling run_config so that
+/// concurrent runs sharing one RC_TELEMETRY path each get their own file.
+/// Empty (direct run_config / run_one callers) means "use the path as-is".
+thread_local std::string g_telemetry_run_tag;
+
+std::string sanitize_tag(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+  return out;
+}
+
+/// "trace.jsonl" + tag "Baseline.3" -> "trace.Baseline.3.jsonl"; a path
+/// with no extension just gets the tag appended.
+std::string path_with_tag(const std::string& path, const std::string& tag) {
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+}  // namespace
 
 RunResult run_config(SystemConfig cfg, const std::string& label) {
   // Fail fast on configurations whose metrics would silently degenerate:
@@ -32,10 +60,13 @@ RunResult run_config(SystemConfig cfg, const std::string& label) {
   sys.run();
 
   // RC_TELEMETRY: flush the trace while the System is still alive and print
-  // its digest next to the run. Concurrent run_many sweeps share one path —
-  // each run rewrites the whole file, so the last finisher's trace survives
-  // intact (no interleaving); tracing is meant for single-run diagnosis.
+  // its digest next to the run. Under run_many every run gets a per-run tag
+  // spliced into the shared path (label + input index) — previously all
+  // concurrent runs raced rewrites of one file and which trace survived was
+  // a scheduling accident. The digest line below prints the resolved path.
   if (Telemetry* t = sys.telemetry()) {
+    if (!g_telemetry_run_tag.empty())
+      t->set_path(path_with_tag(t->path(), g_telemetry_run_tag));
     if (t->write())
       // The digest names the resolved shard count (RC_SHARDS=auto and
       // clamping make the configured value an unreliable record): traces
@@ -90,6 +121,9 @@ std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
     for (;;) {
       std::size_t i = next.fetch_add(1);
       if (i >= cfgs.size()) return;
+      // Label + input index uniquely names this run's telemetry file even
+      // when labels repeat across the sweep.
+      g_telemetry_run_tag = sanitize_tag(labels[i]) + "." + std::to_string(i);
       try {
         out[i] = run_config(cfgs[i], labels[i]);
       } catch (const std::exception& e) {
@@ -98,6 +132,7 @@ std::vector<RunResult> run_many(const std::vector<SystemConfig>& cfgs,
         out[i].failed = true;
         out[i].error = e.what();
       }
+      g_telemetry_run_tag.clear();
     }
   };
   std::vector<std::thread> pool;

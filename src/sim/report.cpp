@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/atomic_file.hpp"
 #include "common/config.hpp"
 #include "sim/telemetry.hpp"
 
@@ -81,7 +82,11 @@ std::string sample_line(const TelemetrySample& s) {
 
 bool write_telemetry_file(const Telemetry& t, const std::string& path,
                           std::string* err) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Written via temp-then-rename: a crash (or a concurrent writer racing on
+  // the same path) can never leave a half-written trace under the final
+  // name — readers see the old complete file or the new complete file.
+  AtomicFile out(path);
+  std::FILE* f = out.stream();
   if (!f) {
     if (err) *err = "cannot write trace '" + path + "'";
     return false;
@@ -132,12 +137,7 @@ bool write_telemetry_file(const Telemetry& t, const std::string& path,
       }
     }
   }
-  const bool io_error = std::ferror(f) != 0;
-  if (std::fclose(f) != 0 || io_error) {
-    if (err) *err = "I/O error writing trace '" + path + "'";
-    return false;
-  }
-  return true;
+  return out.commit(err);  // checks ferror + flush + fsync + close + rename
 }
 
 void print_telemetry_summary(const TraceSummary& s, const std::string& title) {

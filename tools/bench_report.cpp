@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/parse.hpp"
 #include "common/shard.hpp"
 #include "sim/experiment.hpp"
@@ -181,15 +182,59 @@ struct CmpEntry {
   double cps = 0;  ///< cycles per second
 };
 
+/// Reader errors are user-facing (bad path on the command line, a corrupt
+/// artifact): report and exit 2. fatal() throws, and an uncaught FatalError
+/// aborts — the wrong exit for "your input file is bad".
+[[noreturn]] void die2(const std::string& msg) {
+  std::fprintf(stderr, "bench-report: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+std::string trim(const char* s) {
+  std::string t = s;
+  while (!t.empty() && (t.back() == '\n' || t.back() == '\r' ||
+                        t.back() == ' ' || t.back() == '\t'))
+    t.pop_back();
+  std::size_t b = 0;
+  while (b < t.size() && (t[b] == ' ' || t[b] == '\t')) ++b;
+  return t.substr(b);
+}
+
 /// Parse the result lines of a bench-report JSON file. This reads only the
 /// format this tool itself writes (one result object per line), so a
 /// line-oriented sscanf is sufficient — no JSON library in the toolchain.
+/// It is strict about shape: once inside the "results" array every line
+/// must be a well-formed entry, and the array (and the document) must be
+/// properly closed. A truncated or garbage file names itself and exits 2
+/// instead of silently comparing whatever lines happened to match.
 std::vector<CmpEntry> load_report(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (!f) fatal("bench-report: cannot read " + path);
+  if (!f) die2("cannot read " + path);
   std::vector<CmpEntry> out;
   char line[512];
+  int line_no = 0;
+  bool in_results = false;     ///< saw the "results": [ opener
+  bool results_closed = false; ///< saw the matching ]
+  bool doc_closed = false;     ///< saw the final }
   while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (!in_results) {
+      // Header lines (date, commit, notes...) pass untouched; only the
+      // results array has a shape we depend on.
+      if (t == "\"results\": [") in_results = true;
+      if (t == "\"results\": []" || t == "\"results\": [],")
+        in_results = results_closed = true;
+      continue;
+    }
+    if (results_closed) {
+      if (t == "}") doc_closed = true;
+      continue;
+    }
+    if (t == "]" || t == "],") {
+      results_closed = true;
+      continue;
+    }
     char name[128];
     int shards = 0;
     double wall = 0;
@@ -199,12 +244,19 @@ std::vector<CmpEntry> load_report(const std::string& path) {
                     " {\"name\": \"%127[^\"]\", \"shards\": %d, "
                     "\"wall_s\": %lf, \"cycles\": %llu, "
                     "\"cycles_per_sec\": %lf}",
-                    name, &shards, &wall, &cycles, &cps) == 5)
-      out.push_back(CmpEntry{name, shards, cps});
+                    name, &shards, &wall, &cycles, &cps) != 5)
+      die2(path + ":" + std::to_string(line_no) +
+           ": malformed result entry (corrupt or truncated report)");
+    out.push_back(CmpEntry{name, shards, cps});
   }
+  if (std::ferror(f)) die2("I/O error reading " + path);
   std::fclose(f);
-  if (out.empty())
-    fatal("bench-report: no result entries in " + path);
+  if (!in_results)
+    die2(path + ": not a bench-report file (no \"results\" array)");
+  if (!results_closed || !doc_closed)
+    die2(path + ": truncated report (file ends inside the \"results\" "
+                "array or before the closing brace)");
+  if (out.empty()) die2("no result entries in " + path);
   return out;
 }
 
@@ -351,10 +403,12 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (!f) fatal("bench-report: cannot write " + out_path);
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  // Temp-then-rename with checked close: a full disk or a crash must never
+  // replace the previous report with a half-written one (exactly the
+  // truncation load_report above refuses to read).
+  std::string werr;
+  if (!write_file_atomic(out_path, json, &werr))
+    die2("cannot write " + out_path + ": " + werr);
   std::fputs(json.c_str(), stdout);
   std::fprintf(stdout, "wrote %s\n", out_path.c_str());
   return 0;

@@ -6,6 +6,12 @@
 // violating configuration as a ready-to-paste rc-sim repro command.
 //
 //   rc-fuzz [--configs N] [--cycles N] [--seed N] [--warmup N] [--verbose]
+//           [--spec-out FILE]
+//
+// --spec-out FILE writes the sampled configurations as an rc-dse sweep spec
+// (explicit "points" entries) instead of running them in-process: the same
+// seeded coverage, but each point in its own crash-isolated subprocess with
+// a journal to resume from.
 //
 // Exit status: 0 when every configuration ran clean, 1 on the first
 // violation (after printing the repro), 2 on bad flags.
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "cpu/apps.hpp"
@@ -48,7 +55,7 @@ struct FuzzCase {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--configs N] [--cycles N] [--seed N] [--warmup N]"
-               " [--verbose]\n",
+               " [--verbose] [--spec-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -138,6 +145,31 @@ SystemConfig to_config(const FuzzCase& fc, Cycle warmup, Cycle cycles) {
   return cfg;
 }
 
+/// One rc-dse "points" entry for the case. Only non-default knobs are
+/// emitted, mirroring repro_command's flag selection.
+std::string spec_point(const FuzzCase& fc) {
+  std::string p = "    {\"preset\": \"" + fc.preset + "\", \"app\": \"" +
+                  fc.app + "\", \"mesh\": \"" + std::to_string(fc.mesh_w) +
+                  "x" + std::to_string(fc.mesh_h) + "\", \"topology\": \"" +
+                  to_string(fc.topology) + "\", \"mc_placement\": \"" +
+                  to_string(fc.mc) + "\", \"vcs_req\": " +
+                  std::to_string(fc.vcs_req) + ", \"vcs_rep\": " +
+                  std::to_string(fc.vcs_rep) + ", \"shards\": " +
+                  std::to_string(fc.shards);
+  if (fc.protocol != Protocol::FullMapMESI) {
+    p += std::string(", \"protocol\": \"") + to_string(fc.protocol) + "\"";
+    if (fc.dir_pointers >= 1)
+      p += ", \"dir_pointers\": " + std::to_string(fc.dir_pointers);
+    if (fc.dir_sets >= 1) p += ", \"dir_sets\": " + std::to_string(fc.dir_sets);
+    if (fc.dir_ways >= 1) p += ", \"dir_ways\": " + std::to_string(fc.dir_ways);
+  }
+  if (fc.circuits >= 0) p += ", \"circuits\": " + std::to_string(fc.circuits);
+  if (fc.slack >= 0) p += ", \"slack\": " + std::to_string(fc.slack);
+  if (fc.depth >= 1) p += ", \"buf_depth\": " + std::to_string(fc.depth);
+  p += ", \"seed\": " + std::to_string(fc.seed) + "}";
+  return p;
+}
+
 std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
                           const char* hang) {
   // rc-sim has no --shards flag; RC_SHARDS drives the engine the same way
@@ -175,6 +207,7 @@ int main(int argc, char** argv) {
   long long warmup = 500;
   std::uint64_t seed = 1;
   bool verbose = false;
+  std::string spec_out;
   for (int i = 1; i < argc; ++i) {
     auto need_int = [&](const char* flag, long long min_v) -> long long {
       if (i + 1 >= argc) {
@@ -196,6 +229,13 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed"))
       seed = static_cast<std::uint64_t>(need_int("--seed", 0));
     else if (!std::strcmp(argv[i], "--verbose")) verbose = true;
+    else if (!std::strcmp(argv[i], "--spec-out")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--spec-out needs a value\n");
+        usage(argv[0]);
+      }
+      spec_out = argv[++i];
+    }
     else if (!std::strcmp(argv[i], "--help")) usage(argv[0]);
     else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
@@ -211,6 +251,35 @@ int main(int argc, char** argv) {
   setenv("RC_HANG_CYCLES", hang.c_str(), 1);
 
   Rng root(seed ? seed : 1);
+
+  // --spec-out: same seeded draw as the run path below (identical coverage
+  // for a given --seed), but emitted as an rc-dse spec instead of executed.
+  if (!spec_out.empty()) {
+    std::string spec = "{\n  \"warmup\": " + std::to_string(warmup) +
+                       ",\n  \"cycles\": " + std::to_string(cycles) +
+                       ",\n  \"points\": [\n";
+    int emitted = 0;
+    for (long long i = 0; i < configs; ++i) {
+      Rng rng = root.fork(i + 1);
+      FuzzCase fc = draw_case(rng);
+      SystemConfig cfg = to_config(fc, static_cast<Cycle>(warmup),
+                                   static_cast<Cycle>(cycles));
+      if (!cfg.validate().empty()) continue;
+      if (emitted++ > 0) spec += ",\n";
+      spec += spec_point(fc);
+    }
+    spec += "\n  ]\n}\n";
+    std::string werr;
+    if (!write_file_atomic(spec_out, spec, &werr)) {
+      std::fprintf(stderr, "rc-fuzz: cannot write %s: %s\n", spec_out.c_str(),
+                   werr.c_str());
+      return 2;
+    }
+    std::printf("[rc-fuzz] wrote %d point(s) to %s\n", emitted,
+                spec_out.c_str());
+    return 0;
+  }
+
   int ran = 0, skipped = 0;
   for (long long i = 0; i < configs; ++i) {
     Rng rng = root.fork(i + 1);

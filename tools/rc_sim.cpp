@@ -20,14 +20,19 @@
 //     --buf-depth N       per-VC buffer depth in flits override
 //     --no-l1tol1         L2-intermediary protocol variant
 //     --csv               machine-readable one-line-per-run output
+//     --point-out FILE    single-point mode for rc-dse: write the run result
+//                         as one JSON line to FILE (atomic rename)
 //     --list              list presets and workloads, then exit
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/parse.hpp"
+#include "sim/dse.hpp"
 #include "cpu/apps.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -63,6 +68,7 @@ struct Options {
   int dir_sets = -1;
   int dir_ways = -1;
   std::string trace_path;
+  std::string point_out;  ///< rc-dse subprocess mode: machine-readable result
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -76,7 +82,8 @@ struct Options {
                "          [--mc-placement edge-middle|corner|diagonal]\n"
                "          [--protocol mesi|sparse-msi] [--workload NAME]\n"
                "          [--dir-pointers N] [--dir-sets N] [--dir-ways N]\n"
-               "          [--vcs-req N] [--vcs-rep N] [--list]\n",
+               "          [--vcs-req N] [--vcs-rep N] [--point-out FILE]\n"
+               "          [--list]\n",
                argv0);
   std::exit(2);
 }
@@ -301,6 +308,8 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
     }
+    else if (!std::strcmp(argv[i], "--point-out"))
+      o.point_out = need("--point-out");
     else if (!std::strcmp(argv[i], "--csv")) o.csv = true;
     else if (!std::strcmp(argv[i], "--list")) list_and_exit();
     else if (!std::strcmp(argv[i], "--help")) usage(argv[0]);
@@ -314,6 +323,36 @@ int main(int argc, char** argv) {
       o.preset == "all" ? preset_names() : std::vector<std::string>{o.preset};
   std::vector<std::string> apps =
       o.app == "all" ? app_names() : std::vector<std::string>{o.app};
+
+  // rc-dse subprocess mode: exactly one point, one atomic result file. The
+  // driver treats "exit 0 AND result parses" as success, so any failure
+  // path here must exit non-zero.
+  if (!o.point_out.empty()) {
+    if (o.preset == "all" || o.app == "all") {
+      std::fprintf(stderr, "--point-out runs a single point; it cannot be "
+                   "combined with --preset all / --app all\n");
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult r = run(o, o.preset, o.app);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::string json =
+        point_result_json(r, to_string(o.protocol), o.seed, o.warmup, wall) +
+        "\n";
+    std::string err;
+    if (!write_file_atomic(o.point_out, json, &err)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", o.point_out.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    if (o.csv) {
+      print_csv_header();
+      print_csv(r);
+    }
+    return 0;
+  }
 
   if (o.csv) print_csv_header();
   for (const auto& p : presets) {
