@@ -92,6 +92,17 @@ class CircuitManager {
       tables_[p].set_observer(obs, node, static_cast<Port>(p));
   }
 
+  /// Snapshot save/load: the per-port tables. The LazyCounter caches point
+  /// into the router's StatSet, which restores separately and in place.
+  void save(StateWriter& w) const {
+    for (const auto& t : tables_) t.save(w);
+  }
+  bool load(StateReader& r) {
+    for (auto& t : tables_)
+      if (!t.load(r)) return false;
+    return true;
+  }
+
  private:
   CircuitConfig cfg_;
   StatSet* stats_;

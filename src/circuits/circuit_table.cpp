@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "common/state.hpp"
 
 namespace {
 // RC_TRACE_CIRCUIT="<dest>:<hex addr>" traces one circuit identity's entry
@@ -184,5 +187,42 @@ std::optional<CircuitEntry> CircuitTable::release_instance(
 }
 
 void CircuitTable::clear() { slots_.clear(); }
+
+void CircuitTable::save(StateWriter& w) const {
+  w.u64(slots_.size());
+  for (const CircuitEntry& e : slots_) {
+    w.b(e.valid);
+    w.i64(e.src);
+    w.i64(e.dest);
+    w.u64(e.addr);
+    w.i64(e.out_port);
+    w.i64(e.vc);
+    w.u64(e.owner_req);
+    w.u64(e.bound_msg);
+    w.u64(e.slot_start);
+    w.u64(e.slot_end);
+  }
+}
+
+bool CircuitTable::load(StateReader& r) {
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  if (capacity_ >= 0 && n > static_cast<std::uint64_t>(capacity_))
+    return r.fail("circuit table overflow: " + std::to_string(n) +
+                  " slots, capacity " + std::to_string(capacity_));
+  slots_.assign(n, CircuitEntry{});
+  for (CircuitEntry& e : slots_) {
+    std::int64_t src, dest, out_port, vc;
+    if (!(r.b(&e.valid) && r.i64(&src) && r.i64(&dest) && r.u64(&e.addr) &&
+          r.i64(&out_port) && r.i64(&vc) && r.u64(&e.owner_req) &&
+          r.u64(&e.bound_msg) && r.u64(&e.slot_start) && r.u64(&e.slot_end)))
+      return false;
+    e.src = static_cast<NodeId>(src);
+    e.dest = static_cast<NodeId>(dest);
+    e.out_port = static_cast<Port>(out_port);
+    e.vc = static_cast<int>(vc);
+  }
+  return true;
+}
 
 }  // namespace rc

@@ -10,6 +10,9 @@
 
 namespace rc {
 
+class StateWriter;
+class StateReader;
+
 /// One reserved circuit at one router input port.
 ///
 /// Identity is (dest, addr): the requestor that will consume the reply and
@@ -123,6 +126,12 @@ class CircuitTable {
 
   const std::vector<CircuitEntry>& entries() const { return slots_; }
   void clear();
+
+  /// Snapshot save/load: the full slot vector, expired entries included —
+  /// slot indices matter (insert() scans in order), so the representation
+  /// must round-trip exactly, not just the live set.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
   /// Attach a lifecycle observer; (node, port) identify this table in the
   /// fabric and are passed back with every event.

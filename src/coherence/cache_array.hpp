@@ -91,6 +91,7 @@ class CacheArray {
   }
 
   std::vector<Line>& lines() { return lines_; }
+  const std::vector<Line>& lines() const { return lines_; }
 
  private:
   int sets_, ways_;

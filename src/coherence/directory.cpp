@@ -1,5 +1,10 @@
 #include "coherence/directory.hpp"
 
+#include <string>
+#include <vector>
+
+#include "common/state.hpp"
+
 namespace rc {
 
 Directory::Directory(const CacheConfig& cfg, int num_banks)
@@ -19,6 +24,42 @@ Directory::Line* Directory::try_install(Addr addr, Cycle now) {
 Directory::Line* Directory::victim(
     Addr addr, const std::function<bool(Addr)>& evictable) {
   return array_.victim(addr, [&](const Line& l) { return evictable(l.tag); });
+}
+
+void Directory::save(StateWriter& w) const {
+  const auto& lines = array_.lines();
+  w.u64(lines.size());
+  for (const auto& l : lines) {
+    w.b(l.valid);
+    w.u64(l.tag);
+    w.u64(l.last_used);
+    w.i64(l.meta.owner);
+    const auto words = l.meta.sharers.words();
+    w.u64(words.size());
+    for (std::uint64_t x : words) w.u64(x);
+  }
+}
+
+bool Directory::load(StateReader& r) {
+  auto& lines = array_.lines();
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  if (n != lines.size())
+    return r.fail("directory has " + std::to_string(lines.size()) +
+                  " entries, snapshot has " + std::to_string(n));
+  for (auto& l : lines) {
+    std::int64_t owner;
+    std::uint64_t nw;
+    if (!(r.b(&l.valid) && r.u64(&l.tag) && r.u64(&l.last_used) &&
+          r.i64(&owner) && r.u64(&nw)))
+      return false;
+    l.meta.owner = static_cast<NodeId>(owner);
+    std::vector<std::uint64_t> words(nw);
+    for (std::uint64_t& x : words)
+      if (!r.u64(&x)) return false;
+    l.meta.sharers.set_words(words);
+  }
+  return true;
 }
 
 }  // namespace rc

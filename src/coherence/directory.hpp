@@ -35,6 +35,9 @@
 
 namespace rc {
 
+class StateWriter;
+class StateReader;
+
 class Directory {
  public:
   struct Entry {
@@ -69,6 +72,10 @@ class Directory {
   /// LRU entry in addr's set whose tag satisfies `evictable` (the L2 bank
   /// excludes tags with an outstanding transaction); nullptr when none.
   Line* victim(Addr addr, const std::function<bool(Addr)>& evictable);
+
+  /// Snapshot save/load of the full entry array.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
  private:
   CacheArray<Entry> array_;

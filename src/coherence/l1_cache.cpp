@@ -1,5 +1,8 @@
 #include "coherence/l1_cache.hpp"
 
+#include <string>
+
+#include "common/state.hpp"
 #include "noc/network.hpp"
 
 namespace rc {
@@ -156,6 +159,57 @@ void L1Cache::prewarm_line(Addr addr, L1State st) {
   if (!array_.free_way(addr)) return;  // don't evict during warm-up
   auto* line = array_.install(addr, 0);
   line->meta.st = st;
+}
+
+void L1Cache::save(StateWriter& w) const {
+  const auto& lines = array_.lines();
+  w.u64(lines.size());
+  for (const auto& l : lines) {
+    w.b(l.valid);
+    w.u64(l.tag);
+    w.u64(l.last_used);
+    w.u8(static_cast<std::uint8_t>(l.meta.st));
+  }
+  w.b(mshr_.active);
+  w.u64(mshr_.addr);
+  w.b(mshr_.is_write);
+  w.u64(mshr_.issued);
+  w.u64(next_msg_id_);
+  w.u64(hit_done_);
+  w.u64(outbox_.size());
+  for (const auto& [cyc, m] : outbox_) {
+    w.u64(cyc);
+    save_msg_ref(w, m);
+  }
+}
+
+bool L1Cache::load(StateReader& r) {
+  auto& lines = array_.lines();
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  if (n != lines.size())
+    return r.fail("L1 has " + std::to_string(lines.size()) +
+                  " lines, snapshot has " + std::to_string(n));
+  for (auto& l : lines) {
+    std::uint8_t st;
+    if (!(r.b(&l.valid) && r.u64(&l.tag) && r.u64(&l.last_used) && r.u8(&st)))
+      return false;
+    if (st > static_cast<std::uint8_t>(L1State::M))
+      return r.fail("L1 line state out of range");
+    l.meta.st = static_cast<L1State>(st);
+  }
+  if (!(r.b(&mshr_.active) && r.u64(&mshr_.addr) && r.b(&mshr_.is_write) &&
+        r.u64(&mshr_.issued) && r.u64(&next_msg_id_) && r.u64(&hit_done_) &&
+        r.u64(&n)))
+    return false;
+  outbox_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Cycle cyc;
+    MsgPtr m;
+    if (!(r.u64(&cyc) && load_msg_ref(r, &m))) return false;
+    outbox_.emplace(cyc, std::move(m));
+  }
+  return true;
 }
 
 }  // namespace rc

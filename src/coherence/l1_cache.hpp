@@ -53,6 +53,10 @@ class L1Cache : public Ticker {
   /// (System::prewarm) keeps the directory consistent.
   void prewarm_line(Addr addr, L1State st);
 
+  /// Snapshot save/load: cache array, MSHR, message-id counter and outbox.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   struct LineMeta {
     L1State st = L1State::I;

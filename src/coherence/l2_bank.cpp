@@ -1,7 +1,9 @@
 #include "coherence/l2_bank.hpp"
 
 #include <string>
+#include <vector>
 
+#include "common/state.hpp"
 #include "noc/network.hpp"
 
 namespace rc {
@@ -611,6 +613,144 @@ bool L2Bank::prewarm_line(Addr addr, NodeId owner) {
   if (!array_.free_way(addr)) return false;
   auto* line = array_.install(addr, 0);
   line->meta.owner = owner;
+  return true;
+}
+
+void L2Bank::save(StateWriter& w) const {
+  // The line array dominates snapshot size (a 16x16 mesh has 4M+ L2 lines,
+  // most of them invalid), so it is stored sparsely: only valid lines, as
+  // delta-encoded array indices with varint-packed fields. Invalid lines
+  // carry no simulation-visible state (replacement compares last_used among
+  // valid lines only; install() resets meta), so resetting them to the
+  // default Line on load is exact, and save -> load -> save stays a fixed
+  // point.
+  const auto& lines = array_.lines();
+  w.u64(lines.size());
+  std::uint64_t nvalid = 0;
+  for (const auto& l : lines)
+    if (l.valid) ++nvalid;
+  w.vu64(nvalid);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& l = lines[i];
+    if (!l.valid) continue;
+    w.vu64(i - prev);  // gap from the previous valid index (first: from 0)
+    prev = i;
+    w.vu64(l.tag / kLineBytes);
+    w.vu64(l.last_used);
+    w.u8(static_cast<std::uint8_t>((l.meta.dirty ? 1 : 0) |
+                                   (l.meta.fetching ? 2 : 0)));
+    // owner is kInvalidNode (-1) for most lines; +1 keeps the varint short.
+    w.vu64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(l.meta.owner) + 1));
+    const auto words = l.meta.sharers.words();
+    w.vu64(words.size());
+    for (std::uint64_t x : words) w.vu64(x);
+  }
+  w.b(dir_ != nullptr);
+  if (dir_) dir_->save(w);
+  w.u64(next_msg_id_);
+  w.u64(txns_.size());
+  for (const auto& [addr, t] : txns_) {
+    w.u64(addr);
+    w.u8(static_cast<std::uint8_t>(t.st));
+    save_msg_ref(w, t.pending);
+    w.i64(t.acks_needed);
+    w.u64(t.parent);
+    w.u64(t.waiting.size());
+    for (const MsgPtr& m : t.waiting) save_msg_ref(w, m);
+  }
+  w.u64(retry_.size());
+  for (const MsgPtr& m : retry_) save_msg_ref(w, m);
+  w.u64(outbox_.size());
+  for (const auto& [cyc, m] : outbox_) {
+    w.u64(cyc);
+    save_msg_ref(w, m);
+  }
+}
+
+bool L2Bank::load(StateReader& r) {
+  auto& lines = array_.lines();
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  if (n != lines.size())
+    return r.fail("L2 has " + std::to_string(lines.size()) +
+                  " lines, snapshot has " + std::to_string(n));
+  for (auto& l : lines) l = {};
+  std::uint64_t nvalid;
+  if (!r.vu64(&nvalid)) return false;
+  if (nvalid > lines.size())
+    return r.fail("snapshot claims " + std::to_string(nvalid) +
+                  " valid lines in an L2 bank of " +
+                  std::to_string(lines.size()));
+  std::uint64_t idx = 0;
+  for (std::uint64_t i = 0; i < nvalid; ++i) {
+    std::uint64_t gap, tagline, last_used, owner1, nw;
+    std::uint8_t flags;
+    if (!(r.vu64(&gap) && r.vu64(&tagline) && r.vu64(&last_used) &&
+          r.u8(&flags) && r.vu64(&owner1) && r.vu64(&nw)))
+      return false;
+    if (i > 0 && gap == 0) return r.fail("duplicate L2 line index");
+    idx += gap;
+    if (idx >= lines.size()) return r.fail("L2 line index out of range");
+    if (flags > 3) return r.fail("L2 line flags out of range");
+    Line& l = lines[idx];
+    l.valid = true;
+    l.tag = tagline * kLineBytes;
+    l.last_used = last_used;
+    l.meta.dirty = (flags & 1) != 0;
+    l.meta.fetching = (flags & 2) != 0;
+    l.meta.owner =
+        static_cast<NodeId>(static_cast<std::int64_t>(owner1) - 1);
+    if (nw > lines.size())
+      return r.fail("L2 sharer vector impossibly wide");
+    std::vector<std::uint64_t> words(nw);
+    for (std::uint64_t& x : words)
+      if (!r.vu64(&x)) return false;
+    l.meta.sharers.set_words(words);
+  }
+  bool has_dir;
+  if (!r.b(&has_dir)) return false;
+  if (has_dir != (dir_ != nullptr))
+    return r.fail("snapshot and configuration disagree on a sparse directory");
+  if (dir_ && !dir_->load(r)) return false;
+  if (!(r.u64(&next_msg_id_) && r.u64(&n))) return false;
+  txns_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Addr addr;
+    std::uint8_t st;
+    std::int64_t acks;
+    std::uint64_t nwait;
+    if (!r.u64(&addr)) return false;
+    Txn& t = txns_[addr];
+    if (!(r.u8(&st) && load_msg_ref(r, &t.pending) && r.i64(&acks) &&
+          r.u64(&t.parent) && r.u64(&nwait)))
+      return false;
+    if (st > static_cast<std::uint8_t>(TxnState::DirEvict))
+      return r.fail("L2 transaction state out of range");
+    t.st = static_cast<TxnState>(st);
+    t.acks_needed = static_cast<int>(acks);
+    for (std::uint64_t j = 0; j < nwait; ++j) {
+      MsgPtr m;
+      if (!load_msg_ref(r, &m)) return false;
+      t.waiting.push_back(std::move(m));
+    }
+  }
+  if (!r.u64(&n)) return false;
+  retry_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    MsgPtr m;
+    if (!load_msg_ref(r, &m)) return false;
+    retry_.push_back(std::move(m));
+  }
+  if (!r.u64(&n)) return false;
+  outbox_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Cycle cyc;
+    MsgPtr m;
+    if (!(r.u64(&cyc) && load_msg_ref(r, &m))) return false;
+    outbox_.emplace(cyc, std::move(m));
+  }
   return true;
 }
 

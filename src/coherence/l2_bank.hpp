@@ -60,6 +60,11 @@ class L2Bank : public Ticker {
   /// caller must not plant an untracked L1 copy (full-map always accepts).
   bool prewarm_line(Addr addr, NodeId owner);
 
+  /// Snapshot save/load: cache array (directory payload included), sparse
+  /// directory (when attached), transaction table, retry queue and outbox.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   struct LineMeta {
     bool dirty = false;

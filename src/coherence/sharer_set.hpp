@@ -73,6 +73,23 @@ class SharerSet {
     }
     return kInvalidNode;
   }
+  /// Raw word access for snapshot save/restore: word 0 is the inline low_
+  /// word, words 1.. are the heap spill. Restoring through set_words keeps
+  /// the spill vector's length exactly as saved (trailing zero words are
+  /// semantically empty either way, but byte-identical snapshots are
+  /// easier to reason about when the representation round-trips).
+  std::vector<std::uint64_t> words() const {
+    std::vector<std::uint64_t> w;
+    w.reserve(high_.size() + 1);
+    w.push_back(low_);
+    for (std::uint64_t x : high_) w.push_back(x);
+    return w;
+  }
+  void set_words(const std::vector<std::uint64_t>& w) {
+    low_ = w.empty() ? 0 : w[0];
+    high_.assign(w.begin() + (w.empty() ? 0 : 1), w.end());
+  }
+
   /// Visit members in ascending NodeId order (deterministic invalidation
   /// send order — message ids and stats must not depend on set internals).
   template <typename Fn>

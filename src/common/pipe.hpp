@@ -133,6 +133,17 @@ class Pipe {
     return count_ == 0 ? kNeverCycle : ring_[head_].ready;
   }
 
+  /// Snapshot restore: re-insert an item with its *absolute* ready cycle,
+  /// bypassing the deferred mailbox (restore happens between cycles, with
+  /// no worker running). Fires the waker and pending-mask exactly like a
+  /// live enqueue so consumers re-arm; the snapshot layer overwrites wake
+  /// stamps and masks with their saved values afterwards, so any
+  /// over-approximation here is erased. Items must arrive in saved FIFO
+  /// order (ready times stay monotonic).
+  void restore_push(T item, Cycle ready) {
+    enqueue(Entry{ready, std::move(item)});
+  }
+
   /// Visit every queued item (ready or not) with its ready cycle. Read-only
   /// introspection for validation (e.g. counting in-flight credits per VC);
   /// simulation code must consume through pop_ready only. Deferred items are

@@ -41,6 +41,10 @@ class Rng {
     return Rng(state_ ^ (salt * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
   }
 
+  /// Raw stream state, for snapshot save/restore only.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s ? s : 1; }
+
  private:
   std::uint64_t state_;
 };

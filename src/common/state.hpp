@@ -1,0 +1,155 @@
+// Binary state serializer for full-system snapshots (DESIGN.md §16).
+//
+// The format is deliberately dumb: little-endian scalars, length-prefixed
+// strings, and length-prefixed *sections* — a 4-character tag plus a u64
+// byte count — which nest. Sections buy two properties: an inspector
+// (tools/rc-state) can walk a snapshot it does not fully understand, and a
+// reader that mis-parses a section fails loudly at the section boundary
+// instead of desynchronizing silently into the next component's bytes.
+//
+// Error discipline mirrors common/parse.hpp's JsonParser: every StateReader
+// accessor returns false on malformed input and latches a byte-offset-
+// annotated message; once failed, every later read also fails, so call
+// sites can string reads together and check once per section. Writers
+// never fail (they build an in-memory buffer; I/O happens once, through
+// atomic_file).
+//
+// Pointer swizzling: in-flight Messages are shared (flits, NI queues, L2
+// transaction state and MessagePool pins all reference the same object).
+// The writer carries a registry of shared objects keyed by the Message's
+// globally unique id; components register what they reference and write
+// the id. The snapshot layer serializes the registry once (the "MSGS"
+// table), and the reader pre-populates its own registry from that table so
+// components resolve ids back to the *same* shared_ptr, reconstructing the
+// aliasing graph exactly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// 64-bit FNV-1a over a byte range; `seed` chains incremental hashing.
+inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t seed = kFnv1aInit);
+
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  /// LEB128 varint — for bulk records (cache lines) where most values are
+  /// small and fixed-width u64s would quadruple the snapshot size.
+  void vu64(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void d64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void raw(const std::string& bytes) { buf_.append(bytes); }
+
+  /// Open a length-prefixed section. `tag` must be exactly 4 characters.
+  void begin_section(const char* tag);
+  /// Close the innermost open section, patching its length field.
+  void end_section();
+
+  /// Register a shared object under a stable id. Returns true when the id
+  /// was new (first reference). Registering the same id twice with a
+  /// different object is a serialization bug and fatal()s.
+  bool note_shared(std::uint64_t id, std::shared_ptr<void> obj);
+  const std::map<std::uint64_t, std::shared_ptr<void>>& shared() const {
+    return shared_;
+  }
+
+  const std::string& data() const { return buf_; }
+
+ private:
+  void le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i)
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+
+  std::string buf_;
+  std::vector<std::size_t> open_;  ///< offsets of pending section length fields
+  std::map<std::uint64_t, std::shared_ptr<void>> shared_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::string bytes) : buf_(std::move(bytes)) {}
+
+  bool u8(std::uint8_t* v);
+  bool u16(std::uint16_t* v);
+  bool u32(std::uint32_t* v);
+  bool u64(std::uint64_t* v);
+  bool i64(std::int64_t* v);
+  bool vu64(std::uint64_t* v);
+  bool b(bool* v);
+  bool d64(double* v);
+  bool str(std::string* s);
+
+  /// Open the next section, which must carry exactly `tag`; reads past its
+  /// end fail until the matching end_section().
+  bool begin_section(const char* tag);
+  /// Close the innermost section; fails unless it was consumed exactly.
+  bool end_section();
+  /// Peek the next section's tag and payload length without entering it
+  /// (inspector use); position is unchanged.
+  bool peek_section(std::string* tag, std::uint64_t* len);
+  /// Skip over the next section entirely, whatever its tag.
+  bool skip_section();
+
+  /// True when the current section (or the whole buffer) is fully consumed.
+  bool at_end() const;
+  bool ok() const { return ok_; }
+  const std::string& error() const { return err_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+
+  /// Record a failure (position-annotated) and return false.
+  bool fail(const std::string& msg);
+
+  void put_shared(std::uint64_t id, std::shared_ptr<void> obj) {
+    shared_[id] = std::move(obj);
+  }
+  /// nullptr when the id was never registered (caller decides severity).
+  std::shared_ptr<void> get_shared(std::uint64_t id) const {
+    auto it = shared_.find(id);
+    return it == shared_.end() ? nullptr : it->second;
+  }
+
+ private:
+  bool le(std::uint64_t* v, int bytes);
+  /// Readable bytes end at the innermost open section, not the buffer.
+  std::size_t limit() const {
+    return section_end_.empty() ? buf_.size() : section_end_.back();
+  }
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> section_end_;
+  bool ok_ = true;
+  std::string err_;
+  std::map<std::uint64_t, std::shared_ptr<void>> shared_;
+};
+
+}  // namespace rc

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/state.hpp"
+
 namespace rc {
 
 double Accumulator::variance() const {
@@ -108,6 +110,69 @@ void StatSet::merge(const StatSet& o) {
   for (const auto& [k, v] : o.counters_) counters_[k] += v;
   for (const auto& [k, a] : o.accs_) accs_[k].merge(a);
   for (const auto& [k, h] : o.hists_) hists_[k].merge(h);
+}
+
+void Accumulator::save(StateWriter& w) const {
+  w.u64(n_);
+  w.d64(sum_);
+  w.d64(min_);
+  w.d64(max_);
+  w.d64(shift_);
+  w.d64(sumd_);
+  w.d64(sumd2_);
+}
+
+bool Accumulator::load(StateReader& r) {
+  return r.u64(&n_) && r.d64(&sum_) && r.d64(&min_) && r.d64(&max_) &&
+         r.d64(&shift_) && r.d64(&sumd_) && r.d64(&sumd2_);
+}
+
+void Histogram::save(StateWriter& w) const {
+  w.u64(n_);
+  for (std::uint64_t x : b_) w.u64(x);
+}
+
+bool Histogram::load(StateReader& r) {
+  if (!r.u64(&n_)) return false;
+  for (auto& x : b_)
+    if (!r.u64(&x)) return false;
+  return true;
+}
+
+void StatSet::save(StateWriter& w) const {
+  w.u64(counters_.size());
+  for (const auto& [k, v] : counters_) {
+    w.str(k);
+    w.u64(v);
+  }
+  w.u64(accs_.size());
+  for (const auto& [k, a] : accs_) {
+    w.str(k);
+    a.save(w);
+  }
+  w.u64(hists_.size());
+  for (const auto& [k, h] : hists_) {
+    w.str(k);
+    h.save(w);
+  }
+}
+
+bool StatSet::load(StateReader& r) {
+  std::uint64_t n;
+  std::string k;
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!r.str(&k) || !r.u64(&counters_[k])) return false;
+  }
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!r.str(&k) || !accs_[k].load(r)) return false;
+  }
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!r.str(&k) || !hists_[k].load(r)) return false;
+  }
+  return true;
 }
 
 }  // namespace rc

@@ -12,6 +12,9 @@
 
 namespace rc {
 
+class StateWriter;
+class StateReader;
+
 /// Mean/min/max/stddev accumulator for latency-like samples.
 class Accumulator {
  public:
@@ -47,6 +50,9 @@ class Accumulator {
   /// Bitwise equality (the shard-determinism tests compare doubles exactly).
   bool operator==(const Accumulator&) const = default;
 
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   std::uint64_t n_ = 0;
   double sum_ = 0, min_ = 0, max_ = 0;
@@ -74,6 +80,9 @@ class Histogram {
   void merge(const Histogram& o);
   bool operator==(const Histogram&) const = default;
 
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   std::uint64_t b_[kBuckets] = {};
   std::uint64_t n_ = 0;
@@ -97,6 +106,13 @@ class StatSet {
   void reset();
   void merge(const StatSet& o);
   bool operator==(const StatSet&) const = default;
+
+  /// Snapshot save/load. Load assigns by name *in place* (no clear()): the
+  /// map nodes components cached pointers into at construction stay valid,
+  /// and the restored key set is exactly the saved one — a fresh System's
+  /// eagerly created keys are a subset of any boundary state's.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

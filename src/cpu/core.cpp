@@ -1,5 +1,7 @@
 #include "cpu/core.hpp"
 
+#include "common/state.hpp"
+
 namespace rc {
 
 Core::Core(int id, std::unique_ptr<WorkloadGen> gen, L1Cache* l1,
@@ -43,6 +45,29 @@ void Core::tick(Cycle now) {
     stall_from_ = now;
     ++*mem_ops_;
   }
+}
+
+void Core::save(StateWriter& w) const {
+  gen_->save(w);
+  w.u64(next_op_.addr);
+  w.b(next_op_.is_write);
+  w.i64(next_op_.gap);
+  w.i64(gap_left_);
+  w.b(waiting_);
+  w.u64(stall_from_);
+  w.u64(retired_);
+}
+
+bool Core::load(StateReader& r) {
+  if (!gen_->load(r)) return false;
+  std::int64_t gap, gap_left;
+  if (!(r.u64(&next_op_.addr) && r.b(&next_op_.is_write) && r.i64(&gap) &&
+        r.i64(&gap_left) && r.b(&waiting_) && r.u64(&stall_from_) &&
+        r.u64(&retired_)))
+    return false;
+  next_op_.gap = static_cast<int>(gap);
+  gap_left_ = static_cast<int>(gap_left);
+  return true;
 }
 
 }  // namespace rc

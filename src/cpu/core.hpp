@@ -33,6 +33,10 @@ class Core : public Ticker {
   void reset_retired() { retired_ = 0; }
   bool waiting() const { return waiting_; }
 
+  /// Snapshot save/load: workload generator stream plus the issue state.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   void on_complete(Cycle now);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/state.hpp"
+
 namespace rc {
 
 WorkloadGen::WorkloadGen(const AppProfile& prof, int core_id, int num_cores,
@@ -105,6 +107,21 @@ MemOp WorkloadGen::pattern_op(MemOp op) {
       static_cast<int>(idx % static_cast<std::uint32_t>(sharers)) == member;
   op.is_write = writer && rng_.chance(prof_.p_write_shared);
   return op;
+}
+
+void WorkloadGen::save(StateWriter& w) const {
+  w.u64(rng_.state());
+  w.i64(migratory_step_);
+  w.u64(pattern_cursor_);
+}
+
+bool WorkloadGen::load(StateReader& r) {
+  std::uint64_t rng;
+  std::int64_t step;
+  if (!(r.u64(&rng) && r.i64(&step) && r.u64(&pattern_cursor_))) return false;
+  rng_.set_state(rng);
+  migratory_step_ = static_cast<int>(step);
+  return true;
 }
 
 }  // namespace rc

@@ -17,6 +17,9 @@
 
 namespace rc {
 
+class StateWriter;
+class StateReader;
+
 /// One memory operation plus the number of non-memory instructions the
 /// in-order core retires before issuing it.
 struct MemOp {
@@ -74,6 +77,11 @@ class WorkloadGen {
   MemOp next();
 
   const AppProfile& profile() const { return prof_; }
+
+  /// Snapshot save/load: the RNG stream plus the pattern cursors. The
+  /// profile and region bases are configuration, re-derived on load.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
  private:
   Addr pick(std::uint32_t lines, Addr base);

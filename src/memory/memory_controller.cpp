@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/state.hpp"
 #include "noc/network.hpp"
 
 namespace rc {
@@ -41,6 +42,28 @@ void MemoryController::tick(Cycle now) {
     net_->send(outbox_.begin()->second, now);
     outbox_.erase(outbox_.begin());
   }
+}
+
+void MemoryController::save(StateWriter& w) const {
+  w.u64(next_msg_id_);
+  w.u64(outbox_.size());
+  for (const auto& [cyc, m] : outbox_) {
+    w.u64(cyc);
+    save_msg_ref(w, m);
+  }
+}
+
+bool MemoryController::load(StateReader& r) {
+  std::uint64_t n;
+  if (!(r.u64(&next_msg_id_) && r.u64(&n))) return false;
+  outbox_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Cycle cyc;
+    MsgPtr m;
+    if (!(r.u64(&cyc) && load_msg_ref(r, &m))) return false;
+    outbox_.emplace(cyc, std::move(m));
+  }
+  return true;
 }
 
 }  // namespace rc

@@ -28,6 +28,10 @@ class MemoryController : public Ticker {
 
   std::size_t in_flight() const { return outbox_.size(); }
 
+  /// Snapshot save/load: message-id counter and the in-service outbox.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   NodeId node_;
   CacheConfig cfg_;

@@ -36,6 +36,10 @@ class RoundRobinArbiter {
 
   int size() const { return n_; }
 
+  /// Rotating priority pointer, for snapshot save/restore only.
+  int pointer() const { return ptr_; }
+  void set_pointer(int p) { ptr_ = (p >= 0 && p < n_) ? p : 0; }
+
  private:
   int n_;
   int ptr_;

@@ -1,6 +1,7 @@
 #include "noc/message.hpp"
 
 #include "common/config.hpp"
+#include "common/state.hpp"
 
 namespace rc {
 
@@ -135,6 +136,157 @@ ReplyCategory classify_reply_category(const Message& m,
     case CircuitOutcome::Undone: return ReplyCategory::Undone;
     default: return ReplyCategory::EligibleNoCirc;
   }
+}
+
+void save_message(StateWriter& w, const Message& m) {
+  w.u64(m.id);
+  w.u8(static_cast<std::uint8_t>(m.type));
+  w.i64(m.src);
+  w.i64(m.dest);
+  w.u64(m.addr);
+  w.i64(m.size_flits);
+  w.b(m.exclusive);
+  w.i64(m.fwd_requestor);
+  w.b(m.downgrade);
+  w.b(m.build_circuit);
+  w.b(m.circuit_ok);
+  w.b(m.circuit_partial);
+  w.i64(m.used_delay);
+  w.i64(m.path_hops);
+  w.i64(m.reply_size_flits);
+  w.b(m.on_circuit);
+  w.i64(m.circuit_dest);
+  w.u64(m.circuit_addr);
+  w.b(m.scrounging);
+  w.i64(m.final_dest);
+  w.b(m.ack_elided);
+  w.b(m.undone_marker);
+  w.u8(static_cast<std::uint8_t>(m.outcome));
+  w.u64(m.created);
+  w.u64(m.injected);
+  w.u64(m.delivered);
+}
+
+bool load_message(StateReader& r, Message* m) {
+  std::uint8_t type, outcome;
+  std::int64_t src, dest, size_flits, fwd_requestor, used_delay, path_hops,
+      reply_size_flits, circuit_dest, final_dest;
+  if (!(r.u64(&m->id) && r.u8(&type) && r.i64(&src) && r.i64(&dest) &&
+        r.u64(&m->addr) && r.i64(&size_flits) && r.b(&m->exclusive) &&
+        r.i64(&fwd_requestor) && r.b(&m->downgrade) && r.b(&m->build_circuit) &&
+        r.b(&m->circuit_ok) && r.b(&m->circuit_partial) && r.i64(&used_delay) &&
+        r.i64(&path_hops) && r.i64(&reply_size_flits) && r.b(&m->on_circuit) &&
+        r.i64(&circuit_dest) && r.u64(&m->circuit_addr) && r.b(&m->scrounging) &&
+        r.i64(&final_dest) && r.b(&m->ack_elided) && r.b(&m->undone_marker) &&
+        r.u8(&outcome) && r.u64(&m->created) && r.u64(&m->injected) &&
+        r.u64(&m->delivered)))
+    return false;
+  if (type >= kNumMsgTypes) return r.fail("message type out of range");
+  if (outcome > static_cast<std::uint8_t>(CircuitOutcome::None))
+    return r.fail("circuit outcome out of range");
+  m->type = static_cast<MsgType>(type);
+  m->outcome = static_cast<CircuitOutcome>(outcome);
+  m->src = static_cast<NodeId>(src);
+  m->dest = static_cast<NodeId>(dest);
+  m->size_flits = static_cast<int>(size_flits);
+  m->fwd_requestor = static_cast<NodeId>(fwd_requestor);
+  m->used_delay = static_cast<int>(used_delay);
+  m->path_hops = static_cast<int>(path_hops);
+  m->reply_size_flits = static_cast<int>(reply_size_flits);
+  m->circuit_dest = static_cast<NodeId>(circuit_dest);
+  m->final_dest = static_cast<NodeId>(final_dest);
+  // ni_memo_gen / ni_hold_until stay at their constructed 0: memos are
+  // invalidated by restore (see header comment).
+  m->ni_memo_gen = 0;
+  m->ni_hold_until = 0;
+  return true;
+}
+
+void save_msg_ref(StateWriter& w, const MsgPtr& m) {
+  w.u64(m ? m->id : 0);
+  if (m) w.note_shared(m->id, m);
+}
+
+bool load_msg_ref(StateReader& r, MsgPtr* m) {
+  std::uint64_t id;
+  if (!r.u64(&id)) return false;
+  if (id == 0) {
+    m->reset();
+    return true;
+  }
+  auto p = r.get_shared(id);
+  if (!p) return r.fail("unresolved message id " + std::to_string(id));
+  *m = std::static_pointer_cast<Message>(p);
+  return true;
+}
+
+void save_flit(StateWriter& w, const Flit& f) {
+  // Flits hold raw pointers; the MessagePool pin guarantees the message is
+  // (or will be) registered in the writer's shared table, so the id alone
+  // round-trips the reference.
+  w.u64(f.msg ? f.msg->id : 0);
+  w.i64(f.seq);
+  w.u8(static_cast<std::uint8_t>(f.vnet));
+  w.i64(f.vc);
+  w.b(f.on_circuit);
+}
+
+bool load_flit(StateReader& r, Flit* f) {
+  std::uint64_t id;
+  std::int64_t seq, vc;
+  std::uint8_t vnet;
+  if (!(r.u64(&id) && r.i64(&seq) && r.u8(&vnet) && r.i64(&vc) &&
+        r.b(&f->on_circuit)))
+    return false;
+  if (vnet >= kNumVNets) return r.fail("flit vnet out of range");
+  if (id == 0) {
+    f->msg = nullptr;
+  } else {
+    auto p = r.get_shared(id);
+    if (!p) return r.fail("flit references unknown message id " +
+                          std::to_string(id));
+    f->msg = static_cast<Message*>(p.get());
+  }
+  f->seq = static_cast<int>(seq);
+  f->vnet = static_cast<VNet>(vnet);
+  f->vc = static_cast<int>(vc);
+  return true;
+}
+
+void save_undo(StateWriter& w, const UndoRecord& u) {
+  w.i64(u.circuit_dest);
+  w.u64(u.addr);
+  w.u64(u.owner_req);
+}
+
+bool load_undo(StateReader& r, UndoRecord* u) {
+  std::int64_t dest;
+  if (!(r.i64(&dest) && r.u64(&u->addr) && r.u64(&u->owner_req))) return false;
+  u->circuit_dest = static_cast<NodeId>(dest);
+  return true;
+}
+
+void save_credit(StateWriter& w, const Credit& c) {
+  w.u8(static_cast<std::uint8_t>(c.vnet));
+  w.i64(c.vc);
+  w.b(c.undo.has_value());
+  if (c.undo) save_undo(w, *c.undo);
+}
+
+bool load_credit(StateReader& r, Credit* c) {
+  std::uint8_t vnet;
+  std::int64_t vc;
+  bool has_undo;
+  if (!(r.u8(&vnet) && r.i64(&vc) && r.b(&has_undo))) return false;
+  if (vnet >= kNumVNets) return r.fail("credit vnet out of range");
+  c->vnet = static_cast<VNet>(vnet);
+  c->vc = static_cast<int>(vc);
+  if (has_undo) {
+    c->undo.emplace();
+    return load_undo(r, &*c->undo);
+  }
+  c->undo.reset();
+  return true;
 }
 
 }  // namespace rc

@@ -194,4 +194,28 @@ struct Credit {
   std::optional<UndoRecord> undo;
 };
 
+class StateWriter;
+class StateReader;
+
+// ---- snapshot codecs (DESIGN.md §16) ----
+//
+// A message's globally unique id is its swizzle key. Owners of a MsgPtr
+// serialize the reference with save_msg_ref, which registers the object in
+// the writer's shared-object table; flits (raw pointers) write only the id,
+// relying on the MessagePool's pin to have registered the object. On load
+// the reader's registry resolves ids back to one shared Message per id, so
+// aliasing is reconstructed exactly. The NI injection-scan memo fields
+// (ni_memo_gen / ni_hold_until) are deliberately not serialized: restore
+// invalidates memos, which is always safe (they are pure skip hints).
+void save_message(StateWriter& w, const Message& m);
+bool load_message(StateReader& r, Message* m);
+void save_msg_ref(StateWriter& w, const MsgPtr& m);
+bool load_msg_ref(StateReader& r, MsgPtr* m);
+void save_flit(StateWriter& w, const Flit& f);
+bool load_flit(StateReader& r, Flit* f);
+void save_undo(StateWriter& w, const UndoRecord& u);
+bool load_undo(StateReader& r, UndoRecord* u);
+void save_credit(StateWriter& w, const Credit& c);
+bool load_credit(StateReader& r, Credit* c);
+
 }  // namespace rc

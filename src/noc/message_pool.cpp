@@ -1,6 +1,9 @@
 #include "noc/message_pool.hpp"
 
+#include <algorithm>
 #include <string>
+
+#include "common/state.hpp"
 
 namespace rc {
 
@@ -65,6 +68,39 @@ MsgPtr MessagePool::release(const Message* msg) {
   node.mapped().reset();  // drop the moved-from shared_ptr before recycling
   b.free_nodes.push_back(std::move(node));
   return owner;
+}
+
+void MessagePool::save(StateWriter& w) const {
+  w.u64(buckets_.size());
+  for (const auto& b : buckets_) {
+    std::lock_guard<std::mutex> lock(b.mu);
+    std::vector<MsgPtr> msgs;
+    msgs.reserve(b.pinned.size());
+    for (const auto& [raw, owner] : b.pinned) msgs.push_back(owner);
+    std::sort(msgs.begin(), msgs.end(),
+              [](const MsgPtr& a, const MsgPtr& x) { return a->id < x->id; });
+    w.u64(msgs.size());
+    for (const MsgPtr& m : msgs) save_msg_ref(w, m);
+  }
+}
+
+bool MessagePool::load(StateReader& r) {
+  std::uint64_t nb;
+  if (!r.u64(&nb)) return false;
+  if (nb != buckets_.size())
+    return r.fail("pool has " + std::to_string(buckets_.size()) +
+                  " buckets, snapshot has " + std::to_string(nb));
+  for (auto& b : buckets_) {
+    std::uint64_t n;
+    if (!r.u64(&n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      MsgPtr m;
+      if (!load_msg_ref(r, &m)) return false;
+      if (!m) return r.fail("null pinned message in pool snapshot");
+      pin(m);
+    }
+  }
+  return true;
 }
 
 std::size_t MessagePool::pinned() const {

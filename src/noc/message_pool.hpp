@@ -23,6 +23,9 @@
 
 namespace rc {
 
+class StateWriter;
+class StateReader;
+
 class MessagePool {
  public:
   explicit MessagePool(int num_nodes);
@@ -39,6 +42,13 @@ class MessagePool {
 
   /// Messages currently pinned (drain checks in tests).
   std::size_t pinned() const;
+
+  /// Snapshot save/load. Pinned ids are written in sorted order per bucket
+  /// (the hash map's iteration order is not deterministic); load resolves
+  /// each id through the reader's shared table and re-pins it, so restored
+  /// ownership matches the live run exactly.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
  private:
   struct Bucket {

@@ -2,8 +2,10 @@
 
 #include <array>
 #include <map>
+#include <string>
 #include <utility>
 
+#include "common/state.hpp"
 #include "noc/observer.hpp"
 
 namespace rc {
@@ -238,6 +240,92 @@ StatSet Network::merged_stats() const {
 void Network::reset_stats() {
   // In-place zeroing keeps the routers' cached hot-counter pointers valid.
   for (auto& s : node_stats_) s.reset();
+}
+
+namespace {
+// Pipe codecs: item count, then (absolute ready cycle, item) pairs in FIFO
+// order. restore_push keeps the ready times monotonic because saving
+// preserved the order.
+template <typename T, typename SaveItem>
+void save_pipe(StateWriter& w, const Pipe<T>& p, SaveItem item) {
+  // At a cycle boundary the cross-shard mailboxes are flushed, so size()
+  // counts ring items only and FIFO order is the ring order.
+  RC_ASSERT(!p.deferred() || p.size() == 0 || !p.ring_empty(),
+            "pipe saved with unflushed deferred items");
+  w.u64(p.size());
+  p.for_each([&](const T& it, Cycle ready) {
+    w.u64(ready);
+    item(w, it);
+  });
+}
+template <typename T, typename LoadItem>
+bool load_pipe(StateReader& r, Pipe<T>* p, LoadItem item) {
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Cycle ready;
+    T it{};
+    if (!r.u64(&ready) || !item(r, &it)) return false;
+    p->restore_push(std::move(it), ready);
+  }
+  return true;
+}
+}  // namespace
+
+void Network::save(StateWriter& w) const {
+  pool_.save(w);
+  w.u64(flit_pipes_.size());
+  for (const auto& p : flit_pipes_)
+    save_pipe(w, p, [](StateWriter& sw, const Flit& f) { save_flit(sw, f); });
+  w.u64(credit_pipes_.size());
+  for (const auto& p : credit_pipes_)
+    save_pipe(w, p,
+              [](StateWriter& sw, const Credit& c) { save_credit(sw, c); });
+  w.u64(local_pipes_.size());
+  for (const auto& p : local_pipes_)
+    save_pipe(w, p,
+              [](StateWriter& sw, const MsgPtr& m) { save_msg_ref(sw, m); });
+  for (const StatSet& s : node_stats_) s.save(w);
+  for (const auto& ni : nis_) ni->save(w);
+  for (const auto& rt : routers_) rt->save(w);
+}
+
+bool Network::load(StateReader& r) {
+  if (!pool_.load(r)) return false;
+  const auto check_count = [&](std::size_t have, const char* what) {
+    std::uint64_t n;
+    if (!r.u64(&n)) return false;
+    if (n != have)
+      return r.fail(std::string(what) + ": fabric has " +
+                    std::to_string(have) + ", snapshot has " +
+                    std::to_string(n));
+    return true;
+  };
+  if (!check_count(flit_pipes_.size(), "flit pipes")) return false;
+  for (auto& p : flit_pipes_)
+    if (!load_pipe(r, &p, [](StateReader& sr, Flit* f) {
+          return load_flit(sr, f);
+        }))
+      return false;
+  if (!check_count(credit_pipes_.size(), "credit pipes")) return false;
+  for (auto& p : credit_pipes_)
+    if (!load_pipe(r, &p, [](StateReader& sr, Credit* c) {
+          return load_credit(sr, c);
+        }))
+      return false;
+  if (!check_count(local_pipes_.size(), "local pipes")) return false;
+  for (auto& p : local_pipes_)
+    if (!load_pipe(r, &p, [](StateReader& sr, MsgPtr* m) {
+          return load_msg_ref(sr, m);
+        }))
+      return false;
+  for (StatSet& s : node_stats_)
+    if (!s.load(r)) return false;
+  for (auto& ni : nis_)
+    if (!ni->load(r)) return false;
+  for (auto& rt : routers_)
+    if (!rt->load(r)) return false;
+  return true;
 }
 
 bool Network::idle() const {

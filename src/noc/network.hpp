@@ -105,6 +105,16 @@ class Network {
   /// Flits still queued anywhere (for drain checks in tests).
   bool idle() const;
 
+  /// Snapshot save/load of the whole fabric: message pool pins, every pipe
+  /// (construction order is config-deterministic, so the deque index is the
+  /// identity), per-node stats, NIs and routers. Load restores pipes first —
+  /// their enqueues fire wakers and pending masks as an over-approximation —
+  /// then the components overwrite the masks with saved values; the engine
+  /// overwrites the schedules' wake stamps last. Call only at a cycle
+  /// boundary (deferred mailboxes empty).
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   void drain_local(NodeId n, Cycle now);
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/state.hpp"
 #include "noc/message_pool.hpp"
 #include "noc/observer.hpp"
 #include "noc/router.hpp"
@@ -588,6 +589,99 @@ void NetworkInterface::classify_delivered(const MsgPtr& msg) {
     if (!reply_counter_[ci]) reply_counter_[ci] = &stats_->counter(c);
     ++*reply_counter_[ci];
   }
+}
+
+void NetworkInterface::save(StateWriter& w) const {
+  for (int vn = 0; vn < kNumVNets; ++vn) {
+    w.u64(q_[vn].size());
+    for (const QEntry& e : q_[vn]) save_msg_ref(w, e.msg);
+    const Stream& s = stream_[vn];
+    save_msg_ref(w, s.msg);
+    w.i64(s.next_seq);
+    w.i64(s.vc);
+    w.b(s.on_circuit);
+  }
+  w.i64(rr_vn_);
+  for (int c : outstanding_) w.i64(c);
+  w.u64(origins_.size());
+  for (const auto& [key, o] : origins_) {
+    w.i64(key.first);
+    w.u64(key.second);
+    w.b(o.present);
+    w.u64(o.ver);
+    w.u8(static_cast<std::uint8_t>(o.status));
+    w.b(o.partial);
+    w.u64(o.depart_min);
+    w.u64(o.depart_max);
+    w.i64(o.riders);
+    w.u64(o.req_id);
+    w.u64(o.deferred_undo_owners.size());
+    for (std::uint64_t id : o.deferred_undo_owners) w.u64(id);
+    w.b(o.undo_expect_reply);
+  }
+  w.u64(origin_ver_);
+  w.i64(live_origins_);
+  w.u64(origins_gen_);
+}
+
+bool NetworkInterface::load(StateReader& r) {
+  for (int vn = 0; vn < kNumVNets; ++vn) {
+    std::uint64_t n;
+    if (!r.u64(&n)) return false;
+    q_[vn].clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      QEntry e{nullptr, nullptr, 0, 0, kMemoNone};
+      if (!load_msg_ref(r, &e.msg)) return false;
+      if (!e.msg) return r.fail("null message in NI injection queue");
+      q_[vn].push_back(std::move(e));
+    }
+    Stream& s = stream_[vn];
+    std::int64_t seq, vc;
+    if (!(load_msg_ref(r, &s.msg) && r.i64(&seq) && r.i64(&vc) &&
+          r.b(&s.on_circuit)))
+      return false;
+    s.next_seq = static_cast<int>(seq);
+    s.vc = static_cast<int>(vc);
+  }
+  std::int64_t rr;
+  if (!r.i64(&rr)) return false;
+  rr_vn_ = static_cast<int>(rr);
+  for (int& c : outstanding_) {
+    std::int64_t v;
+    if (!r.i64(&v)) return false;
+    c = static_cast<int>(v);
+  }
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  origins_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t node, riders;
+    Addr addr;
+    std::uint8_t status;
+    if (!(r.i64(&node) && r.u64(&addr))) return false;
+    Origin& o = origins_[{static_cast<NodeId>(node), addr}];
+    std::uint64_t nd;
+    if (!(r.b(&o.present) && r.u64(&o.ver) && r.u8(&status) &&
+          r.b(&o.partial) && r.u64(&o.depart_min) && r.u64(&o.depart_max) &&
+          r.i64(&riders) && r.u64(&o.req_id) && r.u64(&nd)))
+      return false;
+    if (status > static_cast<std::uint8_t>(OriginStatus::Undone))
+      return r.fail("origin status out of range");
+    o.status = static_cast<OriginStatus>(status);
+    o.riders = static_cast<int>(riders);
+    o.deferred_undo_owners.resize(nd);
+    for (std::uint64_t& id : o.deferred_undo_owners)
+      if (!r.u64(&id)) return false;
+    if (!r.b(&o.undo_expect_reply)) return false;
+  }
+  std::int64_t live;
+  if (!(r.u64(&origin_ver_) && r.i64(&live) && r.u64(&origins_gen_)))
+    return false;
+  live_origins_ = static_cast<int>(live);
+  // Memos and the scan summary are skip hints only: drop them.
+  last_probe_okey_ = nullptr;
+  rsum_valid_ = false;
+  return true;
 }
 
 }  // namespace rc

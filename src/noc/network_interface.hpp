@@ -91,6 +91,15 @@ class NetworkInterface : public Ticker {
   }
   StatSet& stats() { return *stats_; }
 
+  /// Snapshot save/load: injection queues, streams, outstanding-flit
+  /// counters and the full origin table (tombstones included — purge timing
+  /// depends on the tombstone population, so the table must round-trip
+  /// exactly). Queue-scan memos and the whole-scan summary are NOT saved:
+  /// restore invalidates them, which is always safe (they are pure skip
+  /// hints; the next scan re-probes and reproduces the same outcome).
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   enum class OriginStatus : std::uint8_t { Built, Failed, Undone };
   struct Origin {

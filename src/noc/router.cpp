@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/state.hpp"
 #include "noc/observer.hpp"
 #include "noc/topology.hpp"
 
@@ -601,6 +602,146 @@ void Router::send_credit(Port in_port, VNet vn, int vc, Cycle now) {
   cr.vnet = vn;
   cr.vc = vc;
   wires_[in_port].in_credits->push(cr, now);
+}
+
+namespace {
+template <std::size_t N>
+void save_ring(StateWriter& w, const InlineRing<Flit, N>& ring) {
+  w.u64(ring.size());
+  for (const Flit& f : ring) save_flit(w, f);
+}
+template <std::size_t N>
+bool load_ring(StateReader& r, InlineRing<Flit, N>* ring) {
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  ring->clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Flit f;
+    if (!load_flit(r, &f)) return false;
+    ring->push_back(f);
+  }
+  return true;
+}
+}  // namespace
+
+void Router::save(StateWriter& w) const {
+  w.u64(flits_routed_);
+  w.i64(n_waitva_);
+  w.i64(n_active_);
+  w.i64(n_buffered_);
+  w.u32(in_pending_);
+  w.u32(cr_pending_);
+  w.u32(retry_pending_);
+  w.u32(st_busy_);
+  w.u32(circ_taken_);
+  for (Cycle c : st_ready_) w.u64(c);
+  for (std::uint64_t m : occ_mask_) w.u64(m);
+  for (std::uint64_t m : waitva_mask_) w.u64(m);
+  for (std::uint64_t m : active_mask_) w.u64(m);
+  w.u64(vc_stage_ready_.size());
+  for (std::size_t i = 0; i < vc_stage_ready_.size(); ++i) {
+    w.u64(vc_stage_ready_[i]);
+    w.u8(vc_out_port_[i]);
+    w.u8(vc_out_vc_[i]);
+    w.u8(vc_out_vci_[i]);
+    w.i64(credits_[i]);
+  }
+  for (const InputPort& ip : inputs_) {
+    for (const InputVC& vc : ip.vcs) {
+      w.u8(static_cast<std::uint8_t>(vc.state));
+      save_ring(w, vc.buf);
+    }
+    w.i64(ip.sa_input_arb.pointer());
+    save_ring(w, ip.circ_retry);
+  }
+  for (const OutputPort& op : outputs_) {
+    w.u64(op.busy_mask);
+    w.i64(op.sa_output_arb.pointer());
+    for (const RoundRobinArbiter& a : op.va_arb) w.i64(a.pointer());
+    w.b(op.st_latch.has_value());
+    if (op.st_latch) save_flit(w, *op.st_latch);
+  }
+  w.u64(undo_latch_.size());
+  for (const auto& [p, rec] : undo_latch_) {
+    w.i64(p);
+    save_undo(w, rec);
+  }
+  circuits_.save(w);
+}
+
+bool Router::load(StateReader& r) {
+  std::int64_t nw, na, nb;
+  if (!(r.u64(&flits_routed_) && r.i64(&nw) && r.i64(&na) && r.i64(&nb) &&
+        r.u32(&in_pending_) && r.u32(&cr_pending_) && r.u32(&retry_pending_) &&
+        r.u32(&st_busy_) && r.u32(&circ_taken_)))
+    return false;
+  n_waitva_ = static_cast<int>(nw);
+  n_active_ = static_cast<int>(na);
+  n_buffered_ = static_cast<int>(nb);
+  for (Cycle& c : st_ready_)
+    if (!r.u64(&c)) return false;
+  for (std::uint64_t& m : occ_mask_)
+    if (!r.u64(&m)) return false;
+  for (std::uint64_t& m : waitva_mask_)
+    if (!r.u64(&m)) return false;
+  for (std::uint64_t& m : active_mask_)
+    if (!r.u64(&m)) return false;
+  std::uint64_t nvc;
+  if (!r.u64(&nvc)) return false;
+  if (nvc != vc_stage_ready_.size())
+    return r.fail("router has " + std::to_string(vc_stage_ready_.size()) +
+                  " VC slots, snapshot has " + std::to_string(nvc));
+  for (std::size_t i = 0; i < vc_stage_ready_.size(); ++i) {
+    std::int64_t cr;
+    if (!(r.u64(&vc_stage_ready_[i]) && r.u8(&vc_out_port_[i]) &&
+          r.u8(&vc_out_vc_[i]) && r.u8(&vc_out_vci_[i]) && r.i64(&cr)))
+      return false;
+    credits_[i] = static_cast<std::int32_t>(cr);
+  }
+  for (InputPort& ip : inputs_) {
+    for (InputVC& vc : ip.vcs) {
+      std::uint8_t st;
+      if (!r.u8(&st)) return false;
+      if (st > static_cast<std::uint8_t>(VCState::Active))
+        return r.fail("VC state out of range");
+      vc.state = static_cast<VCState>(st);
+      if (!load_ring(r, &vc.buf)) return false;
+    }
+    std::int64_t ptr;
+    if (!r.i64(&ptr)) return false;
+    ip.sa_input_arb.set_pointer(static_cast<int>(ptr));
+    if (!load_ring(r, &ip.circ_retry)) return false;
+  }
+  for (OutputPort& op : outputs_) {
+    std::int64_t ptr;
+    if (!(r.u64(&op.busy_mask) && r.i64(&ptr))) return false;
+    op.sa_output_arb.set_pointer(static_cast<int>(ptr));
+    for (RoundRobinArbiter& a : op.va_arb) {
+      if (!r.i64(&ptr)) return false;
+      a.set_pointer(static_cast<int>(ptr));
+    }
+    for (std::size_t v = 0; v < op.vcs.size(); ++v)
+      op.vcs[v].busy = (op.busy_mask >> v) & 1;
+    bool has_latch;
+    if (!r.b(&has_latch)) return false;
+    if (has_latch) {
+      Flit f;
+      if (!load_flit(r, &f)) return false;
+      op.st_latch = f;
+    } else {
+      op.st_latch.reset();
+    }
+  }
+  std::uint64_t nu;
+  if (!r.u64(&nu)) return false;
+  undo_latch_.clear();
+  for (std::uint64_t i = 0; i < nu; ++i) {
+    std::int64_t p;
+    UndoRecord rec;
+    if (!(r.i64(&p) && load_undo(r, &rec))) return false;
+    undo_latch_.emplace_back(static_cast<Port>(p), rec);
+  }
+  return circuits_.load(r);
 }
 
 }  // namespace rc

@@ -135,6 +135,14 @@ class Router : public Ticker {
     return inputs_[port_of(d)].circ_retry;
   }
 
+  /// Snapshot save/load of every register: VC buffers and states, arbiter
+  /// pointers, ST latches, credit counters, pending/occupancy bitmaps,
+  /// retry skids, the undo latch and the circuit tables. Load runs after
+  /// the wiring's pipes are restored (their enqueues set pending bits as
+  /// an over-approximation) and overwrites the bitmaps with saved values.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
+
  private:
   struct InputPort {
     std::vector<InputVC> vcs;

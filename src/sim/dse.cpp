@@ -21,6 +21,7 @@
 #include "common/atomic_file.hpp"
 #include "common/config.hpp"
 #include "common/parse.hpp"
+#include "common/state.hpp"
 #include "cpu/apps.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -82,14 +83,17 @@ struct AxisDef {
   bool is_string;
 };
 
-/// Canonical expansion order: outermost first, seed innermost (fastest).
+/// Canonical expansion order: outermost first, cycles innermost (fastest).
+/// warmup and cycles are full axes (lists allowed) — a cycles axis is the
+/// natural shape of a warm-start sweep, where every point repeats one
+/// warm-up and only the measurement length varies.
 constexpr AxisDef kAxes[] = {
     {"mesh", true},         {"topology", true}, {"mc_placement", true},
     {"preset", true},       {"app", true},      {"protocol", true},
     {"dir_pointers", false}, {"dir_sets", false}, {"dir_ways", false},
     {"circuits", false},    {"slack", false},   {"buf_depth", false},
     {"vcs_req", false},     {"vcs_rep", false}, {"shards", false},
-    {"seed", false},
+    {"seed", false},        {"warmup", false},  {"cycles", false},
 };
 
 std::string* string_axis(SweepPoint* p, const std::string& name) {
@@ -154,6 +158,12 @@ bool axis_equals(const SweepPoint& p, const std::string& name, const Json& v,
   if (name == "seed")
     return v.type == Json::Type::Int &&
            static_cast<std::uint64_t>(v.i) == p.seed;
+  if (name == "warmup")
+    return v.type == Json::Type::Int &&
+           static_cast<Cycle>(v.i) == p.warmup;
+  if (name == "cycles")
+    return v.type == Json::Type::Int &&
+           static_cast<Cycle>(v.i) == p.cycles;
   if (const int* f = int_axis(&copy, name))
     return v.type == Json::Type::Int && static_cast<long long>(*f) == v.i;
   *known = false;
@@ -218,6 +228,34 @@ std::string point_key(const SweepPoint& p) {
       p.vcs_rep, p.shards, static_cast<unsigned long long>(p.seed),
       static_cast<unsigned long long>(p.warmup),
       static_cast<unsigned long long>(p.cycles));
+  return buf;
+}
+
+std::string warm_key(const SweepPoint& p) {
+  // point_key minus shards and cycles: exactly the fields that survive into
+  // the snapshot digest's strict subset. Two points with equal warm keys
+  // build SystemConfigs that differ only on relaxed digest fields, so the
+  // leader's end-of-warm-up snapshot loads cleanly into every member.
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "mesh=%s topo=%s mc=%s preset=%s app=%s proto=%s dirp=%d dirs=%d "
+      "dirw=%d circ=%d slack=%d depth=%d vcsq=%d vcsr=%d seed=%llu "
+      "warmup=%llu",
+      p.mesh.c_str(), p.topology.c_str(), p.mc_placement.c_str(),
+      p.preset.c_str(), p.app.c_str(), p.protocol.c_str(), p.dir_pointers,
+      p.dir_sets, p.dir_ways, p.circuits, p.slack, p.buf_depth, p.vcs_req,
+      p.vcs_rep, static_cast<unsigned long long>(p.seed),
+      static_cast<unsigned long long>(p.warmup));
+  return buf;
+}
+
+std::string warm_dir_name(const SweepPoint& p) {
+  const std::string key = warm_key(p);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a(key.data(), key.size())));
   return buf;
 }
 
@@ -286,7 +324,10 @@ bool parse_sweep_spec(const std::string& json_text,
       points = &v;
       continue;
     }
-    if (key == "warmup" || key == "cycles") {
+    // Scalar warmup/cycles set the base point without counting as swept
+    // axes — a pure-"points" spec with scalar run lengths must not summon
+    // the grid's default point. Lists sweep them like any other axis.
+    if ((key == "warmup" || key == "cycles") && v.type != Json::Type::Arr) {
       if (!set_axis(&base, key, v, err)) return false;
       continue;
     }
@@ -488,10 +529,18 @@ bool load_journal(const std::string& path, std::vector<JournalRecord>* out,
 
 namespace {
 
+/// How a point participates in warm-start sharing.
+enum class WarmMode {
+  Plain,   ///< no sharing: run the warm-up in-process
+  Leader,  ///< runs the group's warm-up and deposits the shared snapshot
+  Loader,  ///< resumes from the group snapshot with --load-state
+};
+
 struct PendingRun {
   long long idx = 0;
   int attempt = 1;
   double ready_at = 0;  ///< retry backoff gate
+  WarmMode warm = WarmMode::Plain;
 };
 
 struct RunningChild {
@@ -500,6 +549,16 @@ struct RunningChild {
   int attempt = 1;
   double start = 0;
   bool killed = false;  ///< we SIGKILLed it for exceeding the timeout
+  WarmMode warm = WarmMode::Plain;
+};
+
+/// One warm-start group: the points sharing a warm-up snapshot. Members
+/// other than the leader wait in `waiters` (not in the run queue) until the
+/// leader's terminal record, then run as loaders if the snapshot landed or
+/// fall back to plain runs if it did not.
+struct WarmGroup {
+  std::string snap_path;  ///< absolute .../snapshots/<hash>/warmup.state
+  std::vector<long long> waiters;
 };
 
 std::string workdir_for(const std::string& out_dir, long long idx) {
@@ -509,10 +568,14 @@ std::string workdir_for(const std::string& out_dir, long long idx) {
 }
 
 /// fork/exec one point in its own workdir and process group; stdout/stderr
-/// go to per-attempt log files. Never returns in the child.
+/// go to per-attempt log files. Never returns in the child. `extra` carries
+/// the warm-start snapshot flags (--save-state / --load-state, absolute
+/// paths — the child chdirs away before exec).
 pid_t spawn_point(const std::string& runner, const SweepPoint& p,
-                  const std::string& workdir) {
+                  const std::string& workdir,
+                  const std::vector<std::string>& extra) {
   std::vector<std::string> args = point_args(p);
+  args.insert(args.end(), extra.begin(), extra.end());
   const pid_t pid = ::fork();
   if (pid != 0) return pid;  // parent (or fork failure, -1)
 
@@ -731,8 +794,16 @@ int run_sweep(const DseOptions& opt, DseOutcome* outcome, std::string* err) {
     for (auto& r : recs) prior[r.key] = std::move(r);  // last record wins
   }
 
+  // Warm-start grouping needs absolute snapshot paths (children chdir into
+  // their workdirs before exec).
+  std::string abs_out = opt.out_dir;
+  {
+    char abs[4096];
+    if (::realpath(opt.out_dir.c_str(), abs) != nullptr) abs_out = abs;
+  }
+
   std::vector<std::optional<JournalRecord>> final_rec(points.size());
-  std::deque<PendingRun> queue;
+  std::vector<long long> todo;  // points without a prior terminal record
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto it = prior.find(point_key(points[i]));
     if (it != prior.end()) {
@@ -740,8 +811,57 @@ int run_sweep(const DseOptions& opt, DseOutcome* outcome, std::string* err) {
       final_rec[i]->id = static_cast<long long>(i);
       ++oc.skipped;
     } else {
-      queue.push_back(PendingRun{static_cast<long long>(i), 1, 0});
+      todo.push_back(static_cast<long long>(i));
     }
+  }
+
+  // Group the to-run points by warm key. A group only pays off when at
+  // least two members would repeat the same warm-up; singletons (and
+  // zero-warm-up points) run plain. A snapshot left by a prior (resumed or
+  // unrelated) sweep of the same group short-circuits the leader: every
+  // member loads it directly — rc-sim re-validates the digest and the
+  // checksum, so a stale or foreign file fails the point loudly rather
+  // than silently skewing it.
+  std::deque<PendingRun> queue;
+  std::vector<WarmGroup> groups;
+  std::vector<long long> group_of(points.size(), -1);
+  if (opt.warm_start) {
+    std::map<std::string, std::vector<long long>> by_key;
+    for (long long idx : todo)
+      if (points[static_cast<std::size_t>(idx)].warmup > 0)
+        by_key[warm_key(points[static_cast<std::size_t>(idx)])].push_back(idx);
+    for (long long idx : todo) {
+      const SweepPoint& p = points[static_cast<std::size_t>(idx)];
+      const auto it = p.warmup > 0 ? by_key.find(warm_key(p)) : by_key.end();
+      if (it == by_key.end() || it->second.size() < 2) {
+        queue.push_back(PendingRun{idx, 1, 0, WarmMode::Plain});
+        continue;
+      }
+      if (it->second.front() != idx) continue;  // group handled at its leader
+      WarmGroup g;
+      g.snap_path =
+          abs_out + "/snapshots/" + warm_dir_name(p) + "/warmup.state";
+      const bool have_snap = file_exists(g.snap_path);
+      for (long long m : it->second) {
+        group_of[static_cast<std::size_t>(m)] =
+            static_cast<long long>(groups.size());
+        if (have_snap) {
+          queue.push_back(PendingRun{m, 1, 0, WarmMode::Loader});
+        } else if (m == idx) {
+          if (!ensure_dir(abs_out + "/snapshots/" + warm_dir_name(p))) {
+            set_err(err, "cannot create snapshot directory under " + abs_out);
+            return 2;
+          }
+          queue.push_back(PendingRun{m, 1, 0, WarmMode::Leader});
+        } else {
+          g.waiters.push_back(m);
+        }
+      }
+      groups.push_back(std::move(g));
+    }
+  } else {
+    for (long long idx : todo)
+      queue.push_back(PendingRun{idx, 1, 0, WarmMode::Plain});
   }
 
   std::FILE* jf = std::fopen(journal_path.c_str(), "a");
@@ -780,6 +900,29 @@ int run_sweep(const DseOptions& opt, DseOutcome* outcome, std::string* err) {
     ++newly_done;
   };
 
+  // A terminal point releases its warm-start group's waiters (no-op for
+  // plain points and for loaders, whose group has no waiters left). If the
+  // leader failed before depositing the snapshot, the members run their own
+  // warm-up — correctness never depends on the snapshot existing.
+  auto release_group = [&](long long idx) {
+    const long long gi = group_of[static_cast<std::size_t>(idx)];
+    if (gi < 0) return;
+    WarmGroup& g = groups[static_cast<std::size_t>(gi)];
+    if (g.waiters.empty()) return;
+    const bool have_snap = file_exists(g.snap_path);
+    if (!have_snap)
+      std::fprintf(stderr,
+                   "[rc-dse] warm-start snapshot missing after its group "
+                   "leader finished; %zu member(s) fall back to full "
+                   "warm-up runs\n",
+                   g.waiters.size());
+    if (!stopping)
+      for (long long m : g.waiters)
+        queue.push_back(PendingRun{
+            m, 1, 0, have_snap ? WarmMode::Loader : WarmMode::Plain});
+    g.waiters.clear();
+  };
+
   while (!queue.empty() || !running.empty()) {
     const double now = now_s();
     if (opt.max_points >= 0 && newly_done >= opt.max_points && !stopping) {
@@ -799,25 +942,37 @@ int run_sweep(const DseOptions& opt, DseOutcome* outcome, std::string* err) {
         std::fprintf(stderr, "[rc-dse] cannot create workdir %s\n",
                      dir.c_str());
         record_terminal(pr.idx, "failed", pr.attempt, 127, 0, ru);
+        release_group(pr.idx);
         continue;
       }
-      const pid_t pid =
-          spawn_point(runner, points[static_cast<std::size_t>(pr.idx)], dir);
+      std::vector<std::string> extra;
+      if (pr.warm == WarmMode::Leader) {
+        const long long gi = group_of[static_cast<std::size_t>(pr.idx)];
+        extra = {"--save-state", groups[static_cast<std::size_t>(gi)].snap_path};
+      } else if (pr.warm == WarmMode::Loader) {
+        const long long gi = group_of[static_cast<std::size_t>(pr.idx)];
+        extra = {"--load-state", groups[static_cast<std::size_t>(gi)].snap_path};
+      }
+      const pid_t pid = spawn_point(
+          runner, points[static_cast<std::size_t>(pr.idx)], dir, extra);
       if (pid < 0) {
         // fork failure: transient resource exhaustion; retry like a crash
         if (pr.attempt < opt.max_attempts) {
           queue.push_back(PendingRun{pr.idx, pr.attempt + 1,
-                                     now + opt.backoff_s * pr.attempt});
+                                     now + opt.backoff_s * pr.attempt,
+                                     pr.warm});
         } else {
           struct rusage ru{};
           record_terminal(pr.idx, "failed", pr.attempt, 127, 0, ru);
+          release_group(pr.idx);
         }
         continue;
       }
       if (opt.verbose)
         std::fprintf(stderr, "[rc-dse] point %lld attempt %d -> pid %d\n",
                      pr.idx, pr.attempt, static_cast<int>(pid));
-      running.push_back(RunningChild{pid, pr.idx, pr.attempt, now, false});
+      running.push_back(
+          RunningChild{pid, pr.idx, pr.attempt, now, false, pr.warm});
     }
 
     bool reaped = false;
@@ -841,18 +996,29 @@ int run_sweep(const DseOptions& opt, DseOutcome* outcome, std::string* err) {
           // retrying it would multiply the sweep's worst case by
           // max_attempts.
           record_terminal(it->idx, "timeout", it->attempt, exit_code, wall, ru);
+          release_group(it->idx);
         } else if (ok) {
           record_terminal(it->idx, "ok", it->attempt, 0, wall, ru);
+          if (it->warm == WarmMode::Loader) ++oc.warm_loaded;
+          if (it->warm == WarmMode::Leader) ++oc.snapshots;
+          release_group(it->idx);
         } else if (it->attempt < opt.max_attempts) {
           if (opt.verbose)
             std::fprintf(stderr,
                          "[rc-dse] point %lld attempt %d exited %d; retrying\n",
                          it->idx, it->attempt, exit_code);
+          // A failed loader retries with its own warm-up: if the snapshot
+          // itself is the problem (corrupt, foreign digest), retrying the
+          // load would fail identically and burn the point's attempts.
           queue.push_back(PendingRun{it->idx, it->attempt + 1,
-                                     now_s() + opt.backoff_s * it->attempt});
+                                     now_s() + opt.backoff_s * it->attempt,
+                                     it->warm == WarmMode::Loader
+                                         ? WarmMode::Plain
+                                         : it->warm});
         } else {
           record_terminal(it->idx, "failed", it->attempt,
                           exit_code == 0 ? 1 : exit_code, wall, ru);
+          release_group(it->idx);
         }
         it = running.erase(it);
       } else {

@@ -65,6 +65,13 @@ struct SweepPoint {
 /// Journal records match on this across resumes, so it must be stable.
 std::string point_key(const SweepPoint& p);
 
+/// point_key minus the warm-up-irrelevant knobs (measurement length and
+/// shard count — the snapshot digest's relaxed fields). Points with equal
+/// warm keys simulate identical warm-up phases and share one end-of-warm-up
+/// snapshot under out/snapshots/<warm_dir_name>/.
+std::string warm_key(const SweepPoint& p);
+std::string warm_dir_name(const SweepPoint& p);  ///< 16-hex FNV-1a of the key
+
 /// rc-sim argument vector for the point (no argv[0], no --point-out; the
 /// runner appends those).
 std::vector<std::string> point_args(const SweepPoint& p);
@@ -79,7 +86,7 @@ std::vector<std::string> point_args(const SweepPoint& p);
 ///     "preset": ["Baseline", "SlackDelay1_NoAck"],
 ///     "app": "fft",
 ///     "seed": [1, 2, 3],
-///     "warmup": 500, "cycles": 2000,   // scalars, applied to every point
+///     "warmup": 500, "cycles": 2000,   // axes too: lists sweep them
 ///     "exclude": [                     // drop points matching ALL pairs
 ///       {"topology": "ring", "preset": "Fragmented"}
 ///     ],
@@ -90,7 +97,8 @@ std::vector<std::string> point_args(const SweepPoint& p);
 ///
 /// Axes: mesh, topology, mc_placement, preset, app, protocol, dir_pointers,
 /// dir_sets, dir_ways, circuits, slack, buf_depth, vcs_req, vcs_rep, shards,
-/// seed. Expansion is a cross-product in that fixed order (seed fastest);
+/// seed, warmup, cycles. Expansion is a cross-product in that fixed order
+/// (cycles fastest);
 /// explicit "points" follow in spec order. Unknown keys, unknown axis
 /// values (presets, apps, topology names...) and malformed entries are
 /// errors, not skips. Returns false with *err on any problem.
@@ -139,6 +147,13 @@ struct DseOptions {
   bool resume = false;       ///< skip journaled points; else a journal is an error
   long long max_points = -1; ///< stop scheduling after N newly terminal points
                              ///< (deterministic "interruption" for tests/ops)
+  /// Warm-start sharing: points with equal warm_key run their warm-up once.
+  /// The first such point (the group leader) runs with --save-state and
+  /// deposits out/snapshots/<hash>/warmup.state; the rest wait for it and
+  /// resume from the snapshot with --load-state. Results are byte-identical
+  /// either way (the snapshot identity contract), so this is purely a
+  /// wall-clock optimization — disable to re-run every warm-up from zero.
+  bool warm_start = true;
   bool verbose = false;
 };
 
@@ -148,6 +163,8 @@ struct DseOutcome {
   long long ok = 0;          ///< terminal this run or before, status ok
   long long failed = 0;
   long long timeout = 0;
+  long long snapshots = 0;   ///< warm-up snapshots written by group leaders
+  long long warm_loaded = 0; ///< points resumed from a shared snapshot
   bool stopped_early = false;
 };
 

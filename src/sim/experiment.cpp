@@ -58,7 +58,11 @@ RunResult run_config(SystemConfig cfg, const std::string& label) {
 
   System sys(cfg);
   sys.run();
+  return extract_result(sys, label);
+}
 
+RunResult extract_result(System& sys, const std::string& label) {
+  const SystemConfig& cfg = sys.config();
   // RC_TELEMETRY: flush the trace while the System is still alive and print
   // its digest next to the run. Under run_many every run gets a per-run tag
   // spliced into the shared path (label + input index) — previously all

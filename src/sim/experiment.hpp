@@ -43,6 +43,14 @@ struct ReplyBreakdown {
   std::uint64_t total_replies = 0;
 };
 
+class System;
+
+/// Derive the metrics of a completed simulation: flush/print telemetry,
+/// then fill a RunResult from the System's merged statistics. Shared by
+/// run_config and drivers that step a System manually (snapshot save /
+/// resume in rc-sim, tracing).
+RunResult extract_result(System& sys, const std::string& label);
+
 RunResult run_one(int cores, const std::string& preset, const std::string& app,
                   std::uint64_t seed = 1, Cycle warmup = 20'000,
                   Cycle measure = 100'000);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/state.hpp"
 #include "cpu/apps.hpp"
 #include "noc/observer.hpp"
 #include "sim/telemetry.hpp"
@@ -254,6 +255,115 @@ Cycle System::run() {
   reset_stats();
   run_cycles(cfg_.measure_cycles);
   return cfg_.measure_cycles;
+}
+
+void System::save_state(StateWriter& w) const {
+  w.begin_section("CORE");
+  w.u64(cores_.size());
+  for (const auto& c : cores_) c->save(w);
+  w.end_section();
+  w.begin_section("L1CA");
+  w.u64(l1s_.size());
+  for (const auto& c : l1s_) c->save(w);
+  w.end_section();
+  w.begin_section("L2BK");
+  w.u64(l2s_.size());
+  for (const auto& c : l2s_) c->save(w);
+  w.end_section();
+  w.begin_section("MCTL");
+  std::uint64_t nmc = 0;
+  for (const auto& m : mcs_)
+    if (m) ++nmc;
+  w.u64(nmc);
+  for (const auto& m : mcs_)
+    if (m) m->save(w);
+  w.end_section();
+  w.begin_section("STAT");
+  w.u64(node_sys_stats_.size());
+  for (const auto& s : node_sys_stats_) s.save(w);
+  w.end_section();
+  w.begin_section("NETW");
+  net_->save(w);
+  w.end_section();
+  // Observer state rides along so a checked / traced run resumes
+  // byte-identically. Presence is environment-gated, not config-gated, so
+  // each section records whether it carries state.
+  w.begin_section("VLDT");
+  w.b(validator_ != nullptr);
+  if (validator_) validator_->save(w);
+  w.end_section();
+  w.begin_section("TELE");
+  w.b(telemetry_ != nullptr);
+  if (telemetry_) telemetry_->save(w);
+  w.end_section();
+}
+
+bool System::load_state(StateReader& r, Cycle cycle) {
+  RC_ASSERT(now_ == 0 && !prewarmed_,
+            "snapshots load only into a freshly constructed System");
+  auto check_count = [&r](const char* what, std::uint64_t have,
+                          std::uint64_t want) {
+    if (have == want) return true;
+    return r.fail(std::string(what) + ": system has " + std::to_string(have) +
+                  ", snapshot has " + std::to_string(want));
+  };
+  std::uint64_t n;
+  if (!(r.begin_section("CORE") && r.u64(&n) &&
+        check_count("cores", cores_.size(), n)))
+    return false;
+  for (auto& c : cores_)
+    if (!c->load(r)) return false;
+  if (!(r.end_section() && r.begin_section("L1CA") && r.u64(&n) &&
+        check_count("L1 caches", l1s_.size(), n)))
+    return false;
+  for (auto& c : l1s_)
+    if (!c->load(r)) return false;
+  if (!(r.end_section() && r.begin_section("L2BK") && r.u64(&n) &&
+        check_count("L2 banks", l2s_.size(), n)))
+    return false;
+  for (auto& c : l2s_)
+    if (!c->load(r)) return false;
+  std::uint64_t nmc = 0;
+  for (const auto& m : mcs_)
+    if (m) ++nmc;
+  if (!(r.end_section() && r.begin_section("MCTL") && r.u64(&n) &&
+        check_count("memory controllers", nmc, n)))
+    return false;
+  for (auto& m : mcs_)
+    if (m && !m->load(r)) return false;
+  if (!(r.end_section() && r.begin_section("STAT") && r.u64(&n) &&
+        check_count("stat sets", node_sys_stats_.size(), n)))
+    return false;
+  for (auto& s : node_sys_stats_)
+    if (!s.load(r)) return false;
+  if (!(r.end_section() && r.begin_section("NETW") && net_->load(r) &&
+        r.end_section()))
+    return false;
+  if (validator_) {
+    bool had;
+    if (!(r.begin_section("VLDT") && r.b(&had))) return false;
+    if (!had)
+      return r.fail(
+          "RC_CHECK is enabled but the snapshot was taken without it; the "
+          "validator cannot reconstruct pre-snapshot in-flight state");
+    if (!(validator_->load(r) && r.end_section())) return false;
+  } else if (!r.skip_section()) {
+    return false;
+  }
+  if (telemetry_) {
+    bool had;
+    if (!(r.begin_section("TELE") && r.b(&had))) return false;
+    if (!had)
+      return r.fail(
+          "RC_TELEMETRY is enabled but the snapshot was taken without it; "
+          "the resumed trace would not match an uninterrupted run");
+    if (!(telemetry_->load(r) && r.end_section())) return false;
+  } else if (!r.skip_section()) {
+    return false;
+  }
+  prewarmed_ = true;
+  now_ = cycle;
+  return r.ok();
 }
 
 std::uint64_t System::total_retired() const {

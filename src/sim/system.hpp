@@ -18,6 +18,8 @@
 
 namespace rc {
 
+class StateReader;
+class StateWriter;
 class Telemetry;
 class Validator;
 
@@ -59,6 +61,17 @@ class System {
   StatSet merged_sys_stats() const;
   /// One node's controller statistics (core, L1, L2 bank, MC of that tile).
   StatSet& node_sys_stats(NodeId n) { return node_sys_stats_[n]; }
+
+  /// Snapshot body (sim/snapshot.hpp drives these): every stateful
+  /// component in fixed order — cores, L1s, L2 banks, MCs, per-node stats,
+  /// the fabric, then the attached observers. Call only at a cycle boundary
+  /// (outside run_cycles), where cross-shard mailboxes are flushed.
+  void save_state(StateWriter& w) const;
+  /// Restore into a freshly constructed System (now() == 0) whose config
+  /// matches the snapshot digest; sets the clock to `cycle` and marks the
+  /// caches warm. Wake stamps need no restoration: a fresh System starts
+  /// with every component awake, and the first sweep re-arms them exactly.
+  bool load_state(StateReader& r, Cycle cycle);
 
   std::uint64_t total_retired() const;
   std::uint64_t retired_of(int core) const { return cores_[core]->retired(); }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/parse.hpp"
+#include "common/state.hpp"
 #include "noc/network.hpp"
 #include "sim/report.hpp"
 
@@ -224,6 +225,97 @@ void Telemetry::note_stats_reset(Cycle now) {
   ev.kind = TelemetryEvent::Kind::StatsReset;
   ev.cycle = now;
   events_.push_back(ev);
+}
+
+namespace {
+
+void save_event(StateWriter& w, const TelemetryEvent& ev) {
+  w.u8(static_cast<std::uint8_t>(ev.kind));
+  w.u64(ev.cycle);
+  w.i64(ev.node);
+  w.i64(ev.port);
+  w.i64(ev.vc);
+  w.i64(ev.dest);
+  w.u64(ev.addr);
+  w.u64(ev.owner);
+  w.u64(ev.msg);
+  w.u8(static_cast<std::uint8_t>(ev.cat));
+  w.i64(ev.mtype);
+}
+
+bool load_event(StateReader& r, TelemetryEvent* ev) {
+  std::uint8_t kind, cat;
+  std::int64_t node, port, vc, dest, mtype;
+  if (!(r.u8(&kind) && r.u64(&ev->cycle) && r.i64(&node) && r.i64(&port) &&
+        r.i64(&vc) && r.i64(&dest) && r.u64(&ev->addr) && r.u64(&ev->owner) &&
+        r.u64(&ev->msg) && r.u8(&cat) && r.i64(&mtype)))
+    return false;
+  if (kind >= TelemetryEvent::kNumKinds)
+    return r.fail("telemetry event kind out of range");
+  if (cat >= kNumReplyCategories)
+    return r.fail("telemetry reply category out of range");
+  ev->kind = static_cast<TelemetryEvent::Kind>(kind);
+  ev->node = static_cast<NodeId>(node);
+  ev->port = static_cast<std::int16_t>(port);
+  ev->vc = static_cast<std::int16_t>(vc);
+  ev->dest = static_cast<NodeId>(dest);
+  ev->cat = static_cast<ReplyCategory>(cat);
+  ev->mtype = static_cast<std::int16_t>(mtype);
+  return true;
+}
+
+void save_sample(StateWriter& w, const TelemetrySample& s) {
+  w.u64(s.cycle);
+  w.u64(s.window);
+  w.u64(s.injected);
+  w.u64(s.delivered);
+  w.u64(s.reserved);
+  w.u64(s.undone);
+  w.u64(s.scrounged);
+  w.u64(s.buffered_flits);
+  w.u64(s.live_circuits);
+}
+
+bool load_sample(StateReader& r, TelemetrySample* s) {
+  return r.u64(&s->cycle) && r.u64(&s->window) && r.u64(&s->injected) &&
+         r.u64(&s->delivered) && r.u64(&s->reserved) && r.u64(&s->undone) &&
+         r.u64(&s->scrounged) && r.u64(&s->buffered_flits) &&
+         r.u64(&s->live_circuits);
+}
+
+}  // namespace
+
+void Telemetry::save(StateWriter& w) const {
+  // Cycle boundary contract: flush() already drained the per-node staging
+  // buffers, so the global stream is the whole trace.
+  w.u64(events_.size());
+  for (const TelemetryEvent& ev : events_) save_event(w, ev);
+  w.u64(samples_.size());
+  for (const TelemetrySample& s : samples_) save_sample(w, s);
+  save_sample(w, win_);
+}
+
+bool Telemetry::load(StateReader& r) {
+  std::uint64_t n;
+  if (!r.u64(&n)) return false;
+  events_.clear();
+  events_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TelemetryEvent ev;
+    if (!load_event(r, &ev)) return false;
+    events_.push_back(ev);
+  }
+  if (!r.u64(&n)) return false;
+  samples_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TelemetrySample s;
+    if (!load_sample(r, &s)) return false;
+    samples_.push_back(s);
+  }
+  if (!load_sample(r, &win_)) return false;
+  for (auto& buf : per_node_) buf.clear();
+  written_ = false;
+  return true;
 }
 
 bool Telemetry::write() {

@@ -39,6 +39,8 @@ namespace rc {
 
 class Network;
 struct NocConfig;
+class StateReader;
+class StateWriter;
 
 /// One trace record. Which fields are meaningful depends on `kind`; unused
 /// ones keep their defaults (and are omitted from the JSONL line).
@@ -118,6 +120,13 @@ class Telemetry final : public NocObserver {
   const NocConfig& noc_config() const;
   const std::vector<TelemetryEvent>& events() const { return events_; }
   const std::vector<TelemetrySample>& samples() const { return samples_; }
+
+  /// Snapshot save/load: the accumulated event stream, the sampled series
+  /// and the in-progress window counters. Per-node staging buffers are
+  /// empty at every cycle boundary (flush() drains them) and are not
+  /// serialized; load() clears them and re-arms write().
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
   /// Record a statistics reset (end of warm-up). rc-trace summarizes the
   /// events after the last reset by default, so its numbers line up with

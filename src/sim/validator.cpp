@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/parse.hpp"
+#include "common/state.hpp"
 #include "noc/network.hpp"
 
 namespace rc {
@@ -395,6 +397,115 @@ void Validator::check_idle(Cycle now) const {
                now);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save/load.
+
+namespace {
+/// FlightEvent::what normally points at a string literal; loaded traces
+/// intern their strings here so the borrowed pointers stay valid for the
+/// validator's lifetime. The pool only ever sees the dozen-odd distinct
+/// event labels, so it stays tiny.
+const char* intern_what(const std::string& s) {
+  static std::set<std::string> pool;
+  return pool.insert(s).first->c_str();
+}
+}  // namespace
+
+void Validator::save(StateWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.u64(cycles_checked_);
+  w.u64(flights_.size());
+  for (const auto& [id, f] : flights_) {
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(f.type));
+    w.i64(f.src);
+    w.i64(f.dest);
+    w.b(f.on_circuit);
+    w.b(f.scrounging);
+    w.u64(f.injected);
+    w.u64(f.log.size());
+    for (const FlightEvent& ev : f.log) {
+      w.u64(ev.cycle);
+      w.str(ev.what);
+      w.i64(ev.node);
+      w.i64(ev.port);
+    }
+  }
+  w.u64(stalls_.size());
+  for (const auto& [key, s] : stalls_) {
+    w.u32(key);
+    w.u64(s.last_fwd);
+    w.u64(s.last_block);
+    w.i64(s.run);
+  }
+  w.u64(recent_undos_.size());
+  for (const UndoEvent& u : recent_undos_) {
+    w.u64(u.cycle);
+    w.i64(u.node);
+    w.i64(u.circuit_dest);
+    w.u64(u.addr);
+    w.u64(u.owner_req);
+  }
+}
+
+bool Validator::load(StateReader& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n;
+  if (!(r.u64(&cycles_checked_) && r.u64(&n))) return false;
+  flights_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t id, nlog;
+    std::uint8_t type;
+    std::int64_t src, dest;
+    Flight f;
+    if (!(r.u64(&id) && r.u8(&type) && r.i64(&src) && r.i64(&dest) &&
+          r.b(&f.on_circuit) && r.b(&f.scrounging) && r.u64(&f.injected) &&
+          r.u64(&nlog)))
+      return false;
+    if (type >= kNumMsgTypes) return r.fail("flight message type out of range");
+    f.type = static_cast<MsgType>(type);
+    f.src = static_cast<NodeId>(src);
+    f.dest = static_cast<NodeId>(dest);
+    for (std::uint64_t j = 0; j < nlog; ++j) {
+      FlightEvent ev;
+      std::string what;
+      std::int64_t node, port;
+      if (!(r.u64(&ev.cycle) && r.str(&what) && r.i64(&node) && r.i64(&port)))
+        return false;
+      ev.what = intern_what(what);
+      ev.node = static_cast<NodeId>(node);
+      ev.port = static_cast<int>(port);
+      f.log.push_back(ev);
+    }
+    flights_.emplace(id, std::move(f));
+  }
+  if (!r.u64(&n)) return false;
+  stalls_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t key;
+    StallState s;
+    std::int64_t run;
+    if (!(r.u32(&key) && r.u64(&s.last_fwd) && r.u64(&s.last_block) &&
+          r.i64(&run)))
+      return false;
+    s.run = static_cast<int>(run);
+    stalls_.emplace(key, s);
+  }
+  if (!r.u64(&n)) return false;
+  recent_undos_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    UndoEvent u;
+    std::int64_t node, cdest;
+    if (!(r.u64(&u.cycle) && r.i64(&node) && r.i64(&cdest) && r.u64(&u.addr) &&
+          r.u64(&u.owner_req)))
+      return false;
+    u.node = static_cast<NodeId>(node);
+    u.circuit_dest = static_cast<NodeId>(cdest);
+    recent_undos_.push_back(u);
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -43,6 +43,8 @@
 namespace rc {
 
 class Network;
+class StateReader;
+class StateWriter;
 
 class Validator final : public NocObserver {
  public:
@@ -64,6 +66,13 @@ class Validator final : public NocObserver {
   /// End-of-run assertion for drained fabrics: nothing in flight and no
   /// circuit entry still bound to a rider.
   void check_idle(Cycle now) const;
+
+  /// Snapshot save/load: the in-flight table (with flight logs), stall
+  /// trackers and the recent-undo ring. A resumed checked run delivers
+  /// messages injected before the snapshot, so restoring flights_ is
+  /// required — an unknown delivery is a fatal violation.
+  void save(StateWriter& w) const;
+  bool load(StateReader& r);
 
   // ---- NocObserver ----
   void on_message_injected(NodeId node, const Message& m, Cycle now) override;

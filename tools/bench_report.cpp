@@ -11,10 +11,11 @@
 // set once per shard count and tags each result entry with it; with no
 // arguments the shard count comes from RC_SHARDS (default 1).
 //
-//        bench-report --compare old.json new.json
+//        bench-report --compare old.json new.json [--tolerance=<pct>]
 // prints the per-benchmark speedup (new cycles/sec over old) for every
-// (name, shards) pair present in both files and exits non-zero when any
-// matched pair regressed by more than 10%.
+// (name, shards) pair present in both files, plus the geometric-mean
+// speedup over all matched pairs, and exits non-zero when any matched pair
+// regressed by more than the tolerance (default 10%).
 //
 // Knobs:
 //   RC_SHARDS           worker shards when no argv given (default 1;
@@ -27,6 +28,7 @@
 //                       topology remarks)
 //   RC_BENCH_OUT        output path (default BENCH_<yyyy-mm-dd>.json)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -260,22 +262,26 @@ std::vector<CmpEntry> load_report(const std::string& path) {
   return out;
 }
 
-int run_compare(const std::string& old_path, const std::string& new_path) {
+int run_compare(const std::string& old_path, const std::string& new_path,
+                double tolerance_pct) {
   const auto olds = load_report(old_path);
   const auto news = load_report(new_path);
+  // A drop in simulated cycles/sec at the same shard count beyond the
+  // tolerance is a regression; anything milder is host noise territory.
+  const double floor = 1.0 - tolerance_pct / 100.0;
   std::printf("%-28s %7s %12s %12s %9s\n", "benchmark", "shards",
               "old cyc/s", "new cyc/s", "speedup");
   bool regressed = false;
   int matched = 0;
+  double log_sum = 0;
   for (const CmpEntry& o : olds) {
     for (const CmpEntry& n : news) {
       if (n.name != o.name || n.shards != o.shards) continue;
       ++matched;
       const double speedup = o.cps > 0 ? n.cps / o.cps : 0;
-      // A >10% drop in simulated cycles/sec at the same shard count is a
-      // regression; anything milder is host noise territory.
-      const bool bad = speedup < 0.90;
+      const bool bad = speedup < floor;
       if (bad) regressed = true;
+      if (speedup > 0) log_sum += std::log(speedup);
       std::printf("%-28s %7d %12.0f %12.0f %8.2fx%s\n", o.name.c_str(),
                   o.shards, o.cps, n.cps, speedup,
                   bad ? "  REGRESSION" : "");
@@ -284,9 +290,12 @@ int run_compare(const std::string& old_path, const std::string& new_path) {
   }
   if (matched == 0)
     fatal("bench-report: no (name, shards) pair present in both files");
+  std::printf("geomean speedup over %d benchmark(s): %.2fx\n", matched,
+              std::exp(log_sum / matched));
   if (regressed) {
     std::fprintf(stderr,
-                 "bench-report: at least one benchmark regressed by >10%%\n");
+                 "bench-report: at least one benchmark regressed by >%g%%\n",
+                 tolerance_pct);
     return 1;
   }
   return 0;
@@ -296,9 +305,27 @@ int run_compare(const std::string& old_path, const std::string& new_path) {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "--compare") {
-    if (argc != 4)
-      fatal("usage: bench-report --compare old.json new.json");
-    return run_compare(argv[2], argv[3]);
+    // Optional --tolerance=<pct> after the two paths tunes the regression
+    // gate (default 10: flag any matched pair slower than 0.90x).
+    double tolerance_pct = 10.0;
+    if (argc == 5) {
+      const std::string t = argv[4];
+      const std::string prefix = "--tolerance=";
+      bool ok = t.rfind(prefix, 0) == 0 && t.size() > prefix.size();
+      if (ok) {
+        const std::string num = t.substr(prefix.size());
+        char* end = nullptr;
+        tolerance_pct = std::strtod(num.c_str(), &end);
+        ok = end && *end == '\0' && tolerance_pct >= 0 && tolerance_pct < 100;
+      }
+      if (!ok)
+        fatal("bench-report: bad tolerance '" + t +
+              "' (want --tolerance=<pct> with 0 <= pct < 100)");
+    } else if (argc != 4) {
+      fatal("usage: bench-report --compare old.json new.json "
+            "[--tolerance=<pct>]");
+    }
+    return run_compare(argv[2], argv[3], tolerance_pct);
   }
   const int host_cpus =
       static_cast<int>(std::thread::hardware_concurrency());

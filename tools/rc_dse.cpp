@@ -12,6 +12,10 @@
 //     --backoff S          retry delay, scaled by attempt  (default 0.5)
 //     --resume             continue an interrupted sweep in --out
 //     --max-points N       stop scheduling after N newly terminal points
+//     --no-warm-start      run every warm-up from cycle 0 (default: points
+//                          sharing a warm-up phase run it once via a shared
+//                          snapshot under --out/snapshots/; results are
+//                          byte-identical either way)
 //     --expand             print the expanded point list and exit
 //     --compare BASELINE   after the sweep, gate on bench-report --compare
 //                          BASELINE summary.json (perf regression check)
@@ -41,7 +45,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --spec FILE --out DIR [--runner PATH] [--jobs N]\n"
                "          [--timeout S] [--max-attempts N] [--backoff S]\n"
-               "          [--resume] [--max-points N] [--expand]\n"
+               "          [--resume] [--max-points N] [--no-warm-start]\n"
+               "          [--expand]\n"
                "          [--compare BASELINE] [--bench-report PATH]\n"
                "          [--verbose]\n",
                argv0);
@@ -151,6 +156,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--resume")) opt.resume = true;
     else if (!std::strcmp(argv[i], "--max-points"))
       opt.max_points = need_int("--max-points", 0);
+    else if (!std::strcmp(argv[i], "--no-warm-start")) opt.warm_start = false;
     else if (!std::strcmp(argv[i], "--expand")) expand_only = true;
     else if (!std::strcmp(argv[i], "--compare"))
       compare_baseline = need("--compare");
@@ -202,6 +208,11 @@ int main(int argc, char** argv) {
                "(%lld from a prior run)%s\n",
                oc.total, oc.ok, oc.failed, oc.timeout, oc.skipped,
                oc.stopped_early ? "; stopped early" : "");
+  if (oc.snapshots > 0 || oc.warm_loaded > 0)
+    std::fprintf(stderr,
+                 "[rc-dse] warm-start: %lld snapshot(s) written, %lld "
+                 "point(s) resumed from one\n",
+                 oc.snapshots, oc.warm_loaded);
 
   if (!compare_baseline.empty() && !oc.stopped_early) {
     const int crc = run_child(

@@ -6,18 +6,29 @@
 // violating configuration as a ready-to-paste rc-sim repro command.
 //
 //   rc-fuzz [--configs N] [--cycles N] [--seed N] [--warmup N] [--verbose]
-//           [--spec-out FILE]
+//           [--spec-out FILE] [--snapshot-every N]
 //
 // --spec-out FILE writes the sampled configurations as an rc-dse sweep spec
 // (explicit "points" entries) instead of running them in-process: the same
 // seeded coverage, but each point in its own crash-isolated subprocess with
 // a journal to resume from.
 //
+// --snapshot-every N is the snapshot torture mode: every N cycles the run
+// is saved, reloaded into a fresh System, re-saved (save -> load -> save
+// must reproduce the file byte-for-byte), and *continued from the reloaded
+// System* — so the rest of the run, including the Validator's per-cycle
+// scans, executes on restored state. Any serialization gap becomes a
+// byte-diff, a load failure, or a downstream RC_CHECK violation with the
+// usual repro command.
+//
 // Exit status: 0 when every configuration ran clean, 1 on the first
 // violation (after printing the repro), 2 on bad flags.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "common/rng.hpp"
 #include "cpu/apps.hpp"
 #include "sim/presets.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/system.hpp"
 #include "sim/validator.hpp"
 
@@ -55,7 +67,7 @@ struct FuzzCase {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--configs N] [--cycles N] [--seed N] [--warmup N]"
-               " [--verbose] [--spec-out FILE]\n",
+               " [--verbose] [--spec-out FILE] [--snapshot-every N]\n",
                argv0);
   std::exit(2);
 }
@@ -199,6 +211,53 @@ std::string repro_command(const FuzzCase& fc, Cycle warmup, Cycle cycles,
   return cmd;
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Snapshot torture drive: like System::run(), but every `every` cycles the
+/// state is saved, reloaded into a fresh System, re-saved and byte-compared
+/// (save -> load -> save is a fixed point), and the run continues from the
+/// *reloaded* System. Throws FatalError on any snapshot-layer failure so
+/// the caller's violation reporting (with the repro command) kicks in.
+void torture_run(const SystemConfig& cfg, Cycle every) {
+  auto sys = std::make_unique<System>(cfg);
+  sys->prewarm();
+  const std::string snap = "rcfuzz_torture.state";
+  const std::string resaved = "rcfuzz_torture2.state";
+  auto checkpoint = [&]() {
+    std::string serr;
+    if (!save_snapshot(*sys, snap, &serr))
+      throw FatalError("snapshot save failed: " + serr);
+    auto fresh = std::make_unique<System>(cfg);
+    if (load_snapshot(fresh.get(), snap, &serr) != SnapshotStatus::Ok)
+      throw FatalError("snapshot load failed: " + serr);
+    if (!save_snapshot(*fresh, resaved, &serr))
+      throw FatalError("snapshot re-save failed: " + serr);
+    if (slurp(snap) != slurp(resaved))
+      throw FatalError("snapshot round-trip diverged at cycle " +
+                       std::to_string(sys->now()) +
+                       " (save -> load -> save is not a fixed point)");
+    sys = std::move(fresh);
+  };
+  auto span = [&](Cycle n) {
+    while (n > 0) {
+      const Cycle step = std::min(every, n);
+      sys->run_cycles(step);
+      n -= step;
+      checkpoint();
+    }
+  };
+  span(cfg.warmup_cycles);
+  sys->reset_stats();
+  span(cfg.measure_cycles);
+  std::remove(snap.c_str());
+  std::remove(resaved.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,6 +267,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool verbose = false;
   std::string spec_out;
+  long long snapshot_every = 0;
   for (int i = 1; i < argc; ++i) {
     auto need_int = [&](const char* flag, long long min_v) -> long long {
       if (i + 1 >= argc) {
@@ -228,6 +288,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--warmup")) warmup = need_int("--warmup", 0);
     else if (!std::strcmp(argv[i], "--seed"))
       seed = static_cast<std::uint64_t>(need_int("--seed", 0));
+    else if (!std::strcmp(argv[i], "--snapshot-every"))
+      snapshot_every = need_int("--snapshot-every", 1);
     else if (!std::strcmp(argv[i], "--verbose")) verbose = true;
     else if (!std::strcmp(argv[i], "--spec-out")) {
       if (i + 1 >= argc) {
@@ -307,8 +369,12 @@ int main(int argc, char** argv) {
                    fc.vcs_req, fc.vcs_rep, fc.shards,
                    static_cast<unsigned long long>(fc.seed));
     try {
-      System sys(cfg);
-      sys.run();
+      if (snapshot_every > 0) {
+        torture_run(cfg, static_cast<Cycle>(snapshot_every));
+      } else {
+        System sys(cfg);
+        sys.run();
+      }
       ++ran;
     } catch (const FatalError& e) {
       std::fprintf(stderr,

@@ -19,6 +19,12 @@
 //     --slack N           slack cycles/hop override
 //     --buf-depth N       per-VC buffer depth in flits override
 //     --no-l1tol1         L2-intermediary protocol variant
+//     --save-state FILE   write a full-system snapshot (default: at the
+//                         end of warm-up, before the stats reset)
+//     --save-at N         take the snapshot at cycle N instead
+//     --load-state FILE   resume from a snapshot; the configuration must
+//                         match the snapshot's digest on every field except
+//                         --cycles, shards and tick mode (mismatch: exit 2)
 //     --csv               machine-readable one-line-per-run output
 //     --point-out FILE    single-point mode for rc-dse: write the run result
 //                         as one JSON line to FILE (atomic rename)
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +44,7 @@
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
 #include "sim/report.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/system.hpp"
 #include "sim/trace.hpp"
 
@@ -69,6 +77,9 @@ struct Options {
   int dir_ways = -1;
   std::string trace_path;
   std::string point_out;  ///< rc-dse subprocess mode: machine-readable result
+  std::string save_state;  ///< snapshot output path ("" = off)
+  Cycle save_at = 0;       ///< 0 = end of warm-up
+  std::string load_state;  ///< snapshot to resume from ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -83,7 +94,8 @@ struct Options {
                "          [--protocol mesi|sparse-msi] [--workload NAME]\n"
                "          [--dir-pointers N] [--dir-sets N] [--dir-ways N]\n"
                "          [--vcs-req N] [--vcs-rep N] [--point-out FILE]\n"
-               "          [--list]\n",
+               "          [--save-state FILE] [--save-at N]\n"
+               "          [--load-state FILE] [--list]\n",
                argv0);
   std::exit(2);
 }
@@ -140,25 +152,99 @@ RunResult run(const Options& o, const std::string& preset,
     std::fprintf(stderr, "invalid configuration: %s\n", err.c_str());
     std::exit(2);
   }
-  if (!o.trace_path.empty() || o.heatmap) {
-    // Tracing needs the System to outlive the run result extraction: run
-    // manually so the recorder can flush afterwards.
-    System sys(cfg);
-    FlightRecorder rec(&sys);
-    sys.run();
-    if (!o.trace_path.empty()) {
-      if (!rec.write(o.trace_path)) {
-        std::fprintf(stderr, "cannot write trace to %s\n",
-                     o.trace_path.c_str());
-        std::exit(2);
-      }
-      std::fprintf(stderr, "[rc-sim] wrote %zu trace events to %s "
-                   "(open in chrome://tracing)\n",
-                   rec.events(), o.trace_path.c_str());
+  const bool manual = !o.trace_path.empty() || o.heatmap ||
+                      !o.save_state.empty() || !o.load_state.empty();
+  if (!manual) return run_config(cfg, preset);
+
+  // Tracing and snapshotting both need the System to outlive run_config's
+  // all-in-one flow: step it manually, then extract the result.
+  System sys(cfg);
+  std::unique_ptr<FlightRecorder> rec;
+  if (!o.trace_path.empty()) rec = std::make_unique<FlightRecorder>(&sys);
+
+  if (!o.load_state.empty()) {
+    std::string serr;
+    const SnapshotStatus st = load_snapshot(&sys, o.load_state, &serr);
+    if (st != SnapshotStatus::Ok) {
+      std::fprintf(stderr, "rc-sim: --load-state %s: %s\n",
+                   o.load_state.c_str(), serr.c_str());
+      std::exit(st == SnapshotStatus::ConfigMismatch ? 2 : 1);
     }
-    if (o.heatmap) print_heatmap(sys);
+    std::fprintf(stderr, "[rc-sim] resumed at cycle %llu from %s\n",
+                 static_cast<unsigned long long>(sys.now()),
+                 o.load_state.c_str());
   }
-  return run_config(cfg, preset);
+
+  const Cycle end = cfg.warmup_cycles + cfg.measure_cycles;
+  if (sys.now() > end) {
+    std::fprintf(stderr,
+                 "rc-sim: snapshot cycle %llu is past this run's "
+                 "warmup+measure span (%llu cycles)\n",
+                 static_cast<unsigned long long>(sys.now()),
+                 static_cast<unsigned long long>(end));
+    std::exit(2);
+  }
+  Cycle saveat = kNeverCycle;
+  if (!o.save_state.empty()) {
+    saveat = o.save_at > 0 ? o.save_at : cfg.warmup_cycles;
+    if (saveat > end || saveat < sys.now()) {
+      std::fprintf(stderr,
+                   "rc-sim: --save-at %llu is outside the simulated span "
+                   "[%llu, %llu]\n",
+                   static_cast<unsigned long long>(saveat),
+                   static_cast<unsigned long long>(sys.now()),
+                   static_cast<unsigned long long>(end));
+      std::exit(2);
+    }
+  }
+  auto to = [&](Cycle t) {
+    if (t > sys.now()) sys.run_cycles(t - sys.now());
+  };
+  auto do_save = [&]() {
+    std::string serr;
+    if (!save_snapshot(sys, o.save_state, &serr)) {
+      std::fprintf(stderr, "rc-sim: --save-state %s: %s\n",
+                   o.save_state.c_str(), serr.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "[rc-sim] saved state at cycle %llu to %s\n",
+                 static_cast<unsigned long long>(sys.now()),
+                 o.save_state.c_str());
+  };
+
+  // Same sequence as System::run, with snapshot stops spliced in. A save
+  // landing exactly on the warm-up boundary happens *before* the stats
+  // reset, so resuming such a snapshot replays the reset — byte-identical
+  // to the uninterrupted run either way.
+  sys.prewarm();
+  if (sys.now() < cfg.warmup_cycles) {
+    if (saveat < cfg.warmup_cycles) {
+      to(saveat);
+      do_save();
+    }
+    to(cfg.warmup_cycles);
+  }
+  if (sys.now() == cfg.warmup_cycles) {
+    if (saveat == cfg.warmup_cycles) do_save();
+    sys.reset_stats();
+  }
+  if (saveat != kNeverCycle && saveat > cfg.warmup_cycles) {
+    to(saveat);
+    do_save();
+  }
+  to(end);
+
+  if (rec) {
+    if (!rec->write(o.trace_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", o.trace_path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(stderr, "[rc-sim] wrote %zu trace events to %s "
+                 "(open in chrome://tracing)\n",
+                 rec->events(), o.trace_path.c_str());
+  }
+  if (o.heatmap) print_heatmap(sys);
+  return extract_result(sys, preset);
 }
 
 void print_csv_header() {
@@ -310,6 +396,12 @@ int main(int argc, char** argv) {
     }
     else if (!std::strcmp(argv[i], "--point-out"))
       o.point_out = need("--point-out");
+    else if (!std::strcmp(argv[i], "--save-state"))
+      o.save_state = need("--save-state");
+    else if (!std::strcmp(argv[i], "--save-at"))
+      o.save_at = static_cast<Cycle>(need_int("--save-at", 1));
+    else if (!std::strcmp(argv[i], "--load-state"))
+      o.load_state = need("--load-state");
     else if (!std::strcmp(argv[i], "--csv")) o.csv = true;
     else if (!std::strcmp(argv[i], "--list")) list_and_exit();
     else if (!std::strcmp(argv[i], "--help")) usage(argv[0]);
@@ -317,6 +409,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       usage(argv[0]);
     }
+  }
+
+  if (o.save_at > 0 && o.save_state.empty()) {
+    std::fprintf(stderr, "--save-at needs --save-state\n");
+    return 2;
+  }
+  if ((!o.save_state.empty() || !o.load_state.empty()) &&
+      (o.preset == "all" || o.app == "all")) {
+    std::fprintf(stderr, "--save-state/--load-state run a single point; they "
+                 "cannot be combined with --preset all / --app all\n");
+    return 2;
   }
 
   std::vector<std::string> presets =
